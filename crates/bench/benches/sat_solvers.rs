@@ -1,0 +1,80 @@
+//! Solver ablation: the same formula families decided by the class-
+//! dispatched solver versus always-CDCL, matching the paper's Section 5
+//! complexity classification (select/update ⇒ 2-SAT, asymmetric concat ⇒
+//! Horn, symmetric concat / `when` ⇒ general CNF).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rowpoly_boolfun::sat::{solve_with, Engine};
+use rowpoly_boolfun::{Cnf, Flag, Lit};
+
+/// Implication-chain formulas (what select/update programs generate).
+fn chain(n: u32) -> Cnf {
+    let mut b = Cnf::top();
+    for i in 0..n {
+        b.imply(Lit::pos(Flag(i)), Lit::pos(Flag(i + 1)));
+        b.iff(Lit::pos(Flag(i)), Lit::pos(Flag(n + 1 + i)));
+    }
+    b.assert_lit(Lit::pos(Flag(0)));
+    b
+}
+
+/// Horn rule sets (asymmetric concatenation's inverted-flag clauses).
+fn horn_rules(n: u32) -> Cnf {
+    let mut b = Cnf::top();
+    b.assert_lit(Lit::pos(Flag(0)));
+    b.assert_lit(Lit::pos(Flag(1)));
+    for i in 0..n {
+        b.add_lits(vec![
+            Lit::neg(Flag(i)),
+            Lit::neg(Flag(i + 1)),
+            Lit::pos(Flag(i + 2)),
+        ]);
+    }
+    b
+}
+
+/// General CNF in the style of symmetric concatenation: disjunctive
+/// existence plus mutual exclusion.
+fn symmetric(n: u32) -> Cnf {
+    let mut b = Cnf::top();
+    for i in 0..n {
+        let (f1, f2, fr) = (Flag(3 * i), Flag(3 * i + 1), Flag(3 * i + 2));
+        b.add_lits(vec![Lit::neg(fr), Lit::pos(f1), Lit::pos(f2)]);
+        b.imply(Lit::pos(f1), Lit::pos(fr));
+        b.imply(Lit::pos(f2), Lit::pos(fr));
+        b.add_lits(vec![Lit::neg(f1), Lit::neg(f2)]);
+        b.assert_lit(Lit::pos(fr));
+    }
+    b
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solvers");
+    for n in [100u32, 1000, 5000] {
+        let f = chain(n);
+        group.bench_with_input(BenchmarkId::new("twosat_on_chain", n), &f, |b, f| {
+            b.iter(|| assert!(solve_with(Engine::TwoSat, f).is_sat()));
+        });
+        group.bench_with_input(BenchmarkId::new("cdcl_on_chain", n), &f, |b, f| {
+            b.iter(|| assert!(solve_with(Engine::Cdcl, f).is_sat()));
+        });
+        let h = horn_rules(n);
+        group.bench_with_input(BenchmarkId::new("horn_on_rules", n), &h, |b, f| {
+            b.iter(|| assert!(solve_with(Engine::Horn, f).is_sat()));
+        });
+        group.bench_with_input(BenchmarkId::new("cdcl_on_rules", n), &h, |b, f| {
+            b.iter(|| assert!(solve_with(Engine::Cdcl, f).is_sat()));
+        });
+        let s = symmetric(n / 2);
+        group.bench_with_input(BenchmarkId::new("cdcl_on_symmetric", n), &s, |b, f| {
+            b.iter(|| assert!(solve_with(Engine::Cdcl, f).is_sat()));
+        });
+        group.bench_with_input(BenchmarkId::new("auto_dispatch_chain", n), &f, |b, f| {
+            b.iter(|| assert!(solve_with(Engine::Auto, f).is_sat()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Extension experiment (ours, not in the paper): end-to-end inference
+//! cost and satisfiability class per workload family.
+//!
+//! The paper's Fig. 9 only exercises select/update programs (its
+//! implementation supports nothing else). This table measures what the
+//! Section 5 classification costs on whole programs once the other
+//! operations exist:
+//!
+//! * `decoder`         — select/update pipelines (2-SAT fragment);
+//! * `guarded`         — optional fields consumed behind `when` guards
+//!                       (general CNF);
+//! * `guarded+concat`  — additionally merges side tables with `@`.
+//!
+//! ```sh
+//! cargo run --release -p rowpoly-bench --bin ext_classes
+//! ```
+
+use std::time::Instant;
+
+use rowpoly_core::{Options, Session};
+use rowpoly_gen::{generate_guarded, generate_with_lines, GuardedParams};
+use rowpoly_lang::pretty_program;
+
+fn main() {
+    println!(
+        "{:<16} {:>7} {:>10} {:>10} {:>9} {:>10}",
+        "workload", "lines", "time w/o", "time w.", "ratio", "SAT class"
+    );
+    for scale in [4usize, 16] {
+        // Decoder family at a comparable size.
+        let (decoder, dsrc) = generate_with_lines(scale * 120, false, 7);
+        row("decoder", &pretty_lines(&dsrc), &decoder);
+
+        let guarded = generate_guarded(&GuardedParams {
+            modules: scale,
+            fields_per_module: 3,
+            with_concat: false,
+            ..GuardedParams::default()
+        });
+        row("guarded", &pretty_lines(&pretty_program(&guarded)), &guarded);
+
+        let concat = generate_guarded(&GuardedParams {
+            modules: scale,
+            fields_per_module: 3,
+            with_concat: true,
+            ..GuardedParams::default()
+        });
+        row(
+            "guarded+concat",
+            &pretty_lines(&pretty_program(&concat)),
+            &concat,
+        );
+    }
+}
+
+fn pretty_lines(src: &str) -> usize {
+    src.lines().count()
+}
+
+fn row(name: &str, lines: &usize, program: &rowpoly_lang::Program) {
+    let run = |track: bool| {
+        let opts = Options { track_fields: track, ..Options::default() };
+        let start = Instant::now();
+        let report = Session::new(opts)
+            .infer_program(program)
+            .unwrap_or_else(|e| panic!("{name} should check: {e}"));
+        (start.elapsed().as_secs_f64(), report)
+    };
+    let (t0, _) = run(false);
+    let (t1, report) = run(true);
+    println!(
+        "{:<16} {:>7} {:>9.3}s {:>9.3}s {:>8.2}x {:>10?}",
+        name,
+        lines,
+        t0,
+        t1,
+        t1 / t0.max(1e-9),
+        report.sat_class
+    );
+}

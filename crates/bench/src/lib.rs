@@ -1,0 +1,4 @@
+//! Benchmark harness crate. The executable entry point is the `fig9`
+//! binary (regenerating the paper's Figure 9); the Criterion benches
+//! cover the same workloads at reduced scale plus the solver- and
+//! environment-versioning ablations called out in `DESIGN.md`.

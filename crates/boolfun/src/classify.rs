@@ -1,0 +1,138 @@
+//! Classification of Boolean functions by satisfiability class.
+
+use crate::cnf::Cnf;
+
+/// The satisfiability class of a CNF formula, ordered from cheapest to most
+/// expensive decision procedure.
+///
+/// The paper's Section 5 maps record operations onto these classes:
+/// select/update/removal/renaming stay within two-variable Horn clauses
+/// (hence [`SatClass::TwoSat`]); asymmetric concatenation produces
+/// multi-variable Horn clauses ([`SatClass::Horn`], still linear-time);
+/// symmetric concatenation and flag-conditioned conditionals require
+/// general CNF ([`SatClass::General`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SatClass {
+    /// No clauses: trivially satisfiable.
+    Trivial,
+    /// Contains the empty clause: trivially unsatisfiable.
+    Unsat,
+    /// Every clause has at most two literals.
+    TwoSat,
+    /// Every clause has at most one positive literal.
+    Horn,
+    /// Every clause has at most one negative literal (renamable to Horn by
+    /// flipping all polarities; this is the "inverted flag" encoding the
+    /// paper uses for asymmetric concatenation).
+    DualHorn,
+    /// None of the above: a general SAT instance.
+    General,
+}
+
+/// Classifies `cnf` into the most specific [`SatClass`].
+pub fn classify(cnf: &Cnf) -> SatClass {
+    if cnf.is_empty() {
+        return SatClass::Trivial;
+    }
+    let mut two = true;
+    let mut horn = true;
+    let mut dual = true;
+    for c in cnf.clauses() {
+        if c.is_empty() {
+            return SatClass::Unsat;
+        }
+        if c.len() > 2 {
+            two = false;
+        }
+        let pos = c.lits().iter().filter(|l| !l.is_neg()).count();
+        if pos > 1 {
+            horn = false;
+        }
+        if c.len() - pos > 1 {
+            dual = false;
+        }
+        if !two && !horn && !dual {
+            return SatClass::General;
+        }
+    }
+    if two {
+        SatClass::TwoSat
+    } else if horn {
+        SatClass::Horn
+    } else if dual {
+        SatClass::DualHorn
+    } else {
+        SatClass::General
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::{Flag, Lit};
+
+    fn p(i: u32) -> Lit {
+        Lit::pos(Flag(i))
+    }
+    fn n(i: u32) -> Lit {
+        Lit::neg(Flag(i))
+    }
+
+    #[test]
+    fn empty_formula_is_trivial() {
+        assert_eq!(classify(&Cnf::top()), SatClass::Trivial);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        assert_eq!(classify(&Cnf::bottom()), SatClass::Unsat);
+    }
+
+    #[test]
+    fn binary_clauses_are_twosat() {
+        let mut b = Cnf::top();
+        b.imply(p(0), p(1));
+        b.assert_lit(n(2));
+        assert_eq!(classify(&b), SatClass::TwoSat);
+    }
+
+    #[test]
+    fn wide_single_positive_is_horn() {
+        let mut b = Cnf::top();
+        b.add_lits(vec![n(0), n(1), p(2)]);
+        assert_eq!(classify(&b), SatClass::Horn);
+    }
+
+    #[test]
+    fn wide_single_negative_is_dual_horn() {
+        let mut b = Cnf::top();
+        b.add_lits(vec![p(0), p(1), n(2)]);
+        assert_eq!(classify(&b), SatClass::DualHorn);
+    }
+
+    #[test]
+    fn mixed_wide_clause_is_general() {
+        let mut b = Cnf::top();
+        b.add_lits(vec![p(0), p(1), n(2), n(3)]);
+        assert_eq!(classify(&b), SatClass::General);
+    }
+
+    #[test]
+    fn two_sat_wins_over_horn_for_binary_horn_clauses() {
+        // Two-variable Horn clauses are both; the cheaper class is reported.
+        let mut b = Cnf::top();
+        b.imply(p(0), p(1)); // ¬f0 ∨ f1: binary and Horn
+        assert_eq!(classify(&b), SatClass::TwoSat);
+    }
+
+    #[test]
+    fn horn_and_general_mix() {
+        let mut b = Cnf::top();
+        b.add_lits(vec![n(0), n(1), p(2)]); // Horn, not 2-SAT
+        b.add_lits(vec![p(0), p(1)]); // 2-SAT + dual-Horn, not Horn
+        // Neither invariant holds across all clauses except... pos counts:
+        // clause1 has 2 negatives (not dual), clause2 has 2 positives (not
+        // horn), clause1 has 3 lits (not two-sat) => General.
+        assert_eq!(classify(&b), SatClass::General);
+    }
+}

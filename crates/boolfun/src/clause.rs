@@ -1,0 +1,205 @@
+//! Disjunctive clauses.
+
+use std::fmt;
+
+use crate::lit::Lit;
+
+/// A disjunction of literals, kept sorted and duplicate-free.
+///
+/// The empty clause is the contradiction `⊥`. A clause containing both a
+/// literal and its negation is a tautology; [`Clause::new`] reports this so
+/// callers can drop it instead of storing it.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Normalises `lits` into a clause: sorts, deduplicates, and returns
+    /// `None` if the clause is a tautology (contains `l` and `¬l`).
+    pub fn new(mut lits: Vec<Lit>) -> Option<Clause> {
+        lits.sort_unstable();
+        lits.dedup();
+        // After sorting, `l` and `¬l` are adjacent (positive first).
+        if lits.windows(2).any(|w| w[0].negate() == w[1]) {
+            return None;
+        }
+        Some(Clause { lits })
+    }
+
+    /// The unit clause `{l}`.
+    pub fn unit(l: Lit) -> Clause {
+        Clause { lits: vec![l] }
+    }
+
+    /// The binary clause `{a, b}`; `None` if it is the tautology `a ∨ ¬a`.
+    pub fn binary(a: Lit, b: Lit) -> Option<Clause> {
+        Clause::new(vec![a, b])
+    }
+
+    /// The contradiction `⊥` (empty clause).
+    pub fn empty() -> Clause {
+        Clause { lits: Vec::new() }
+    }
+
+    /// Literals of this clause, in sorted order.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether this is the empty (contradictory) clause.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Whether this clause contains the literal `l`.
+    pub fn contains(&self, l: Lit) -> bool {
+        self.lits.binary_search(&l).is_ok()
+    }
+
+    /// Whether every literal of `self` occurs in `other` (i.e. `self`
+    /// subsumes `other`).
+    pub fn subsumes(&self, other: &Clause) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        let mut it = other.lits.iter();
+        'outer: for l in &self.lits {
+            for m in it.by_ref() {
+                match m.cmp(l) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Resolves `self` (containing `pivot`) with `other` (containing
+    /// `¬pivot`). Returns `None` if the resolvent is a tautology.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the pivot literals are not present.
+    pub fn resolve(&self, other: &Clause, pivot: Lit) -> Option<Clause> {
+        debug_assert!(self.contains(pivot), "pivot must occur in self");
+        debug_assert!(other.contains(pivot.negate()), "¬pivot must occur in other");
+        let mut lits = Vec::with_capacity(self.len() + other.len() - 2);
+        lits.extend(self.lits.iter().copied().filter(|&l| l != pivot));
+        lits.extend(other.lits.iter().copied().filter(|&l| l != pivot.negate()));
+        Clause::new(lits)
+    }
+
+    /// Applies a flag-renaming to each literal, re-normalising the result.
+    /// Returns `None` if renaming produced a tautology.
+    pub fn rename(&self, mut f: impl FnMut(Lit) -> Lit) -> Option<Clause> {
+        Clause::new(self.lits.iter().map(|&l| f(l)).collect())
+    }
+
+    /// Evaluates the clause under a total assignment
+    /// (`assign[flag.index()] = value`).
+    pub fn eval(&self, assign: &[bool]) -> bool {
+        self.lits
+            .iter()
+            .any(|l| assign[l.flag().index()] != l.is_neg())
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return write!(f, "⊥");
+        }
+        let mut first = true;
+        for l in &self.lits {
+            if !first {
+                write!(f, " ∨ ")?;
+            }
+            first = false;
+            write!(f, "{l:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Flag;
+
+    fn p(i: u32) -> Lit {
+        Lit::pos(Flag(i))
+    }
+    fn n(i: u32) -> Lit {
+        Lit::neg(Flag(i))
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let c = Clause::new(vec![p(2), p(0), p(2), n(1)]).unwrap();
+        assert_eq!(c.lits(), &[p(0), p(1).negate(), p(2)]);
+    }
+
+    #[test]
+    fn new_detects_tautology() {
+        assert!(Clause::new(vec![p(0), n(0)]).is_none());
+        assert!(Clause::new(vec![p(1), p(0), n(1)]).is_none());
+    }
+
+    #[test]
+    fn subsumption() {
+        let small = Clause::new(vec![p(0), p(2)]).unwrap();
+        let big = Clause::new(vec![p(0), n(1), p(2)]).unwrap();
+        assert!(small.subsumes(&big));
+        assert!(!big.subsumes(&small));
+        assert!(small.subsumes(&small));
+        let other = Clause::new(vec![p(0), n(2)]).unwrap();
+        assert!(!small.subsumes(&other));
+    }
+
+    #[test]
+    fn resolution_produces_resolvent() {
+        // (a ∨ b) ⊗_a (¬a ∨ c) = (b ∨ c)
+        let c1 = Clause::new(vec![p(0), p(1)]).unwrap();
+        let c2 = Clause::new(vec![n(0), p(2)]).unwrap();
+        let r = c1.resolve(&c2, p(0)).unwrap();
+        assert_eq!(r.lits(), &[p(1), p(2)]);
+    }
+
+    #[test]
+    fn resolution_tautology_is_none() {
+        // (a ∨ b) ⊗_a (¬a ∨ ¬b) = (b ∨ ¬b) — tautology
+        let c1 = Clause::new(vec![p(0), p(1)]).unwrap();
+        let c2 = Clause::new(vec![n(0), n(1)]).unwrap();
+        assert!(c1.resolve(&c2, p(0)).is_none());
+    }
+
+    #[test]
+    fn resolution_to_empty_clause() {
+        let c1 = Clause::unit(p(0));
+        let c2 = Clause::unit(n(0));
+        let r = c1.resolve(&c2, p(0)).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn eval_under_assignment() {
+        let c = Clause::new(vec![n(0), p(1)]).unwrap();
+        assert!(c.eval(&[false, false]));
+        assert!(c.eval(&[true, true]));
+        assert!(!c.eval(&[true, false]));
+    }
+}

@@ -1,0 +1,180 @@
+//! Expansion of flows (Definition 2 of the paper).
+
+use crate::clause::Clause;
+use crate::cnf::Cnf;
+use crate::lit::{Flag, Lit};
+
+impl Cnf {
+    /// Replicates the flow of the flags `from = ⟨f1,…,fn⟩` onto the target
+    /// atoms `to = ⟨f'1,…,f'n⟩` (Definition 2):
+    ///
+    /// every clause mentioning at least one of `f1,…,fn` is duplicated with
+    /// the substitution `σ = [f1/f'1, …, fn/f'n]` applied; clauses not
+    /// mentioning any `fi` are left alone, and the original clauses are
+    /// kept.
+    ///
+    /// Targets are *literals*, not flags: when a flag of a type variable is
+    /// expanded onto a flag in contra-variant position (an argument of a
+    /// function type), the paper requires `expand` to "replace fi with a
+    /// negated flag, thereby replicating the contra-variant behavior"
+    /// (Example 3). A negated target `¬g` maps the literal `fi ↦ ¬g` and
+    /// `¬fi ↦ g`.
+    ///
+    /// Duplicated clauses that become tautological are dropped.
+    ///
+    /// # Stale flags
+    ///
+    /// Correctness requires that β contains no *stale* flags: a clause
+    /// relating `fi` to a flag that is no longer mentioned by any type
+    /// would be duplicated verbatim and incorrectly equate the copy with
+    /// the original (the bug described in Section 6 of the paper). The
+    /// inference maintains this invariant by projecting dead flags out
+    /// (see [`Cnf::project_out`]) before flows are expanded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` and `to` have different lengths or `from` contains
+    /// duplicate flags.
+    pub fn expand(&mut self, from: &[Flag], to: &[Lit]) {
+        assert_eq!(from.len(), to.len(), "expansion requires |from| = |to|");
+        if from.is_empty() {
+            return;
+        }
+        debug_assert!(
+            {
+                let mut sorted = from.to_vec();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "expansion source flags must be distinct"
+        );
+        let rename = |l: Lit| -> Lit {
+            match from.iter().position(|&f| f == l.flag()) {
+                // fi ↦ f'i, with the sign of the occurrence composed with
+                // the sign of the target atom.
+                Some(i) => to[i].xor_sign(l.is_neg()),
+                None => l,
+            }
+        };
+        let mut copies: Vec<Clause> = Vec::new();
+        for c in self.clauses() {
+            if c.lits().iter().any(|l| from.contains(&l.flag())) {
+                if let Some(copy) = c.rename(rename) {
+                    copies.push(copy);
+                }
+            }
+        }
+        for c in copies {
+            self.add_clause(c);
+        }
+        self.normalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::FlagAlloc;
+
+    fn p(i: u32) -> Lit {
+        Lit::pos(Flag(i))
+    }
+
+    /// The running example of Section 2.4: βt = f3→f1 ∧ f3→f2 expanded
+    /// three times onto the flags of `{FOO.ff : b.fb, c.fc}`.
+    #[test]
+    fn cond_example_duplicates_flow_per_flag_column() {
+        // Flags 0,1,2 are f1,f2,f3 of the type variable `a`.
+        let mut beta = Cnf::top();
+        beta.imply(p(2), p(0)); // f3 → f1
+        beta.imply(p(2), p(1)); // f3 → f2
+        // Columns: f_f^i = 3,4,5; f_b^i = 6,7,8; f_c^i = 9,10,11.
+        beta.expand(&[Flag(0), Flag(1), Flag(2)], &[p(3), p(4), p(5)]);
+        beta.expand(&[Flag(0), Flag(1), Flag(2)], &[p(6), p(7), p(8)]);
+        beta.expand(&[Flag(0), Flag(1), Flag(2)], &[p(9), p(10), p(11)]);
+        let mut expect = Cnf::top();
+        for (a, b, c) in [(0, 1, 2), (3, 4, 5), (6, 7, 8), (9, 10, 11)] {
+            expect.imply(p(c), p(a));
+            expect.imply(p(c), p(b));
+        }
+        assert!(beta.equivalent(&expect));
+    }
+
+    /// Example 3: expanding the identity's flow βid = fo → fi onto the
+    /// flags of `b→b` uses negated targets for the contra-variant column.
+    #[test]
+    fn identity_example_contravariant_expansion() {
+        let mut flags = FlagAlloc::new();
+        let fi = flags.fresh(); // f_i = 0
+        let fo = flags.fresh(); // f_o = 1
+        let f1 = flags.fresh(); // 2
+        let f2 = flags.fresh(); // 3
+        let f3 = flags.fresh(); // 4
+        let f4 = flags.fresh(); // 5
+        let mut beta = Cnf::top();
+        beta.imply(Lit::pos(fo), Lit::pos(fi)); // fo → fi
+        // *ti+ = ⟨¬f1, f2⟩ and *to+ = ⟨¬f3, f4⟩.
+        beta.expand(&[fi, fo], &[Lit::neg(f1), Lit::neg(f3)]);
+        beta.expand(&[fi, fo], &[Lit::pos(f2), Lit::pos(f4)]);
+        // Expected: βid ∧ f4→f2 ∧ f1→f3 (per Example 3).
+        let mut expect = Cnf::top();
+        expect.imply(Lit::pos(fo), Lit::pos(fi));
+        expect.imply(Lit::pos(f4), Lit::pos(f2));
+        expect.imply(Lit::pos(f1), Lit::pos(f3));
+        assert!(beta.equivalent(&expect));
+    }
+
+    #[test]
+    fn untouched_clauses_are_not_duplicated() {
+        let mut beta = Cnf::top();
+        beta.imply(p(0), p(1));
+        beta.imply(p(5), p(6)); // does not mention expanded flags
+        beta.expand(&[Flag(0), Flag(1)], &[p(2), p(3)]);
+        let mut expect = Cnf::top();
+        expect.imply(p(0), p(1));
+        expect.imply(p(2), p(3));
+        expect.imply(p(5), p(6));
+        assert!(beta.equivalent(&expect));
+        // And exactly one copy was made.
+        assert_eq!(beta.len(), 3);
+    }
+
+    #[test]
+    fn expansion_on_empty_source_is_identity() {
+        let mut beta = Cnf::top();
+        beta.imply(p(0), p(1));
+        let before = beta.clone();
+        beta.expand(&[], &[]);
+        assert_eq!(beta.clauses(), before.clauses());
+    }
+
+    /// The Section 6 stale-flag pitfall, reproduced as documentation: a
+    /// clause `fc ↔ fa` with stale `fc` makes the copy `fa'` equal to `fa`.
+    #[test]
+    fn stale_flag_aliases_copies_as_described_in_section_6() {
+        let fa = Flag(0);
+        let fb = Flag(1);
+        let fc = Flag(2); // stale
+        let fa2 = Flag(3);
+        let fb2 = Flag(4);
+        let mut beta = Cnf::top();
+        beta.imply(Lit::pos(fa), Lit::pos(fb));
+        beta.iff(Lit::pos(fc), Lit::pos(fa));
+        beta.expand(&[fa, fb], &[Lit::pos(fa2), Lit::pos(fb2)]);
+        // The buggy outcome: fa ↔ fc ↔ fa2, so asserting fa forces fa2.
+        let mut q = beta.clone();
+        q.assert_lit(Lit::pos(fa));
+        q.assert_lit(Lit::neg(fa2));
+        assert!(!q.is_sat(), "stale flag must alias the copy (documented bug)");
+        // Projecting the stale flag out *before* expanding avoids it.
+        let mut clean = Cnf::top();
+        clean.imply(Lit::pos(fa), Lit::pos(fb));
+        clean.iff(Lit::pos(fc), Lit::pos(fa));
+        clean.project_out(&[fc].into_iter().collect());
+        clean.expand(&[fa, fb], &[Lit::pos(fa2), Lit::pos(fb2)]);
+        let mut q = clean.clone();
+        q.assert_lit(Lit::pos(fa));
+        q.assert_lit(Lit::neg(fa2));
+        assert!(q.is_sat(), "after projection the copy is independent");
+    }
+}

@@ -1,0 +1,195 @@
+//! Existential projection (quantifier elimination) by resolution.
+
+use crate::clause::Clause;
+use crate::cnf::Cnf;
+use crate::lit::{Flag, FlagSet, Lit};
+
+impl Cnf {
+    /// Existentially projects the given flags out of the function:
+    /// computes a CNF equivalent to `∃ dead . β` mentioning none of the
+    /// `dead` flags.
+    ///
+    /// The paper relies on Boolean functions being "closed under projection
+    /// onto a subset of variables" so that the flow inferred inside a
+    /// function body can be narrowed to the flags of its type without
+    /// losing precision, and notes (Section 6) that stale flags *must* be
+    /// removed for the correctness of expansion.
+    ///
+    /// Implemented by Davis–Putnam variable elimination: for each dead
+    /// flag `f`, all resolvents of clauses containing `f` with clauses
+    /// containing `¬f` replace those clauses. This matches the paper's
+    /// resolution-based implementation (quadratic worst case); tautological
+    /// resolvents are dropped and the result is subsumption-reduced to keep
+    /// it small.
+    pub fn project_out(&mut self, dead: &FlagSet) {
+        if dead.is_empty() {
+            return;
+        }
+        // Eliminate cheapest flags first (fewest occurrences) to curb
+        // intermediate growth. A static greedy order computed once is
+        // sufficient in practice: the formulas the inference produces are
+        // implication-dominated and do not blow up.
+        let mut counts: std::collections::HashMap<Flag, usize> = std::collections::HashMap::new();
+        for c in self.clauses() {
+            for l in c.lits() {
+                *counts.entry(l.flag()).or_insert(0) += 1;
+            }
+        }
+        let mut order: Vec<Flag> = dead.iter().copied().collect();
+        order.sort_by_key(|f| counts.get(f).copied().unwrap_or(0));
+        for f in order {
+            self.eliminate(f);
+        }
+        self.subsume();
+    }
+
+    /// Projects onto the complement: keeps only the `live` flags,
+    /// eliminating every other mentioned flag.
+    pub fn project_onto(&mut self, live: &FlagSet) {
+        let dead: FlagSet = self.flags().difference(live).copied().collect();
+        self.project_out(&dead);
+    }
+
+    /// Eliminates every mentioned flag for which `keep` returns false.
+    /// Like [`Cnf::project_onto`] but with a membership predicate, so the
+    /// caller never has to materialise the (possibly large) live set.
+    pub fn project_unless(&mut self, keep: impl Fn(Flag) -> bool) {
+        let dead: FlagSet = self.flags().into_iter().filter(|&f| !keep(f)).collect();
+        self.project_out(&dead);
+    }
+
+    /// Eliminates a single flag by resolution.
+    fn eliminate(&mut self, f: Flag) {
+        let pos_lit = Lit::pos(f);
+        let neg_lit = Lit::neg(f);
+        let mut pos: Vec<Clause> = Vec::new();
+        let mut neg: Vec<Clause> = Vec::new();
+        let mut rest: Vec<Clause> = Vec::new();
+        for c in std::mem::take(&mut self.clauses) {
+            if c.contains(pos_lit) {
+                pos.push(c);
+            } else if c.contains(neg_lit) {
+                neg.push(c);
+            } else {
+                rest.push(c);
+            }
+        }
+        for p in &pos {
+            for n in &neg {
+                if let Some(r) = p.resolve(n, pos_lit) {
+                    rest.push(r);
+                }
+            }
+        }
+        self.clauses = rest;
+        self.normalized = false;
+        self.normalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> Lit {
+        Lit::pos(Flag(i))
+    }
+    fn n(i: u32) -> Lit {
+        Lit::neg(Flag(i))
+    }
+    fn set(flags: &[u32]) -> FlagSet {
+        flags.iter().map(|&i| Flag(i)).collect()
+    }
+
+    #[test]
+    fn projection_keeps_transitive_implication() {
+        // ∃f1 . (f0 → f1) ∧ (f1 → f2) ≡ f0 → f2.
+        let mut b = Cnf::top();
+        b.imply(p(0), p(1));
+        b.imply(p(1), p(2));
+        b.project_out(&set(&[1]));
+        let mut expect = Cnf::top();
+        expect.imply(p(0), p(2));
+        assert!(b.equivalent(&expect));
+        assert!(!b.mentions(Flag(1)));
+    }
+
+    #[test]
+    fn projection_of_unconstrained_flag_is_identity() {
+        let mut b = Cnf::top();
+        b.imply(p(0), p(2));
+        let before = b.clone();
+        b.project_out(&set(&[7]));
+        assert!(b.equivalent(&before));
+    }
+
+    #[test]
+    fn projection_preserves_satisfiability() {
+        // ∃f . (f) ∧ (¬f) is unsat.
+        let mut b = Cnf::top();
+        b.assert_lit(p(0));
+        b.assert_lit(n(0));
+        b.project_out(&set(&[0]));
+        assert!(!b.is_sat());
+
+        // ∃f . (f ∨ g) is true (no constraint on g).
+        let mut b = Cnf::top();
+        b.add_lits(vec![p(0), p(1)]);
+        b.project_out(&set(&[0]));
+        assert!(b.is_top());
+    }
+
+    #[test]
+    fn project_onto_keeps_only_live() {
+        let mut b = Cnf::top();
+        b.imply(p(0), p(1));
+        b.imply(p(1), p(2));
+        b.imply(p(2), p(3));
+        b.project_onto(&set(&[0, 3]));
+        let mut expect = Cnf::top();
+        expect.imply(p(0), p(3));
+        assert!(b.equivalent(&expect));
+    }
+
+    /// Model-theoretic check: models of ∃f.β over the remaining universe
+    /// are exactly the restrictions of β's models.
+    #[test]
+    fn projection_matches_model_semantics() {
+        let mut b = Cnf::top();
+        b.add_lits(vec![p(0), p(1), n(2)]);
+        b.add_lits(vec![n(0), p(2)]);
+        b.iff(p(1), p(2));
+        let universe = [Flag(0), Flag(1), Flag(2)];
+        let full = b.models(&universe);
+        let mut projected = b.clone();
+        projected.project_out(&set(&[1]));
+        let got = projected.models(&[Flag(0), Flag(2)]);
+        let mut expect: Vec<_> = full
+            .into_iter()
+            .map(|m| {
+                m.into_iter()
+                    .filter(|f| *f != Flag(1))
+                    .collect::<std::collections::BTreeSet<_>>()
+            })
+            .collect();
+        expect.sort();
+        expect.dedup();
+        let mut got = got;
+        got.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn equivalence_chain_projection_is_compact() {
+        // A long chain of bi-implications projects to a single one.
+        let mut b = Cnf::top();
+        for i in 0..10 {
+            b.iff(p(i), p(i + 1));
+        }
+        b.project_onto(&set(&[0, 10]));
+        let mut expect = Cnf::top();
+        expect.iff(p(0), p(10));
+        assert!(b.equivalent(&expect));
+        assert!(b.len() <= 2, "subsumption keeps the projection small");
+    }
+}

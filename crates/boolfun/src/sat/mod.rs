@@ -1,0 +1,187 @@
+//! Satisfiability solvers for the Boolean-function domain.
+//!
+//! The paper classifies record operations by the class of Boolean formulas
+//! their inference rules generate:
+//!
+//! * select / update / removal / renaming → two-variable Horn clauses,
+//!   decidable in linear time by a **2-SAT** solver ([`twosat`]);
+//! * asymmetric record concatenation → multi-variable Horn clauses,
+//!   decidable in linear time by a **Horn-SAT** solver ([`horn`]);
+//! * symmetric concatenation and `when N in x` conditionals → general CNF,
+//!   requiring a full **SAT** solver ([`cdcl`]).
+//!
+//! [`solve`] dispatches on [`crate::classify`] so each program pays only
+//! for the operations it uses.
+
+pub mod cdcl;
+pub mod horn;
+pub mod twosat;
+
+use std::collections::BTreeMap;
+
+use crate::classify::{classify, SatClass};
+use crate::cnf::Cnf;
+use crate::lit::{Flag, Lit};
+
+/// A satisfying assignment over the flags mentioned by a formula.
+/// Unmentioned flags are unconstrained.
+pub type Model = BTreeMap<Flag, bool>;
+
+/// Result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula is satisfiable; a model over the mentioned flags.
+    Sat(Model),
+    /// The formula is unsatisfiable. The payload is a best-effort
+    /// explanation: a chain of literals that are successively forced,
+    /// ending in a contradiction. The 2-SAT and Horn solvers produce the
+    /// full implication path (this is what turns "unsatisfiable" into the
+    /// paper's "path from an empty record to a field access" error
+    /// message); the CDCL solver returns an empty chain.
+    Unsat(Vec<Lit>),
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat(_) => None,
+        }
+    }
+
+    /// The conflict chain, if unsatisfiable.
+    pub fn conflict(&self) -> Option<&[Lit]> {
+        match self {
+            SatResult::Sat(_) => None,
+            SatResult::Unsat(chain) => Some(chain),
+        }
+    }
+}
+
+/// Decides satisfiability of `cnf`, dispatching to the cheapest solver
+/// that is complete for its clause shape.
+pub fn solve(cnf: &Cnf) -> SatResult {
+    match classify(cnf) {
+        SatClass::Trivial => SatResult::Sat(Model::new()),
+        SatClass::Unsat => SatResult::Unsat(Vec::new()),
+        SatClass::TwoSat => twosat::solve(cnf),
+        SatClass::Horn => horn::solve(cnf),
+        SatClass::DualHorn => horn::solve_dual(cnf),
+        SatClass::General => cdcl::solve(cnf),
+    }
+}
+
+/// Solver selection for benchmarking individual engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Linear-time 2-SAT via strongly connected components.
+    TwoSat,
+    /// Linear-time Horn-SAT via positive unit propagation.
+    Horn,
+    /// Conflict-driven clause learning for general CNF.
+    Cdcl,
+    /// Class-based dispatch (the default).
+    Auto,
+}
+
+/// Decides satisfiability with an explicitly chosen engine.
+///
+/// # Panics
+///
+/// Panics if the formula is outside the engine's complete fragment
+/// (e.g. a 3-literal clause given to [`Engine::TwoSat`]).
+pub fn solve_with(engine: Engine, cnf: &Cnf) -> SatResult {
+    match engine {
+        Engine::TwoSat => twosat::solve(cnf),
+        Engine::Horn => horn::solve(cnf),
+        Engine::Cdcl => cdcl::solve(cnf),
+        Engine::Auto => solve(cnf),
+    }
+}
+
+/// Verifies that a model satisfies the formula (test helper).
+pub fn check_model(cnf: &Cnf, model: &Model) -> bool {
+    cnf.clauses().iter().all(|c| {
+        c.lits()
+            .iter()
+            .any(|l| model.get(&l.flag()).copied().unwrap_or(false) != l.is_neg())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> Lit {
+        Lit::pos(Flag(i))
+    }
+    fn n(i: u32) -> Lit {
+        Lit::neg(Flag(i))
+    }
+
+    /// All engines agree with brute force on random small formulas.
+    #[test]
+    fn engines_agree_with_brute_force() {
+        // Deterministic pseudo-random generator (LCG) to avoid an extra dep.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut rand = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _case in 0..300 {
+            let nflags = 1 + rand(6) as u32;
+            let nclauses = rand(12) as usize;
+            let mut cnf = Cnf::top();
+            for _ in 0..nclauses {
+                let len = 1 + rand(3) as usize;
+                let mut lits = Vec::new();
+                for _ in 0..len {
+                    let f = Flag(rand(nflags as u64) as u32);
+                    lits.push(if rand(2) == 0 { Lit::pos(f) } else { Lit::neg(f) });
+                }
+                cnf.add_lits(lits);
+            }
+            let universe: Vec<Flag> = (0..nflags).map(Flag).collect();
+            let brute_sat = !cnf.models(&universe).is_empty();
+            let auto = solve(&cnf);
+            assert_eq!(auto.is_sat(), brute_sat, "auto dispatch wrong on {cnf:?}");
+            if let SatResult::Sat(m) = &auto {
+                assert!(check_model(&cnf, m), "bad model for {cnf:?}: {m:?}");
+            }
+            let cdcl = cdcl::solve(&cnf);
+            assert_eq!(cdcl.is_sat(), brute_sat, "cdcl wrong on {cnf:?}");
+        }
+    }
+
+    #[test]
+    fn dispatch_handles_each_class() {
+        // 2-SAT shaped.
+        let mut two = Cnf::top();
+        two.imply(p(0), p(1));
+        two.assert_lit(p(0));
+        assert!(solve(&two).is_sat());
+
+        // Horn shaped (3-literal clause, one positive).
+        let mut horn = Cnf::top();
+        horn.add_lits(vec![n(0), n(1), p(2)]);
+        horn.assert_lit(p(0));
+        horn.assert_lit(p(1));
+        horn.assert_lit(n(2));
+        assert!(!solve(&horn).is_sat());
+
+        // General (two positive literals in a 3-clause plus pigeonhole-ish
+        // constraints).
+        let mut gen = Cnf::top();
+        gen.add_lits(vec![p(0), p(1), p(2)]);
+        gen.add_lits(vec![n(0), n(1)]);
+        gen.add_lits(vec![n(1), n(2)]);
+        gen.add_lits(vec![n(0), n(2)]);
+        assert!(solve(&gen).is_sat());
+    }
+}

@@ -1,0 +1,296 @@
+//! Linear-time 2-SAT via strongly connected components.
+//!
+//! The inference rules for the core record operations (empty record,
+//! select, update) generate only atoms and two-variable Horn clauses, so
+//! satisfiability of the resulting Boolean function is a 2-SAT instance
+//! decidable in linear time (Aspvall–Plass–Tarjan). Beyond the verdict,
+//! this solver extracts the *implication path* witnessing a contradiction,
+//! which the type checker turns into the "path from an empty record to a
+//! field access" diagnostic promised by the paper's Observation 1.
+
+use std::collections::BTreeMap;
+
+use crate::cnf::Cnf;
+use crate::lit::{Flag, Lit};
+use crate::sat::{Model, SatResult};
+
+/// Decides a 2-SAT instance.
+///
+/// Flags are remapped to a dense index first, so the cost is proportional
+/// to the formula, not to the global flag space (inference sessions
+/// allocate flags monotonically, so late formulas mention late flags).
+///
+/// # Panics
+///
+/// Panics if any clause has more than two literals; callers must dispatch
+/// through [`crate::classify`] or guarantee the shape.
+pub fn solve(cnf: &Cnf) -> SatResult {
+    let graph = match ImplicationGraph::build(cnf) {
+        Ok(g) => g,
+        Err(unsat) => return unsat,
+    };
+    let comp = graph.tarjan();
+    // Unsat iff some flag and its negation share a component.
+    for flag_idx in 0..graph.nflags {
+        let f = graph.flags[flag_idx];
+        let (pc, nc) = (comp[graph.code(Lit::pos(f))], comp[graph.code(Lit::neg(f))]);
+        if pc == nc {
+            let chain = graph.contradiction_chain(f, &comp);
+            return SatResult::Unsat(chain);
+        }
+    }
+    // Model: l true iff comp[l] < comp[¬l] (components numbered in
+    // completion order, sinks first).
+    let mut model = Model::new();
+    for flag_idx in 0..graph.nflags {
+        let f = graph.flags[flag_idx];
+        model.insert(
+            f,
+            comp[graph.code(Lit::pos(f))] < comp[graph.code(Lit::neg(f))],
+        );
+    }
+    SatResult::Sat(model)
+}
+
+struct ImplicationGraph {
+    nflags: usize,
+    /// Dense index → sparse flag.
+    flags: Vec<Flag>,
+    /// Sparse flag → dense index.
+    dense: std::collections::HashMap<Flag, usize>,
+    /// Adjacency: edges[dense lit code] = successors (sparse literals).
+    edges: Vec<Vec<Lit>>,
+}
+
+impl ImplicationGraph {
+    /// Dense code of a (sparse) literal.
+    fn code(&self, l: Lit) -> usize {
+        self.dense[&l.flag()] << 1 | l.is_neg() as usize
+    }
+
+    /// Builds the implication graph; returns `Err` for an immediate
+    /// contradiction (empty clause).
+    fn build(cnf: &Cnf) -> Result<ImplicationGraph, SatResult> {
+        let flags: Vec<Flag> = cnf.flags().into_iter().collect();
+        let dense: std::collections::HashMap<Flag, usize> =
+            flags.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let nflags = flags.len();
+        let mut g = ImplicationGraph {
+            nflags,
+            flags,
+            dense,
+            edges: vec![Vec::new(); 2 * nflags],
+        };
+        for c in cnf.clauses() {
+            match c.lits() {
+                [] => return Err(SatResult::Unsat(Vec::new())),
+                &[l] => {
+                    // Unit clause l: edge ¬l → l.
+                    let from = g.code(l.negate());
+                    g.edges[from].push(l);
+                }
+                &[a, b] => {
+                    let from_a = g.code(a.negate());
+                    g.edges[from_a].push(b);
+                    let from_b = g.code(b.negate());
+                    g.edges[from_b].push(a);
+                }
+                _ => panic!("2-SAT solver given a clause with >2 literals: {c:?}"),
+            }
+        }
+        Ok(g)
+    }
+
+    /// Iterative Tarjan SCC; returns component ids in completion order
+    /// (component 0 completes first, i.e. is a sink).
+    fn tarjan(&self) -> Vec<u32> {
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.edges.len();
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![UNVISITED; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0u32;
+        let mut next_comp = 0u32;
+        // Explicit DFS stack: (node, next child position).
+        let mut call: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != UNVISITED {
+                continue;
+            }
+            call.push((start, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            while let Some(&mut (v, ref mut child)) = call.last_mut() {
+                if *child < self.edges[v].len() {
+                    let w = self.code(self.edges[v][*child]);
+                    *child += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    /// For a flag whose literals share a component, extracts the cyclic
+    /// implication chain `f → … → ¬f → … → f` as a literal sequence.
+    fn contradiction_chain(&self, f: Flag, comp: &[u32]) -> Vec<Lit> {
+        let pos = Lit::pos(f);
+        let neg = Lit::neg(f);
+        let there = self.path_within(pos, neg, comp).unwrap_or_default();
+        let back = self.path_within(neg, pos, comp).unwrap_or_default();
+        let mut chain = there;
+        // Avoid repeating the pivot literal between the two halves.
+        chain.extend(back.into_iter().skip(1));
+        chain
+    }
+
+    /// BFS from `from` to `to` restricted to `from`'s component.
+    fn path_within(&self, from: Lit, to: Lit, comp: &[u32]) -> Option<Vec<Lit>> {
+        let cid = comp[self.code(from)];
+        let mut prev: BTreeMap<usize, Lit> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(from);
+        prev.insert(self.code(from), from);
+        while let Some(v) = queue.pop_front() {
+            if v == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = prev[&self.code(cur)];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &w in &self.edges[self.code(v)] {
+                if comp[self.code(w)] == cid && !prev.contains_key(&self.code(w)) {
+                    prev.insert(self.code(w), v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::check_model;
+
+    fn p(i: u32) -> Lit {
+        Lit::pos(Flag(i))
+    }
+    fn n(i: u32) -> Lit {
+        Lit::neg(Flag(i))
+    }
+
+    #[test]
+    fn satisfiable_chain() {
+        let mut b = Cnf::top();
+        b.imply(p(0), p(1));
+        b.imply(p(1), p(2));
+        b.assert_lit(p(0));
+        match solve(&b) {
+            SatResult::Sat(m) => {
+                assert!(check_model(&b, &m));
+                assert_eq!(m.get(&Flag(0)), Some(&true));
+                assert_eq!(m.get(&Flag(2)), Some(&true));
+            }
+            SatResult::Unsat(_) => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn contradiction_has_chain_through_both_polarities() {
+        // f0 → f1, f1 → ¬f0, f0: forces f0 and ¬f0.
+        let mut b = Cnf::top();
+        b.imply(p(0), p(1));
+        b.imply(p(1), n(0));
+        b.assert_lit(p(0));
+        match solve(&b) {
+            SatResult::Unsat(chain) => {
+                assert!(!chain.is_empty());
+                let flags: Vec<Flag> = chain.iter().map(|l| l.flag()).collect();
+                assert!(flags.contains(&Flag(0)));
+            }
+            SatResult::Sat(_) => panic!("should be unsat"),
+        }
+    }
+
+    #[test]
+    fn pure_negative_units_are_fine() {
+        let mut b = Cnf::top();
+        b.assert_lit(n(0));
+        b.assert_lit(n(1));
+        b.imply(p(0), p(1));
+        assert!(solve(&b).is_sat());
+    }
+
+    #[test]
+    fn two_units_conflict() {
+        let mut b = Cnf::top();
+        b.assert_lit(p(0));
+        b.assert_lit(n(0));
+        match solve(&b) {
+            SatResult::Unsat(chain) => assert!(!chain.is_empty()),
+            SatResult::Sat(_) => panic!("should be unsat"),
+        }
+    }
+
+    #[test]
+    fn long_implication_cycle_is_sat() {
+        let mut b = Cnf::top();
+        for i in 0..100 {
+            b.imply(p(i), p((i + 1) % 100));
+        }
+        assert!(solve(&b).is_sat());
+    }
+
+    #[test]
+    fn model_respects_equivalences() {
+        let mut b = Cnf::top();
+        b.iff(p(0), p(1));
+        b.iff(p(1), n(2));
+        b.assert_lit(p(2));
+        match solve(&b) {
+            SatResult::Sat(m) => {
+                assert!(check_model(&b, &m));
+                assert_eq!(m[&Flag(0)], m[&Flag(1)]);
+                assert_eq!(m[&Flag(1)], !m[&Flag(2)]);
+                assert!(m[&Flag(2)]);
+            }
+            SatResult::Unsat(_) => panic!("should be sat"),
+        }
+    }
+}

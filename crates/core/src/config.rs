@@ -1,0 +1,114 @@
+//! Inference configuration and phase statistics.
+
+use std::time::Duration;
+
+/// When to project stale flags out of the Boolean function β.
+///
+/// Section 6 of the paper notes that stale flags must be removed for the
+/// correctness of expansion ("is applied aggressively"); the safe default
+/// projects at the end of every rule that drops structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Compaction {
+    /// Project at the end of every structural rule (safe default).
+    Aggressive,
+    /// Project only after each top-level definition. Faster, but an
+    /// expansion may alias copies through a stale flag (the Section 6
+    /// bug); exposed for the ablation benchmark.
+    PerDef,
+}
+
+/// When to run the SAT check on β.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckPolicy {
+    /// After every rule that asserts a field requirement (best errors,
+    /// slowest).
+    Eager,
+    /// After each top-level definition (default).
+    PerDef,
+    /// Once, at the end of the program.
+    Final,
+}
+
+/// Which unifier backend computes most general unifiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unifier {
+    /// Idempotent substitutions composed eagerly (the paper's
+    /// presentation; default).
+    Substitution,
+    /// Lazy binding maps resolved on demand, exported as a substitution
+    /// at the end (an ablation for the Section 6 substitution-cost
+    /// observation).
+    UnionFind,
+}
+
+/// Options controlling the flow inference.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Stale-flag projection strategy.
+    pub compaction: Compaction,
+    /// Satisfiability checking strategy.
+    pub check: CheckPolicy,
+    /// Iteration bound for the Milner–Mycroft fixpoint.
+    pub max_letrec_iters: usize,
+    /// Whether to track field flows at all. With `false` the engine
+    /// reproduces the paper's "w/o fields" configuration used as the
+    /// baseline column of Fig. 9: the same traversal and unifications, but
+    /// no Boolean function is built.
+    pub track_fields: bool,
+    /// Whether the environment meet short-circuits when both sides carry
+    /// the same version tag (the Section 6 optimisation). Disabled only
+    /// by the `gci_versioning` ablation benchmark.
+    pub env_versions: bool,
+    /// Unifier backend.
+    pub unifier: Unifier,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            compaction: Compaction::Aggressive,
+            check: CheckPolicy::PerDef,
+            max_letrec_iters: 50,
+            track_fields: true,
+            env_versions: true,
+            unifier: Unifier::Substitution,
+        }
+    }
+}
+
+/// Wall-clock time spent per inference phase, mirroring the paper's
+/// Section 6 observation that "the 2-SAT solver is not the biggest
+/// bottleneck but applying substitutions is equally expensive".
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Time in unification (`mgu`).
+    pub unify: Duration,
+    /// Time applying substitutions with flow transport (`applyS`).
+    pub applys: Duration,
+    /// Time in SAT solving.
+    pub sat: Duration,
+    /// Time projecting stale flags (resolution).
+    pub project: Duration,
+    /// Number of `mgu` calls.
+    pub unify_calls: usize,
+    /// Number of `applyS` calls.
+    pub applys_calls: usize,
+    /// Number of SAT checks.
+    pub sat_calls: usize,
+    /// Peak clause count of β.
+    pub peak_clauses: usize,
+}
+
+impl Stats {
+    /// Adds another stats record into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        self.unify += other.unify;
+        self.applys += other.applys;
+        self.sat += other.sat;
+        self.project += other.project;
+        self.unify_calls += other.unify_calls;
+        self.applys_calls += other.applys_calls;
+        self.sat_calls += other.sat_calls;
+        self.peak_clauses = self.peak_clauses.max(other.peak_clauses);
+    }
+}

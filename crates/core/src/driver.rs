@@ -1,0 +1,267 @@
+//! High-level inference sessions over whole programs.
+
+use rowpoly_boolfun::{classify, Lit, SatClass};
+use rowpoly_lang::{parse_program, Diag, Expr, Program, Span, Symbol};
+use rowpoly_types::{render_scheme, Binding, Scheme, Ty, TyEnv};
+
+use crate::config::{CheckPolicy, Options, Stats};
+use crate::error::TypeError;
+use crate::flow::FlowInfer;
+
+/// Errors from a whole-session run (parsing or typing).
+#[derive(Clone, Debug)]
+pub enum SessionError {
+    /// Lexing/parsing failed.
+    Parse(Diag),
+    /// Type inference rejected the program.
+    Type(TypeError),
+}
+
+impl SessionError {
+    /// Renders the error against the source it came from.
+    pub fn render(&self, source: &str) -> String {
+        match self {
+            SessionError::Parse(d) => d.render(source),
+            SessionError::Type(e) => e.to_diag().render(source),
+        }
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Parse(d) => write!(f, "parse error: {d}"),
+            SessionError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<TypeError> for SessionError {
+    fn from(e: TypeError) -> SessionError {
+        SessionError::Type(e)
+    }
+}
+
+impl From<Diag> for SessionError {
+    fn from(d: Diag) -> SessionError {
+        SessionError::Parse(d)
+    }
+}
+
+/// The inferred scheme of one top-level definition.
+#[derive(Clone, Debug)]
+pub struct DefReport {
+    /// Definition name.
+    pub name: Symbol,
+    /// Inferred scheme (a `PR` term; flags intact).
+    pub scheme: Scheme,
+}
+
+impl DefReport {
+    /// Renders the scheme, optionally with flags.
+    pub fn render(&self, show_flags: bool) -> String {
+        render_scheme(&self.scheme, show_flags)
+    }
+
+    /// Renders the scheme together with its flow, in the paper's
+    /// `type | flow` style (e.g. `… | f3 -> f1, f4 -> f2`).
+    pub fn render_with_flow(&self) -> String {
+        rowpoly_types::render_scheme_with_flow(&self.scheme)
+    }
+}
+
+/// Result of type-checking a program.
+#[derive(Clone, Debug)]
+pub struct ProgramReport {
+    /// Per-definition schemes, in source order.
+    pub defs: Vec<DefReport>,
+    /// Phase statistics.
+    pub stats: Stats,
+    /// The hardest satisfiability class β reached during checking —
+    /// `TwoSat` for select/update programs, `Horn`/`DualHorn` when
+    /// asymmetric concatenation is used, `General` for symmetric
+    /// concatenation or `when` (Section 5's classification).
+    pub sat_class: SatClass,
+}
+
+/// An inference session: options plus entry points.
+///
+/// # Example
+///
+/// ```
+/// use rowpoly_core::Session;
+///
+/// let report = Session::default()
+///     .infer_source("def inc x = x + 1\ndef use = inc 41")?;
+/// assert_eq!(report.defs[1].render(false), "Int");
+/// # Ok::<(), rowpoly_core::SessionError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    opts: Options,
+}
+
+impl Session {
+    /// A session with the given options.
+    pub fn new(opts: Options) -> Session {
+        Session { opts }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Parses and type-checks a whole program.
+    pub fn infer_source(&self, source: &str) -> Result<ProgramReport, SessionError> {
+        let program = parse_program(source)?;
+        self.infer_program(&program).map_err(SessionError::from)
+    }
+
+    /// Type-checks a parsed program.
+    pub fn infer_program(&self, program: &Program) -> Result<ProgramReport, TypeError> {
+        let mut engine = FlowInfer::new(self.opts.clone());
+        let needed = if program.defs.is_empty() {
+            Default::default()
+        } else {
+            program.to_expr().free_vars()
+        };
+        let mut env = builtin_env(&mut engine, &needed);
+        bind_free_vars(&mut engine, &mut env, program);
+        env.freeze();
+
+        let mut defs = Vec::new();
+        let mut sat_class = SatClass::Trivial;
+        for def in &program.defs {
+            let (mut scheme, env_after) =
+                engine.infer_def(&env, def.name, &def.body, def.span)?;
+            if self.opts.check != CheckPolicy::Final {
+                engine.check_sat(def.span, None)?;
+            }
+            // Move the definition's flow into its scheme, keeping the
+            // working β proportional to one definition.
+            engine.finish_def(&mut scheme, &env_after);
+            env = env_after;
+            env.insert(def.name, Binding::Poly(scheme.clone()));
+            env.freeze();
+            defs.push(DefReport { name: def.name, scheme });
+        }
+        let final_span = program.defs.last().map(|d| d.span).unwrap_or(Span::dummy());
+        engine.check_sat(final_span, None)?;
+        sat_class = sat_class.max(classify(&engine.beta)).max(engine.worst_class);
+        Ok(ProgramReport { defs, stats: engine.stats.clone(), sat_class })
+    }
+
+    /// Parses and type-checks a single expression, returning its rendered
+    /// type.
+    pub fn infer_expr_source(&self, source: &str) -> Result<String, SessionError> {
+        let expr = rowpoly_lang::parse_expr(source)?;
+        let (ty, _) = self.infer_expr(&expr)?;
+        Ok(rowpoly_types::render_ty(&ty, false))
+    }
+
+    /// Type-checks a single expression under the built-in environment
+    /// (free variables are bound to fresh monomorphic types first).
+    pub fn infer_expr(&self, expr: &Expr) -> Result<(Ty, TyEnv), TypeError> {
+        let mut engine = FlowInfer::new(self.opts.clone());
+        let mut env = builtin_env(&mut engine, &expr.free_vars());
+        for x in expr.free_vars() {
+            if !env.contains(x) {
+                let v = engine.vars.fresh();
+                let f = engine.fresh_flag_public();
+                env.insert(x, Binding::Mono(Ty::Var(v, f)));
+            }
+        }
+        env.freeze();
+        let (ty, env1) = engine.infer(&env, expr)?;
+        engine.check_sat(expr.span, None)?;
+        Ok((ty, env1))
+    }
+}
+
+impl FlowInfer {
+    /// Allocates a flag respecting the `track_fields` option (driver
+    /// helper).
+    pub fn fresh_flag_public(&mut self) -> rowpoly_boolfun::Flag {
+        if self.tracking() {
+            self.flags.fresh()
+        } else {
+            rowpoly_types::NO_FLAG
+        }
+    }
+}
+
+/// Binds every free variable of the program to a fresh monomorphic type,
+/// so that open programs (like the paper's `some_condition`) check.
+fn bind_free_vars(engine: &mut FlowInfer, env: &mut TyEnv, program: &Program) {
+    if program.defs.is_empty() {
+        return;
+    }
+    for x in program.to_expr().free_vars() {
+        if !env.contains(x) {
+            let v = engine.vars.fresh();
+            let f = engine.fresh_flag_public();
+            env.insert(x, Binding::Mono(Ty::Var(v, f)));
+        }
+    }
+}
+
+/// The initial environment: list primitives with simple element flows.
+/// Only the primitives in `needed` are bound (and their flow clauses
+/// added), so programs that never touch lists keep β in the exact clause
+/// class their record operations generate.
+fn builtin_env(engine: &mut FlowInfer, needed: &std::collections::BTreeSet<Symbol>) -> TyEnv {
+    let mut env = TyEnv::new();
+    let flag = |e: &mut FlowInfer| e.fresh_flag_public();
+
+    if needed.contains(&Symbol::intern("null")) {
+        // null : ∀a . [a] → Int
+        let a = engine.vars.fresh();
+        let f = flag(engine);
+        let ty = Ty::fun(Ty::list(Ty::Var(a, f)), Ty::Int);
+        env.insert(Symbol::intern("null"), Binding::Poly(Scheme::new(vec![a], ty)));
+    }
+    if needed.contains(&Symbol::intern("head")) {
+        // head : ∀a . [a.f1] → a.f2 with f2 → f1 (fields of the element
+        // were in the list).
+        let a = engine.vars.fresh();
+        let f1 = flag(engine);
+        let f2 = flag(engine);
+        let ty = Ty::fun(Ty::list(Ty::Var(a, f1)), Ty::Var(a, f2));
+        if engine.tracking() {
+            engine.beta.imply(Lit::pos(f2), Lit::pos(f1));
+        }
+        env.insert(Symbol::intern("head"), Binding::Poly(Scheme::new(vec![a], ty)));
+    }
+    if needed.contains(&Symbol::intern("tail")) {
+        // tail : ∀a . [a.f1] → [a.f2] with f2 → f1.
+        let a = engine.vars.fresh();
+        let f1 = flag(engine);
+        let f2 = flag(engine);
+        let ty = Ty::fun(Ty::list(Ty::Var(a, f1)), Ty::list(Ty::Var(a, f2)));
+        if engine.tracking() {
+            engine.beta.imply(Lit::pos(f2), Lit::pos(f1));
+        }
+        env.insert(Symbol::intern("tail"), Binding::Poly(Scheme::new(vec![a], ty)));
+    }
+    if needed.contains(&Symbol::intern("cons")) {
+        // cons : ∀a . a.f1 → [a.f2] → [a.f3] with f3 → f1 ∨ f2.
+        let a = engine.vars.fresh();
+        let f1 = flag(engine);
+        let f2 = flag(engine);
+        let f3 = flag(engine);
+        let ty = Ty::fun(
+            Ty::Var(a, f1),
+            Ty::fun(Ty::list(Ty::Var(a, f2)), Ty::list(Ty::Var(a, f3))),
+        );
+        if engine.tracking() {
+            engine
+                .beta
+                .add_lits(vec![Lit::neg(f3), Lit::pos(f1), Lit::pos(f2)]);
+        }
+        env.insert(Symbol::intern("cons"), Binding::Poly(Scheme::new(vec![a], ty)));
+    }
+    env
+}

@@ -1,0 +1,1225 @@
+//! The flow inference: Fig. 3 of the paper plus the Section 5 extensions.
+//!
+//! A judgement `ρR|β ⊢ e : t; ρ'R|β'` is realised as a method
+//! `infer(&env, e) → (Ty, TyEnv)` with the Boolean function β threaded
+//! through the engine state (β only ever grows by conjunction, and shrinks
+//! by the equivalence-preserving projection of stale flags, so a single
+//! mutable β is equivalent to the paper's functional threading).
+//!
+//! ## Parallel judgements and held roots
+//!
+//! Rules with several sub-expressions ((APP), (COND), concatenation,
+//! `when`) infer each sub-expression from the *same* input environment and
+//! reconcile the resulting judgements with one `mgu` over the result types
+//! and the point-wise environment bindings, exactly as in the paper. While
+//! a sibling judgement is suspended, its flags are not reachable from the
+//! current environment, so the engine keeps a stack of *held* flag roots
+//! that stale-flag projection must treat as live.
+//!
+//! ## `when` branches
+//!
+//! Fig. 8's rule types each branch under `β ∧ ff` (resp. `¬ff`). The
+//! engine infers a branch against a snapshot of β and afterwards guards
+//! every clause the branch added with the negated guard literal, which is
+//! the clausal form of implication from the guard; this is what makes
+//! `when` require a general SAT solver.
+
+use rowpoly_boolfun::{Cnf, Flag, FlagAlloc, FlagSet, Lit, SatResult};
+use rowpoly_lang::{BinOp, Expr, ExprKind, FieldName, Span, Symbol};
+use rowpoly_types::{
+    apply_subst_flow, flag_lits, generalize, instantiate, mgu, Binding,
+    FieldEntry, RowTail, Scheme, Subst, Ty, TyEnv, Var, VarAlloc, NO_FLAG,
+};
+use std::time::Instant;
+
+use crate::config::{CheckPolicy, Compaction, Options, Stats};
+use crate::error::{FlagOrigin, Provenance, TypeError, TypeErrorKind};
+
+/// Result alias for inference steps.
+pub type Infer<T> = Result<T, TypeError>;
+
+/// The flow-inference engine.
+///
+/// One engine instance corresponds to one inference session: it owns the
+/// variable and flag allocators, the global Boolean function β, flag
+/// provenance for error reporting, and phase statistics.
+pub struct FlowInfer {
+    /// Type-variable allocator.
+    pub vars: VarAlloc,
+    /// Flag allocator.
+    pub flags: FlagAlloc,
+    /// The Boolean function β describing field existence.
+    pub beta: Cnf,
+    /// Where each rule-created flag came from.
+    pub prov: Provenance,
+    /// Phase timing statistics.
+    pub stats: Stats,
+    opts: Options,
+    /// Flags of suspended sibling judgements (kept live by projection).
+    held: Vec<Vec<Flag>>,
+    /// Flags that have been dropped from some structure and await
+    /// projection once no live structure mentions them.
+    pending_dead: FlagSet,
+    /// The hardest satisfiability class β has reached so far (projection
+    /// can simplify formulas back down, so this is sampled before each
+    /// projection and each SAT check).
+    pub worst_class: rowpoly_boolfun::SatClass,
+}
+
+impl FlowInfer {
+    /// Creates an engine with the given options.
+    pub fn new(opts: Options) -> FlowInfer {
+        FlowInfer {
+            vars: VarAlloc::new(),
+            flags: FlagAlloc::new(),
+            beta: Cnf::top(),
+            prov: Provenance::default(),
+            stats: Stats::default(),
+            opts,
+            held: Vec::new(),
+            pending_dead: FlagSet::new(),
+            worst_class: rowpoly_boolfun::SatClass::Trivial,
+        }
+    }
+
+    /// Samples β's current clause class into [`Self::worst_class`].
+    fn note_class(&mut self) {
+        let c = rowpoly_boolfun::classify(&self.beta);
+        if c > self.worst_class {
+            self.worst_class = c;
+        }
+    }
+
+    /// Whether field flows are tracked (Fig. 9's "w. fields" column).
+    pub fn tracking(&self) -> bool {
+        self.opts.track_fields
+    }
+
+    /// A fresh flag, or `NO_FLAG` when flows are disabled.
+    fn flag(&mut self) -> Flag {
+        if self.opts.track_fields {
+            self.flags.fresh()
+        } else {
+            NO_FLAG
+        }
+    }
+
+    /// A fresh flagged type variable.
+    fn fresh_var(&mut self) -> Ty {
+        let v = self.vars.fresh();
+        let f = self.flag();
+        Ty::Var(v, f)
+    }
+
+    /// `⇑RP(⇓RP(t))` — fresh decoration (identity in skeleton mode).
+    fn decorate(&mut self, t: &Ty) -> Ty {
+        if self.opts.track_fields {
+            t.decorate(&mut self.flags)
+        } else {
+            t.clone()
+        }
+    }
+
+    /// Timed `mgu` wrapper mapping unification failures to located errors.
+    fn mgu(&mut self, pairs: Vec<(Ty, Ty)>, span: Span) -> Infer<Subst> {
+        let start = Instant::now();
+        let r = match self.opts.unifier {
+            crate::config::Unifier::Substitution => mgu(pairs, &mut self.vars),
+            crate::config::Unifier::UnionFind => {
+                rowpoly_types::mgu_uf(pairs, &mut self.vars)
+            }
+        };
+        self.stats.unify += start.elapsed();
+        self.stats.unify_calls += 1;
+        r.map_err(|e| TypeError::new(TypeErrorKind::Unify(e), span))
+    }
+
+    /// Timed `applyS` wrapper (plain substitution in skeleton mode).
+    ///
+    /// Occurrence flags replaced in the κ type are exclusive to this
+    /// judgement and projected immediately; flags replaced in environment
+    /// bindings may still occur in sibling clones of the environment, so
+    /// they join the pending-dead pool and are projected by [`Self::compact`]
+    /// once no live structure mentions them.
+    fn apply_flow(&mut self, subst: &Subst, kappa: &mut Ty, env: &mut TyEnv) {
+        let start = Instant::now();
+        if self.opts.track_fields {
+            let replaced =
+                apply_subst_flow(subst, kappa, env, &mut self.beta, &mut self.flags);
+            if !replaced.kappa.is_empty() {
+                let dead: FlagSet = replaced.kappa.iter().copied().collect();
+                self.beta.project_out(&dead);
+            }
+            self.pending_dead.extend(replaced.env);
+        } else {
+            *kappa = subst.apply(kappa);
+            env.apply_subst(subst);
+        }
+        self.stats.applys += start.elapsed();
+        self.stats.applys_calls += 1;
+        self.stats.peak_clauses = self.stats.peak_clauses.max(self.beta.len());
+    }
+
+    /// Marks the flags of a dropped structure as candidates for
+    /// projection. [`Self::compact`] filters out any that are still live.
+    fn register_dead_ty(&mut self, t: &Ty) {
+        if self.opts.track_fields {
+            self.pending_dead.extend(t.flags());
+        }
+    }
+
+    /// Marks the flags of `dropped`'s local bindings that differ from
+    /// `kept`'s view of the same name (bindings equal on both sides share
+    /// their flags with the kept environment and stay live).
+    fn register_dead_env_diff(&mut self, dropped: &TyEnv, kept: &TyEnv) {
+        if !self.opts.track_fields {
+            return;
+        }
+        for (name, b) in dropped.iter_local() {
+            if kept.get(name) != Some(b) {
+                self.pending_dead.extend(b.ty().flags());
+            }
+        }
+    }
+
+    /// Boolean bi-implications between the flag sequences of two
+    /// environments (`*ρ1+X ⇔ *ρ2+X`), restricted to bindings that
+    /// actually differ — equal bindings share their flags, so their
+    /// equations are tautologies.
+    fn equate_envs(&mut self, a: &TyEnv, b: &TyEnv) {
+        if !self.opts.track_fields || a.same(b) {
+            return;
+        }
+        debug_assert!(a.same_global(b), "meets stay within one definition");
+        let keys: std::collections::BTreeSet<Symbol> = a
+            .iter_local()
+            .map(|(s, _)| s)
+            .chain(b.iter_local().map(|(s, _)| s))
+            .collect();
+        for k in keys {
+            let (Some(ba), Some(bb)) = (a.get(k), b.get(k)) else {
+                unreachable!("environment domains diverged at `{k}`")
+            };
+            if ba != bb {
+                self.beta.iff_seq(&flag_lits(ba.ty()), &flag_lits(bb.ty()));
+            }
+        }
+    }
+
+    /// Runs `body` with extra flag roots held live.
+    fn with_held<R>(
+        &mut self,
+        roots: impl IntoIterator<Item = Flag>,
+        body: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        self.held.push(roots.into_iter().collect());
+        let r = body(self);
+        self.held.pop();
+        r
+    }
+
+    /// Runs `body` with β forked to `base`, restoring the current β
+    /// afterwards and returning the fork's final β alongside the result.
+    ///
+    /// The paper's rules with two premises thread *separate* Boolean
+    /// functions β1 and β2 (both starting from the incoming β) through the
+    /// two sub-judgements and conjoin β1σ ∧ β2σ in the conclusion. This is
+    /// not merely stylistic: expansion duplicates every clause mentioning
+    /// a replaced occurrence flag, so if the second judgement's `applyS`
+    /// ran on top of the first's output it would re-copy the first's
+    /// per-column copies, manufacturing spurious cross-position
+    /// implications (e.g. tying a field's existence to its record's tail).
+    fn with_forked_beta<R>(
+        &mut self,
+        base: Cnf,
+        body: impl FnOnce(&mut Self) -> R,
+    ) -> (R, Cnf) {
+        let saved = std::mem::replace(&mut self.beta, base);
+        let r = body(self);
+        let fork = std::mem::replace(&mut self.beta, saved);
+        (r, fork)
+    }
+
+    /// Conjoins a forked β back into the current one (`β1σ ∧ β2σ`).
+    fn merge_beta(&mut self, fork: Cnf) {
+        self.beta.and(&fork);
+        self.beta.normalize();
+    }
+
+    /// Flags of a judgement's own structures: its type plus the local
+    /// layer of its environment. (Global-layer flags are protected
+    /// wholesale by the cached global flag set, so they never need to be
+    /// held explicitly.)
+    fn judgement_flags(ty: &Ty, env: &TyEnv) -> Vec<Flag> {
+        let mut fs = ty.flags();
+        fs.extend(env.local_flags());
+        fs
+    }
+
+    /// Projects the pending-dead flags that are no longer mentioned by
+    /// any live structure (the current judgement, the held sibling roots,
+    /// or the frozen global layer) out of β. Called at the end of every
+    /// structural rule; cost is proportional to the pending pool and the
+    /// judgement's *local* size, never to the whole program.
+    fn compact(&mut self, env: &TyEnv, ty: &Ty) {
+        if !self.opts.track_fields
+            || self.opts.compaction != Compaction::Aggressive
+            || self.pending_dead.is_empty()
+        {
+            return;
+        }
+        self.note_class();
+        let start = Instant::now();
+        let mut keep: std::collections::HashSet<Flag> = ty.flags().into_iter().collect();
+        keep.extend(env.local_flags());
+        for roots in &self.held {
+            keep.extend(roots.iter().copied());
+        }
+        let global = env.global_flags();
+        // Only flags β actually mentions need projecting. Entries stay in
+        // the pending pool until the per-definition cleanup: a sibling β
+        // fork may still hold clauses over a flag that was already
+        // projected from this fork, and the merge would re-introduce them.
+        let mentioned = self.beta.flags();
+        let dead: FlagSet = self
+            .pending_dead
+            .iter()
+            .copied()
+            .filter(|f| {
+                mentioned.contains(f) && !keep.contains(f) && !global.contains(f)
+            })
+            .collect();
+        if !dead.is_empty() {
+            self.beta.project_out(&dead);
+        }
+        self.stats.project += start.elapsed();
+    }
+
+    /// Finishes a top-level definition: projects β onto the live flags,
+    /// moves the clauses over the scheme's flags into the scheme's stored
+    /// flow (replaced in the working β by their projection onto the
+    /// remaining flags, so no information about still-live flags is
+    /// lost), and clears the pending-dead pool. This keeps the working β
+    /// proportional to one definition instead of the whole program — the
+    /// paper's per-function flow projection.
+    ///
+    /// Call *before* inserting the scheme into the environment.
+    pub fn finish_def(&mut self, scheme: &mut Scheme, env: &TyEnv) {
+        if !self.opts.track_fields {
+            return;
+        }
+        self.note_class();
+        let start = Instant::now();
+        let scheme_flags: FlagSet = scheme.ty.flags().into_iter().collect();
+        let locals: std::collections::HashSet<Flag> =
+            env.local_flags().into_iter().collect();
+        {
+            let global = env.global_flags();
+            self.beta.project_unless(|f| {
+                global.contains(&f) || locals.contains(&f) || scheme_flags.contains(&f)
+            });
+        }
+        let (flow, rest) = self.beta.split_mentioning(&scheme_flags);
+        // The working β keeps what the flow clauses say about *other*
+        // (still-live) flags.
+        let mut residue = flow.clone();
+        residue.project_unless(|f| !scheme_flags.contains(&f));
+        self.beta = rest;
+        self.beta.and(&residue);
+        self.beta.normalize();
+        scheme.flow = flow;
+        self.pending_dead.clear();
+        self.stats.project += start.elapsed();
+    }
+
+    /// Projects β onto the frozen global layer — the definitive cleanup
+    /// between top-level definitions (and the only projection in `PerDef`
+    /// mode). The caller must have frozen the environment first.
+    pub fn compact_per_def(&mut self, env: &TyEnv) {
+        if !self.opts.track_fields {
+            return;
+        }
+        let start = Instant::now();
+        let locals: std::collections::HashSet<Flag> =
+            env.local_flags().into_iter().collect();
+        let global = env.global_flags();
+        self.beta
+            .project_unless(|f| global.contains(&f) || locals.contains(&f));
+        self.pending_dead.clear();
+        self.stats.project += start.elapsed();
+    }
+
+    /// Satisfiability check; maps a conflict to a located, explained
+    /// error.
+    pub fn check_sat(&mut self, span: Span, field: Option<FieldName>) -> Infer<()> {
+        if !self.opts.track_fields {
+            return Ok(());
+        }
+        self.note_class();
+        let start = Instant::now();
+        let result = self.beta.solve();
+        self.stats.sat += start.elapsed();
+        self.stats.sat_calls += 1;
+        match result {
+            SatResult::Sat(_) => Ok(()),
+            SatResult::Unsat(chain) => {
+                // Identify the offending field from the conflict chain.
+                let field = field.or_else(|| {
+                    chain.iter().find_map(|l| match self.prov.get(l.flag()) {
+                        Some((_, FlagOrigin::FieldSelected(n))) => Some(*n),
+                        _ => None,
+                    })
+                });
+                let mut err =
+                    TypeError::new(TypeErrorKind::FieldMissing { field }, span);
+                err.notes = self.prov.explain(&chain);
+                Err(err)
+            }
+        }
+    }
+
+    fn check_eager(&mut self, span: Span, field: Option<FieldName>) -> Infer<()> {
+        if self.opts.check == CheckPolicy::Eager {
+            self.check_sat(span, field)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Point-wise environment equations for a judgement meet, honouring
+    /// the version-tag shortcut unless disabled for ablation.
+    fn env_pairs(&self, a: &TyEnv, b: &TyEnv) -> Vec<(Ty, Ty)> {
+        env_pairs_opt(a, b, self.opts.env_versions)
+    }
+
+    /// Infers `e` under `env`: the judgement `ρ|β ⊢ e : t; ρ'|β'`.
+    pub fn infer(&mut self, env: &TyEnv, e: &Expr) -> Infer<(Ty, TyEnv)> {
+        match &e.kind {
+            ExprKind::Var(x) => self.rule_var(env, *x, e.span),
+            ExprKind::Int(_) => Ok((Ty::Int, env.clone())),
+            ExprKind::Str(_) => Ok((Ty::Str, env.clone())),
+            ExprKind::Lam(x, body) => self.rule_lam(env, *x, body, e.span),
+            ExprKind::App(f, a) => self.rule_app(env, f, a, e.span),
+            ExprKind::Let { name, bound, body } => {
+                self.rule_let(env, *name, bound, body, e.span)
+            }
+            ExprKind::If(c, t, f) => self.rule_cond(env, c, t, f, e.span),
+            ExprKind::Empty => self.rule_empty(env, e.span),
+            ExprKind::Select(n) => self.rule_select(env, *n, e.span),
+            ExprKind::Update(n, v) => self.rule_update(env, *n, v, e.span),
+            ExprKind::Remove(n) => self.rule_remove(env, *n, e.span),
+            ExprKind::Rename(m, n) => self.rule_rename(env, *m, *n, e.span),
+            ExprKind::Concat(a, b) => self.rule_concat(env, a, b, false, e.span),
+            ExprKind::SymConcat(a, b) => self.rule_concat(env, a, b, true, e.span),
+            ExprKind::When { field, subject, then_branch, else_branch } => {
+                self.rule_when(env, *field, *subject, then_branch, else_branch, e.span)
+            }
+            ExprKind::List(items) => self.rule_list(env, items, e.span),
+            ExprKind::BinOp(op, a, b) => self.rule_binop(env, *op, a, b, e.span),
+        }
+    }
+
+    /// (VAR) and (VAR-LET).
+    fn rule_var(&mut self, env: &TyEnv, x: Symbol, span: Span) -> Infer<(Ty, TyEnv)> {
+        let Some(binding) = env.get(x) else {
+            return Err(TypeError::new(TypeErrorKind::Unbound(x), span));
+        };
+        match binding.clone() {
+            Binding::Mono(t) => {
+                // tx = ⇑RP(⇓RP(ρ(x))) with *tx+ ⇒ *ρ(x)+.
+                let tx = self.decorate(&t);
+                if self.opts.track_fields {
+                    self.beta.imply_seq(&flag_lits(&tx), &flag_lits(&t));
+                }
+                Ok((tx, env.clone()))
+            }
+            Binding::Poly(scheme) => {
+                let t = if self.opts.track_fields {
+                    instantiate(&scheme, &mut self.vars, &mut self.flags, &mut self.beta)
+                } else {
+                    // Skeleton instantiation: rename quantified variables.
+                    let renaming: Vec<(Var, Var)> =
+                        scheme.vars.iter().map(|&v| (v, self.vars.fresh())).collect();
+                    Subst::renaming(renaming).apply(&scheme.ty)
+                };
+                Ok((t, env.clone()))
+            }
+        }
+    }
+
+    /// (LAM).
+    fn rule_lam(&mut self, env: &TyEnv, x: Symbol, body: &Expr, _span: Span) -> Infer<(Ty, TyEnv)> {
+        let a = self.fresh_var();
+        let mut inner = env.clone();
+        // Save only a *local* shadowed binding: removing the binder later
+        // already re-reveals a global one, and re-inserting it locally
+        // would just inflate the local layer.
+        let shadowed = inner.get_local(x).cloned();
+        inner.insert(x, Binding::Mono(a));
+        let (t2, mut env1) = self.infer(&inner, body)?;
+        let tx = env1.get(x).expect("lambda binder stays bound").ty().clone();
+        env1.remove(x);
+        if let Some(prev) = shadowed {
+            env1.insert(x, prev);
+        }
+        let t = Ty::fun(tx, t2);
+        self.compact(&env1, &t);
+        Ok((t, env1))
+    }
+
+    /// (APP).
+    fn rule_app(&mut self, env: &TyEnv, f: &Expr, a: &Expr, span: Span) -> Infer<(Ty, TyEnv)> {
+        // The input environment's flags stay live while e1 runs (e2 will
+        // be inferred from a clone of it), and e1's judgement stays live
+        // while e2 runs. β is forked: e1 evolves the incoming β into β1,
+        // e2 starts again from the incoming β (yielding β2), and each
+        // judgement's applyS expands its own fork before the conjunction.
+        let input_roots = env.local_flags();
+        let base = self.beta.clone();
+        let (t1, mut env1) =
+            self.with_held(input_roots, |s| s.infer(env, f))?;
+        let (r2, beta2) = self.with_forked_beta(base, |s| {
+            s.with_held(Self::judgement_flags(&t1, &env1), |s| s.infer(env, a))
+        });
+        let (t2, mut env2) = r2?;
+        let r = self.fresh_var();
+        let t2r = Ty::fun(t2, r);
+        let mut pairs = vec![(t1.clone(), t2r.clone())];
+        pairs.extend(self.env_pairs(&env1, &env2));
+        let subst = self.mgu(pairs, span)?;
+        let mut tf = t1;
+        self.with_held(Self::judgement_flags(&t2r, &env2), |s| {
+            s.apply_flow(&subst, &mut tf, &mut env1);
+        });
+        let mut tar = t2r;
+        let ((), beta2s) = self.with_forked_beta(beta2, |s| {
+            s.with_held(Self::judgement_flags(&tf, &env1), |s| {
+                s.apply_flow(&subst, &mut tar, &mut env2);
+            })
+        });
+        self.merge_beta(beta2s);
+        self.equate_envs(&env1, &env2);
+        if self.opts.track_fields {
+            self.beta.iff_seq(&flag_lits(&tar), &flag_lits(&tf));
+        }
+        let tr = match tar {
+            Ty::Fun(ta, tr) => {
+                self.register_dead_ty(&ta);
+                *tr
+            }
+            other => unreachable!("σ unified the callee with a function, got {other:?}"),
+        };
+        self.register_dead_ty(&tf);
+        self.register_dead_env_diff(&env2, &env1);
+        self.compact(&env1, &tr);
+        self.check_eager(span, None)?;
+        Ok((tr, env1))
+    }
+
+    /// (LETREC) — with a single-pass shortcut for non-recursive bindings.
+    fn rule_let(
+        &mut self,
+        env: &TyEnv,
+        name: Symbol,
+        bound: &Expr,
+        body: &Expr,
+        span: Span,
+    ) -> Infer<(Ty, TyEnv)> {
+        let shadowed = env.get_local(name).cloned();
+        let (scheme, mut env_after) = self.infer_def(env, name, bound, span)?;
+        env_after.insert(name, Binding::Poly(scheme));
+        let (t, mut env_body) = self.infer(&env_after, body)?;
+        if let Some(b) = env_body.remove(name) {
+            self.register_dead_ty(b.ty());
+        }
+        if let Some(prev) = shadowed {
+            env_body.insert(name, prev);
+        }
+        self.compact(&env_body, &t);
+        Ok((t, env_body))
+    }
+
+    /// Infers the scheme of one (possibly recursive) binding — the shared
+    /// core of (LETREC) and of top-level `def` processing. Returns the
+    /// generalized scheme and the environment after inferring the bound
+    /// expression (without `name` bound).
+    pub fn infer_def(
+        &mut self,
+        env: &TyEnv,
+        name: Symbol,
+        bound: &Expr,
+        span: Span,
+    ) -> Infer<(Scheme, TyEnv)> {
+        let recursive = bound.free_vars().contains(&name);
+        if !recursive {
+            let (tb, envb) = self.infer(env, bound)?;
+            Ok((generalize(&envb, &tb), envb))
+        } else {
+            let mut cur_env = env.clone();
+            let mut cur_ty = self.fresh_var();
+            let mut converged = false;
+            for _ in 0..self.opts.max_letrec_iters {
+                let scheme = generalize(&cur_env, &cur_ty);
+                let mut env_x = cur_env.clone();
+                env_x.insert(name, Binding::Poly(scheme));
+                let (t_next, mut env_next) = self.infer(&env_x, bound)?;
+                let done = alpha_eq_skeleton(&t_next, &cur_ty);
+                if let Some(b) = env_next.remove(name) {
+                    // The iteration's scheme (sharing cur_ty's flags) dies.
+                    self.register_dead_ty(b.ty());
+                }
+                cur_env = env_next;
+                cur_ty = t_next;
+                self.compact(&cur_env, &cur_ty);
+                if done {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(TypeError::new(TypeErrorKind::RecursionDiverged(name), span));
+            }
+            Ok((generalize(&cur_env, &cur_ty), cur_env))
+        }
+    }
+
+    /// (COND).
+    fn rule_cond(
+        &mut self,
+        env: &TyEnv,
+        cond: &Expr,
+        then_e: &Expr,
+        else_e: &Expr,
+        span: Span,
+    ) -> Infer<(Ty, TyEnv)> {
+        let (ts, mut envc) = self.infer(env, cond)?;
+        let subst = self.mgu(vec![(ts.clone(), Ty::Int)], cond.span)?;
+        let mut ts = ts;
+        self.apply_flow(&subst, &mut ts, &mut envc);
+        // The condition's type is Int; its judgement value is dropped.
+        self.register_dead_ty(&ts);
+        self.compact(&envc, &Ty::Int);
+
+        let branch_roots = envc.local_flags();
+        let base = self.beta.clone();
+        let (tt, mut envt) =
+            self.with_held(branch_roots, |s| s.infer(&envc, then_e))?;
+        let (re, beta2) = self.with_forked_beta(base, |s| {
+            s.with_held(Self::judgement_flags(&tt, &envt), |s| s.infer(&envc, else_e))
+        });
+        let (te, mut enve) = re?;
+        let mut pairs = vec![(tt.clone(), te.clone())];
+        pairs.extend(self.env_pairs(&envt, &enve));
+        let subst = self.mgu(pairs, span)?;
+        let mut tts = tt;
+        self.with_held(Self::judgement_flags(&te, &enve), |s| {
+            s.apply_flow(&subst, &mut tts, &mut envt);
+        });
+        let mut tes = te;
+        let ((), beta2s) = self.with_forked_beta(beta2, |s| {
+            s.with_held(Self::judgement_flags(&tts, &envt), |s| {
+                s.apply_flow(&subst, &mut tes, &mut enve);
+            })
+        });
+        self.merge_beta(beta2s);
+        let tr = self.decorate(&tts);
+        self.equate_envs(&envt, &enve);
+        if self.opts.track_fields {
+            self.beta.imply_seq(&flag_lits(&tr), &flag_lits(&tts));
+            self.beta.imply_seq(&flag_lits(&tr), &flag_lits(&tes));
+        }
+        self.register_dead_ty(&tts);
+        self.register_dead_ty(&tes);
+        self.register_dead_env_diff(&enve, &envt);
+        self.compact(&envt, &tr);
+        Ok((tr, envt))
+    }
+
+    /// (REC-EMPTY).
+    fn rule_empty(&mut self, env: &TyEnv, span: Span) -> Infer<(Ty, TyEnv)> {
+        let a = self.vars.fresh();
+        let fa = self.flag();
+        let t = Ty::record(vec![], RowTail::Var(a, fa));
+        if self.opts.track_fields {
+            self.beta.assert_lit(Lit::neg(fa));
+            self.prov.record(fa, span, FlagOrigin::EmptyRecord);
+        }
+        Ok((t, env.clone()))
+    }
+
+    /// (REC-SELECT).
+    fn rule_select(&mut self, env: &TyEnv, n: FieldName, span: Span) -> Infer<(Ty, TyEnv)> {
+        let a = self.vars.fresh();
+        let b = self.vars.fresh();
+        let (f_n, f_a, f_a2, f_b) = (self.flag(), self.flag(), self.flag(), self.flag());
+        let record = Ty::record(
+            vec![FieldEntry { name: n, flag: f_n, ty: Ty::Var(a, f_a) }],
+            RowTail::Var(b, f_b),
+        );
+        let t = Ty::fun(record, Ty::Var(a, f_a2));
+        if self.opts.track_fields {
+            self.beta.assert_lit(Lit::pos(f_n));
+            self.beta.iff(Lit::pos(f_a), Lit::pos(f_a2));
+            self.prov.record(f_n, span, FlagOrigin::FieldSelected(n));
+        }
+        self.check_eager(span, Some(n))?;
+        Ok((t, env.clone()))
+    }
+
+    /// (REC-UPDATE).
+    fn rule_update(
+        &mut self,
+        env: &TyEnv,
+        n: FieldName,
+        value: &Expr,
+        span: Span,
+    ) -> Infer<(Ty, TyEnv)> {
+        let (tv, env1) = self.infer(env, value)?;
+        let a = self.vars.fresh();
+        let b = self.vars.fresh();
+        let (f_n, f_n2, f_a, f_b, f_b2) =
+            (self.flag(), self.flag(), self.flag(), self.flag(), self.flag());
+        let input = Ty::record(
+            vec![FieldEntry { name: n, flag: f_n, ty: Ty::Var(a, f_a) }],
+            RowTail::Var(b, f_b),
+        );
+        let output = Ty::record(
+            vec![FieldEntry { name: n, flag: f_n2, ty: tv }],
+            RowTail::Var(b, f_b2),
+        );
+        if self.opts.track_fields {
+            // Deviation from the printed (REC-UPDATE), which leaves f'N
+            // unrestricted: the paper's own derivation (T⟦@N=e⟧ in Fig. 6
+            // always adds the field; Fig. 7's `model` therefore contains
+            // f'N in every output) makes the backward-complete rule
+            // *assert* the output flag. Conditional joins still work —
+            // (COND) relates branches by implications, not equations —
+            // and the assertion is what lets symmetric concatenation and
+            // rename-target checks see updated fields. See DESIGN.md.
+            self.beta.assert_lit(Lit::pos(f_n2));
+            self.beta.iff(Lit::pos(f_b), Lit::pos(f_b2));
+            self.prov.record(f_n2, span, FlagOrigin::FieldUpdated(n));
+        }
+        Ok((Ty::fun(input, output), env1))
+    }
+
+    /// Field removal `%N` (Section 5: expressible with two-variable Horn
+    /// clauses).
+    fn rule_remove(&mut self, env: &TyEnv, n: FieldName, span: Span) -> Infer<(Ty, TyEnv)> {
+        let a = self.vars.fresh();
+        let b = self.vars.fresh();
+        let c = self.vars.fresh();
+        let (f_n, f_n2, f_a, f_c, f_b, f_b2) = (
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+        );
+        let input = Ty::record(
+            vec![FieldEntry { name: n, flag: f_n, ty: Ty::Var(a, f_a) }],
+            RowTail::Var(b, f_b),
+        );
+        let output = Ty::record(
+            vec![FieldEntry { name: n, flag: f_n2, ty: Ty::Var(c, f_c) }],
+            RowTail::Var(b, f_b2),
+        );
+        if self.opts.track_fields {
+            self.beta.assert_lit(Lit::neg(f_n2));
+            self.beta.iff(Lit::pos(f_b), Lit::pos(f_b2));
+            self.prov.record(f_n2, span, FlagOrigin::FieldRemoved(n));
+        }
+        Ok((Ty::fun(input, output), env.clone()))
+    }
+
+    /// Field renaming `^{M -> N}` (Section 5). Requires the target field
+    /// to be absent in the input.
+    fn rule_rename(
+        &mut self,
+        env: &TyEnv,
+        m: FieldName,
+        n: FieldName,
+        span: Span,
+    ) -> Infer<(Ty, TyEnv)> {
+        if m == n {
+            // Degenerate self-rename: the identity on records with field m.
+            let a = self.vars.fresh();
+            let b = self.vars.fresh();
+            let (f_m, f_m2, f_a, f_a2, f_b, f_b2) = (
+                self.flag(),
+                self.flag(),
+                self.flag(),
+                self.flag(),
+                self.flag(),
+                self.flag(),
+            );
+            let input = Ty::record(
+                vec![FieldEntry { name: m, flag: f_m, ty: Ty::Var(a, f_a) }],
+                RowTail::Var(b, f_b),
+            );
+            let output = Ty::record(
+                vec![FieldEntry { name: m, flag: f_m2, ty: Ty::Var(a, f_a2) }],
+                RowTail::Var(b, f_b2),
+            );
+            if self.opts.track_fields {
+                self.beta.iff(Lit::pos(f_m), Lit::pos(f_m2));
+                self.beta.iff(Lit::pos(f_a), Lit::pos(f_a2));
+                self.beta.iff(Lit::pos(f_b), Lit::pos(f_b2));
+            }
+            return Ok((Ty::fun(input, output), env.clone()));
+        }
+        let a = self.vars.fresh();
+        let b = self.vars.fresh();
+        let c = self.vars.fresh();
+        let d = self.vars.fresh();
+        let (f_m, f_m2, f_n, f_n2, f_a, f_a2, f_c, f_d, f_b, f_b2) = (
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+        );
+        let input = Ty::record(
+            vec![
+                FieldEntry { name: m, flag: f_m, ty: Ty::Var(a, f_a) },
+                FieldEntry { name: n, flag: f_n, ty: Ty::Var(c, f_c) },
+            ],
+            RowTail::Var(b, f_b),
+        );
+        let output = Ty::record(
+            vec![
+                FieldEntry { name: m, flag: f_m2, ty: Ty::Var(d, f_d) },
+                FieldEntry { name: n, flag: f_n2, ty: Ty::Var(a, f_a2) },
+            ],
+            RowTail::Var(b, f_b2),
+        );
+        if self.opts.track_fields {
+            // Target must be absent on input; source moves to target.
+            self.beta.assert_lit(Lit::neg(f_n));
+            self.beta.assert_lit(Lit::neg(f_m2));
+            self.beta.iff(Lit::pos(f_n2), Lit::pos(f_m));
+            self.beta.iff(Lit::pos(f_a2), Lit::pos(f_a));
+            self.beta.iff(Lit::pos(f_b), Lit::pos(f_b2));
+            self.prov.record(f_n, span, FlagOrigin::RenameTarget(n));
+            self.prov.record(f_m2, span, FlagOrigin::FieldRemoved(m));
+        }
+        self.check_eager(span, Some(n))?;
+        Ok((Ty::fun(input, output), env.clone()))
+    }
+
+    /// Record concatenation `e1 @ e2` (asymmetric) and `e1 @@ e2`
+    /// (symmetric). Section 5: the asymmetric flow `fr ↔ f1 ∨ f2` stays
+    /// within (dual-)Horn clauses; the symmetric mutual exclusion
+    /// `¬(f1 ∧ f2)` on the row-level flags pushes the formula outside the
+    /// Horn fragment and requires a general SAT solver.
+    fn rule_concat(
+        &mut self,
+        env: &TyEnv,
+        e1: &Expr,
+        e2: &Expr,
+        symmetric: bool,
+        span: Span,
+    ) -> Infer<(Ty, TyEnv)> {
+        let input_roots = env.local_flags();
+        let base = self.beta.clone();
+        let (t1, mut env1) =
+            self.with_held(input_roots, |s| s.infer(env, e1))?;
+        let (r2, beta2) = self.with_forked_beta(base, |s| {
+            s.with_held(Self::judgement_flags(&t1, &env1), |s| s.infer(env, e2))
+        });
+        let (t2, mut env2) = r2?;
+        // Force both operands onto a common record skeleton.
+        let c = self.vars.fresh();
+        let fresh_rec = Ty::record(vec![], RowTail::Var(c, self.flag()));
+        let mut pairs = vec![(t1.clone(), t2.clone()), (t1.clone(), fresh_rec)];
+        pairs.extend(self.env_pairs(&env1, &env2));
+        let subst = self.mgu(pairs, span)?;
+        let mut t1s = t1;
+        self.with_held(Self::judgement_flags(&t2, &env2), |s| {
+            s.apply_flow(&subst, &mut t1s, &mut env1);
+        });
+        let mut t2s = t2;
+        let ((), beta2s) = self.with_forked_beta(beta2, |s| {
+            s.with_held(Self::judgement_flags(&t1s, &env1), |s| {
+                s.apply_flow(&subst, &mut t2s, &mut env2);
+            })
+        });
+        self.merge_beta(beta2s);
+        let tr = self.decorate(&t1s);
+        self.equate_envs(&env1, &env2);
+        if self.opts.track_fields {
+            let s1 = flag_lits(&t1s);
+            let s2 = flag_lits(&t2s);
+            let sr = flag_lits(&tr);
+            debug_assert!(s1.len() == s2.len() && s1.len() == sr.len());
+            for j in 0..sr.len() {
+                // fr ↔ f1 ∨ f2, position-wise with polarity.
+                self.beta.add_lits(vec![sr[j].negate(), s1[j], s2[j]]);
+                self.beta.imply(s1[j], sr[j]);
+                self.beta.imply(s2[j], sr[j]);
+            }
+            if symmetric {
+                // Mutual exclusion on the record's own (row-level) flags:
+                // by Definition 1 these are the first `nfields (+ tail)`
+                // entries of the sequence.
+                let row_positions = match &t1s {
+                    Ty::Record(row) => {
+                        row.fields.len()
+                            + matches!(row.tail, RowTail::Var(..)) as usize
+                    }
+                    other => unreachable!("σ forced a record, got {other:?}"),
+                };
+                for j in 0..row_positions {
+                    self.beta.add_lits(vec![s1[j].negate(), s2[j].negate()]);
+                    self.prov.record(s1[j].flag(), span, FlagOrigin::SymConcat);
+                }
+            }
+        }
+        self.register_dead_ty(&t1s);
+        self.register_dead_ty(&t2s);
+        self.register_dead_env_diff(&env2, &env1);
+        self.compact(&env1, &tr);
+        self.check_eager(span, None)?;
+        Ok((tr, env1))
+    }
+
+    /// `when N in x then e1 else e2` (Fig. 8, first rule).
+    fn rule_when(
+        &mut self,
+        env: &TyEnv,
+        field: FieldName,
+        subject: Symbol,
+        then_e: &Expr,
+        else_e: &Expr,
+        span: Span,
+    ) -> Infer<(Ty, TyEnv)> {
+        // ρ|β ⊢ x : {N.ff : tf, a.fa}; ρs|βs — the ordinary (VAR) rule
+        // followed by unification with an open record containing N.
+        let subject_expr = Expr::new(ExprKind::Var(subject), span);
+        let (tx, mut envs) = self.infer(env, &subject_expr)?;
+        let c = self.vars.fresh();
+        let a = self.vars.fresh();
+        let pat = Ty::record(
+            vec![FieldEntry { name: field, flag: self.flag(), ty: Ty::Var(c, self.flag()) }],
+            RowTail::Var(a, self.flag()),
+        );
+        let subst = self.mgu(vec![(tx.clone(), pat)], span)?;
+        let mut txs = tx;
+        self.apply_flow(&subst, &mut txs, &mut envs);
+        let ff = match &txs {
+            Ty::Record(row) => row.field(field).expect("pattern field").flag,
+            other => unreachable!("σ forced a record, got {other:?}"),
+        };
+        if self.opts.track_fields {
+            self.prov.record(ff, span, FlagOrigin::WhenGuard(field));
+        }
+
+        // Branches under β ∧ ff and β ∧ ¬ff respectively, their added
+        // clauses guarded by the (negated) guard. `infer_guarded` restores
+        // β on return, so both branches start from the same βs and their
+        // constraint sets come back as guarded clause lists.
+        let tx_flags = txs.flags();
+        let branch_roots: Vec<Flag> =
+            tx_flags.iter().copied().chain(envs.local_flags()).collect();
+        let (tt, mut envt, then_guarded) = self.with_held(branch_roots.clone(), |s| {
+            s.infer_guarded(&envs, then_e, Lit::pos(ff))
+        })?;
+        let (te, mut enve, else_guarded) = self.with_held(
+            branch_roots.iter().copied().chain(Self::judgement_flags(&tt, &envt)),
+            |s| s.infer_guarded(&envs, else_e, Lit::neg(ff)),
+        )?;
+
+        let mut pairs = vec![(tt.clone(), te.clone())];
+        pairs.extend(self.env_pairs(&envt, &enve));
+        let subst = self.mgu(pairs, span)?;
+        // Each branch's applyS must expand over βs ∧ (its own guarded
+        // clauses): the branch flows live in the guarded set, and the
+        // expansion copies must see them (the copies keep their guard
+        // literal, preserving the conditional reading).
+        let base = self.beta.clone();
+        for lits in then_guarded {
+            self.beta.add_lits(lits);
+        }
+        let mut tts = tt;
+        self.with_held(
+            tx_flags.iter().copied().chain(Self::judgement_flags(&te, &enve)),
+            |s| s.apply_flow(&subst, &mut tts, &mut envt),
+        );
+        let mut beta_else = base;
+        for lits in else_guarded {
+            if let Some(c) = rowpoly_boolfun::Clause::new(lits) {
+                beta_else.add_clause(c);
+            }
+        }
+        let mut tes = te;
+        let ((), beta_else_s) = self.with_forked_beta(beta_else, |s| {
+            s.with_held(
+                tx_flags.iter().copied().chain(Self::judgement_flags(&tts, &envt)),
+                |s| s.apply_flow(&subst, &mut tes, &mut enve),
+            )
+        });
+        self.merge_beta(beta_else_s);
+        let tr = self.decorate(&tts);
+        self.equate_envs(&envt, &enve);
+        if self.opts.track_fields {
+            // ff → (*tr+ ⇒ *tσt+) and ¬ff → (*tr+ ⇒ *tσe+).
+            let sr = flag_lits(&tr);
+            let st = flag_lits(&tts);
+            let se = flag_lits(&tes);
+            for j in 0..sr.len() {
+                self.beta.add_lits(vec![Lit::neg(ff), sr[j].negate(), st[j]]);
+                self.beta.add_lits(vec![Lit::pos(ff), sr[j].negate(), se[j]]);
+            }
+        }
+        self.register_dead_ty(&txs);
+        self.register_dead_ty(&tts);
+        self.register_dead_ty(&tes);
+        self.register_dead_env_diff(&enve, &envt);
+        self.compact(&envt, &tr);
+        self.check_eager(span, Some(field))?;
+        Ok((tr, envt))
+    }
+
+    /// Infers a branch under the assumption `guard` (the premise
+    /// `βs ∧ ff ⊢ e` of Fig. 8), leaving β as it was on entry. Returns the
+    /// branch's judgement together with its constraint clauses, each
+    /// weakened to `guard → clause`, for the caller to conjoin once both
+    /// branches are done.
+    fn infer_guarded(
+        &mut self,
+        env: &TyEnv,
+        e: &Expr,
+        guard: Lit,
+    ) -> Infer<(Ty, TyEnv, Vec<Vec<Lit>>)> {
+        if !self.opts.track_fields {
+            let (t, env1) = self.infer(env, e)?;
+            return Ok((t, env1, Vec::new()));
+        }
+        let mut saved = self.beta.clone();
+        saved.normalize();
+        // The guard is assumed while inferring the branch (βs ∧ ff).
+        self.beta.assert_lit(guard);
+        let result = self.infer(env, e)?;
+        let mut branch = std::mem::replace(&mut self.beta, saved);
+        branch.normalize();
+        // Guard everything the branch added (including the assumption,
+        // which becomes the tautology guard → guard and disappears).
+        let mut added: Vec<Vec<Lit>> = Vec::new();
+        {
+            let old = self.beta.clauses();
+            for c in branch.clauses() {
+                if old.binary_search(c).is_err() {
+                    let mut lits = c.lits().to_vec();
+                    lits.push(guard.negate());
+                    added.push(lits);
+                }
+            }
+        }
+        let (t, env1) = result;
+        Ok((t, env1, added))
+    }
+
+    /// List literals: an n-ary meet of element judgements.
+    fn rule_list(&mut self, env: &TyEnv, items: &[Expr], span: Span) -> Infer<(Ty, TyEnv)> {
+        if items.is_empty() {
+            let elem = self.fresh_var();
+            return Ok((Ty::list(elem), env.clone()));
+        }
+        let input_roots = env.local_flags();
+        let base = self.beta.clone();
+        let (mut elem, mut env_acc) =
+            self.with_held(input_roots.clone(), |s| s.infer(env, &items[0]))?;
+        for item in &items[1..] {
+            let (ri, beta2) = self.with_forked_beta(base.clone(), |s| {
+                s.with_held(
+                    input_roots
+                        .iter()
+                        .copied()
+                        .chain(Self::judgement_flags(&elem, &env_acc)),
+                    |s| s.infer(env, item),
+                )
+            });
+            let (ti, env_i) = ri?;
+            let mut pairs = vec![(elem.clone(), ti.clone())];
+            pairs.extend(self.env_pairs(&env_acc, &env_i));
+            let subst = self.mgu(pairs, span)?;
+            let mut env_i = env_i;
+            self.with_held(Self::judgement_flags(&ti, &env_i), |s| {
+                s.apply_flow(&subst, &mut elem, &mut env_acc);
+            });
+            let mut tis = ti;
+            let ((), beta2s) = self.with_forked_beta(beta2, |s| {
+                s.with_held(Self::judgement_flags(&elem, &env_acc), |s| {
+                    s.apply_flow(&subst, &mut tis, &mut env_i);
+                })
+            });
+            self.merge_beta(beta2s);
+            self.equate_envs(&env_acc, &env_i);
+            if self.opts.track_fields {
+                self.beta.iff_seq(&flag_lits(&elem), &flag_lits(&tis));
+            }
+            self.register_dead_ty(&tis);
+            self.register_dead_env_diff(&env_i, &env_acc);
+        }
+        let t = Ty::list(elem);
+        self.compact(&env_acc, &t);
+        Ok((t, env_acc))
+    }
+
+    /// Built-in integer operators: both operands unify with `Int`.
+    fn rule_binop(
+        &mut self,
+        env: &TyEnv,
+        _op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        span: Span,
+    ) -> Infer<(Ty, TyEnv)> {
+        let input_roots = env.local_flags();
+        let base = self.beta.clone();
+        let (ta, mut env1) =
+            self.with_held(input_roots, |s| s.infer(env, a))?;
+        let (r2, beta2) = self.with_forked_beta(base, |s| {
+            s.with_held(Self::judgement_flags(&ta, &env1), |s| s.infer(env, b))
+        });
+        let (tb, mut env2) = r2?;
+        let mut pairs = vec![(ta.clone(), Ty::Int), (tb.clone(), Ty::Int)];
+        pairs.extend(self.env_pairs(&env1, &env2));
+        let subst = self.mgu(pairs, span)?;
+        let mut ta = ta;
+        self.with_held(Self::judgement_flags(&tb, &env2), |s| {
+            s.apply_flow(&subst, &mut ta, &mut env1);
+        });
+        let mut tb = tb;
+        let ((), beta2s) = self.with_forked_beta(beta2, |s| {
+            s.with_held(Self::judgement_flags(&ta, &env1), |s| {
+                s.apply_flow(&subst, &mut tb, &mut env2);
+            })
+        });
+        self.merge_beta(beta2s);
+        self.equate_envs(&env1, &env2);
+        self.register_dead_ty(&ta);
+        self.register_dead_ty(&tb);
+        self.register_dead_env_diff(&env2, &env1);
+        self.compact(&env1, &Ty::Int);
+        Ok((Ty::Int, env1))
+    }
+}
+
+/// Point-wise pairs of two environments with the same domain (the
+/// judgement meet of the paper's (APP)/(COND) rules).
+fn env_pairs_opt(a: &TyEnv, b: &TyEnv, use_versions: bool) -> Vec<(Ty, Ty)> {
+    debug_assert_eq!(a.len(), b.len(), "environment domains diverged");
+    if use_versions {
+        if a.same(b) {
+            // Version-tag shortcut (Section 6): identical environments
+            // need no equations.
+            return Vec::new();
+        }
+        // Both environments share their frozen global layer, so only the
+        // local layers can differ — and of those, only bindings that are
+        // not structurally identical contribute non-trivial equations.
+        debug_assert!(a.same_global(b), "meets stay within one definition");
+        let keys: std::collections::BTreeSet<Symbol> = a
+            .iter_local()
+            .map(|(s, _)| s)
+            .chain(b.iter_local().map(|(s, _)| s))
+            .collect();
+        keys.into_iter()
+            .filter_map(|k| {
+                let (Some(ba), Some(bb)) = (a.get(k), b.get(k)) else {
+                    unreachable!("environment domains diverged at `{k}`")
+                };
+                if ba == bb {
+                    None
+                } else {
+                    Some((ba.ty().clone(), bb.ty().clone()))
+                }
+            })
+            .collect()
+    } else {
+        // Ablation: the naive meet pairs every binding.
+        a.iter()
+            .zip(b.iter())
+            .map(|((sa, ba), (sb, bb))| {
+                debug_assert_eq!(sa, sb, "environment domains diverged");
+                (ba.ty().clone(), bb.ty().clone())
+            })
+            .collect()
+    }
+}
+
+/// α-equivalence of skeletons: equal up to a bijective renaming of
+/// variables (the (LETREC) fixpoint test `⇓RP(tk) = ⇓RP(tk+1)`).
+pub fn alpha_eq_skeleton(t1: &Ty, t2: &Ty) -> bool {
+    fn go(
+        t1: &Ty,
+        t2: &Ty,
+        fwd: &mut std::collections::HashMap<Var, Var>,
+        bwd: &mut std::collections::HashMap<Var, Var>,
+    ) -> bool {
+        match (t1, t2) {
+            (Ty::Var(a, _), Ty::Var(b, _)) => {
+                let f = *fwd.entry(*a).or_insert(*b);
+                let g = *bwd.entry(*b).or_insert(*a);
+                f == *b && g == *a
+            }
+            (Ty::Int, Ty::Int) | (Ty::Str, Ty::Str) => true,
+            (Ty::List(a), Ty::List(b)) => go(a, b, fwd, bwd),
+            (Ty::Fun(a1, a2), Ty::Fun(b1, b2)) => {
+                go(a1, b1, fwd, bwd) && go(a2, b2, fwd, bwd)
+            }
+            (Ty::Record(r1), Ty::Record(r2)) => {
+                if r1.fields.len() != r2.fields.len() {
+                    return false;
+                }
+                for (f1, f2) in r1.fields.iter().zip(&r2.fields) {
+                    if f1.name != f2.name || !go(&f1.ty, &f2.ty, fwd, bwd) {
+                        return false;
+                    }
+                }
+                match (&r1.tail, &r2.tail) {
+                    (RowTail::Closed, RowTail::Closed) => true,
+                    (RowTail::Var(a, _), RowTail::Var(b, _)) => {
+                        let f = *fwd.entry(*a).or_insert(*b);
+                        let g = *bwd.entry(*b).or_insert(*a);
+                        f == *b && g == *a
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+    go(t1, t2, &mut Default::default(), &mut Default::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_eq_ignores_variable_identity() {
+        let t1 = Ty::fun(Ty::svar(Var(0)), Ty::svar(Var(0)));
+        let t2 = Ty::fun(Ty::svar(Var(5)), Ty::svar(Var(5)));
+        let t3 = Ty::fun(Ty::svar(Var(0)), Ty::svar(Var(1)));
+        assert!(alpha_eq_skeleton(&t1, &t2));
+        assert!(!alpha_eq_skeleton(&t1, &t3));
+        assert!(!alpha_eq_skeleton(&t3, &t1));
+    }
+
+    #[test]
+    fn alpha_eq_requires_consistent_bijection() {
+        // a → b vs a → a: not alpha-equivalent in either direction.
+        let t1 = Ty::fun(Ty::svar(Var(0)), Ty::svar(Var(1)));
+        let t2 = Ty::fun(Ty::svar(Var(2)), Ty::svar(Var(2)));
+        assert!(!alpha_eq_skeleton(&t1, &t2));
+        assert!(!alpha_eq_skeleton(&t2, &t1));
+    }
+}

@@ -1,0 +1,31 @@
+//! Concrete semantics for the record calculus.
+//!
+//! This crate implements the value universe `U` and the denotational
+//! semantics `S⟦·⟧` that the paper's type inference is derived from
+//! (Section 4.1), as an executable interpreter. It serves two purposes:
+//!
+//! * running the example programs;
+//! * *testing* the inference's soundness and Observation 1: conditionals
+//!   can be evaluated as non-deterministic choices ([`explore_paths`]),
+//!   mirroring the collecting semantics `C1⟦·⟧` in which `if` is
+//!   abstracted — a program is rejected by the optimal inference iff some
+//!   such path runs into a missing record field.
+//!
+//! # Example
+//!
+//! ```
+//! use rowpoly_eval::{eval, Value};
+//! use rowpoly_lang::parse_expr;
+//!
+//! let e = parse_expr("#foo (@{foo = 42} {})")?;
+//! assert!(matches!(eval(&e, 10_000), Ok(Value::Int(42))));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod interp;
+#[cfg(test)]
+mod tests_display;
+mod value;
+
+pub use interp::{eval, eval_program, explore_paths, PathSummary};
+pub use value::{Env, Prim, RuntimeError, Value};

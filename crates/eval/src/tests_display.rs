@@ -1,0 +1,78 @@
+//! Display/format tests for runtime values and errors.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use rowpoly_lang::Symbol;
+
+use crate::value::{Prim, RuntimeError, Value};
+
+#[test]
+fn scalar_display() {
+    assert_eq!(Value::Int(42).to_string(), "42");
+    assert_eq!(Value::Int(-7).to_string(), "-7");
+    assert_eq!(Value::Str(Rc::from("hi")).to_string(), "\"hi\"");
+}
+
+#[test]
+fn list_display_is_bracketed() {
+    let v = Value::List(Rc::new(vec![Value::Int(1), Value::Int(2)]));
+    assert_eq!(v.to_string(), "[1, 2]");
+    assert_eq!(Value::List(Rc::new(vec![])).to_string(), "[]");
+}
+
+#[test]
+fn record_display_sorted_by_field() {
+    let mut m = BTreeMap::new();
+    m.insert(Symbol::intern("zeta"), Value::Int(2));
+    m.insert(Symbol::intern("alpha"), Value::Int(1));
+    let v = Value::Record(Rc::new(m));
+    assert_eq!(v.to_string(), "{alpha = 1, zeta = 2}");
+}
+
+#[test]
+fn nested_record_display() {
+    let mut inner = BTreeMap::new();
+    inner.insert(Symbol::intern("x"), Value::Int(3));
+    let mut outer = BTreeMap::new();
+    outer.insert(Symbol::intern("p"), Value::Record(Rc::new(inner)));
+    let v = Value::Record(Rc::new(outer));
+    assert_eq!(v.to_string(), "{p = {x = 3}}");
+}
+
+#[test]
+fn function_values_are_opaque_but_nonempty() {
+    let prim = Value::Prim(Prim::Head, Vec::new());
+    assert!(!prim.to_string().is_empty());
+    assert_eq!(prim.describe(), "a function");
+}
+
+#[test]
+fn describe_covers_all_shapes() {
+    assert_eq!(Value::Int(0).describe(), "an integer");
+    assert_eq!(Value::Str(Rc::from("")).describe(), "a string");
+    assert_eq!(Value::List(Rc::new(vec![])).describe(), "a list");
+    assert_eq!(Value::Record(Rc::new(BTreeMap::new())).describe(), "a record");
+}
+
+#[test]
+fn runtime_error_messages_name_the_field() {
+    let e = RuntimeError::MissingField(Symbol::intern("foo"));
+    assert!(e.to_string().contains("`foo`"));
+    assert!(e.is_field_error());
+    let e = RuntimeError::DuplicateField(Symbol::intern("bar"));
+    assert!(e.to_string().contains("`bar`"));
+    assert!(e.is_field_error());
+    assert!(!RuntimeError::OutOfFuel.is_field_error());
+    assert!(!RuntimeError::EmptyList.is_field_error());
+    assert!(!RuntimeError::Stuck("x".into()).is_field_error());
+}
+
+#[test]
+fn prim_arities() {
+    assert_eq!(Prim::Select(Symbol::intern("a")).arity(), 1);
+    assert_eq!(Prim::Update(Symbol::intern("a")).arity(), 2);
+    assert_eq!(Prim::Rename(Symbol::intern("a"), Symbol::intern("b")).arity(), 1);
+    assert_eq!(Prim::Cons.arity(), 2);
+    assert_eq!(Prim::Null.arity(), 1);
+}

@@ -1,0 +1,74 @@
+//! Small AST-construction helpers used by the generators.
+
+use rowpoly_lang::{BinOp, Expr, ExprKind, Span, Symbol};
+
+/// Variable reference.
+pub fn var(name: &str) -> Expr {
+    Expr::new(ExprKind::Var(Symbol::intern(name)), Span::dummy())
+}
+
+/// Integer literal.
+pub fn int(n: i64) -> Expr {
+    Expr::new(ExprKind::Int(n), Span::dummy())
+}
+
+/// Application.
+pub fn app(f: Expr, a: Expr) -> Expr {
+    Expr::new(ExprKind::App(Box::new(f), Box::new(a)), Span::dummy())
+}
+
+/// Two-argument application.
+pub fn app2(f: Expr, a: Expr, b: Expr) -> Expr {
+    app(app(f, a), b)
+}
+
+/// Lambda.
+pub fn lam(param: &str, body: Expr) -> Expr {
+    Expr::new(ExprKind::Lam(Symbol::intern(param), Box::new(body)), Span::dummy())
+}
+
+/// `let name = bound in body`.
+pub fn let_(name: &str, bound: Expr, body: Expr) -> Expr {
+    Expr::new(
+        ExprKind::Let {
+            name: Symbol::intern(name),
+            bound: Box::new(bound),
+            body: Box::new(body),
+        },
+        Span::dummy(),
+    )
+}
+
+/// Conditional.
+pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
+    Expr::new(ExprKind::If(Box::new(c), Box::new(t), Box::new(e)), Span::dummy())
+}
+
+/// The empty record.
+pub fn empty() -> Expr {
+    Expr::new(ExprKind::Empty, Span::dummy())
+}
+
+/// `#field subject`.
+pub fn select(field: &str, subject: Expr) -> Expr {
+    app(
+        Expr::new(ExprKind::Select(Symbol::intern(field)), Span::dummy()),
+        subject,
+    )
+}
+
+/// `@{field = value} subject`.
+pub fn update(field: &str, value: Expr, subject: Expr) -> Expr {
+    app(
+        Expr::new(
+            ExprKind::Update(Symbol::intern(field), Box::new(value)),
+            Span::dummy(),
+        ),
+        subject,
+    )
+}
+
+/// Binary operation.
+pub fn binop(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::new(ExprKind::BinOp(op, Box::new(a), Box::new(b)), Span::dummy())
+}

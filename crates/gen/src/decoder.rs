@@ -1,0 +1,363 @@
+//! Synthetic decoder-specification workloads.
+//!
+//! The paper's Fig. 9 benchmarks its inference on GDSL decoder
+//! specifications (Atmel AVR and Intel x86 instruction decoders, each
+//! optionally with a semantics layer). Those sources are not available,
+//! so this module generates programs *in our surface language* with the
+//! same structural profile:
+//!
+//! * a record used as the state of a (hand-rolled) state monad, threaded
+//!   through every function;
+//! * per-instruction decode functions that read earlier state fields,
+//!   store intermediate results in fresh fields — sometimes only inside
+//!   one branch of a conditional, the paper's producer/consumer motif —
+//!   and finally publish a result field;
+//! * shared polymorphic helper combinators, so that scheme instantiation
+//!   (and with it Boolean-flow expansion) is exercised heavily;
+//! * for the "+ Sem" variants, a second layer of functions that consume
+//!   the decoder's published fields and write semantics fields, mirroring
+//!   GDSL's instruction-semantics translation.
+//!
+//! The generated program always type-checks (every select is dominated by
+//! an update on all paths), so Fig. 9 measures inference throughput, not
+//! error handling. Inference cost is driven by program size, record/flag
+//! density and instantiation counts — all reproduced here — not by what
+//! the decoded instructions mean, which is why the substitution preserves
+//! the benchmark's behaviour.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rowpoly_lang::{pretty_program, BinOp, Def, Expr, Program, Span, Symbol};
+
+use crate::build::*;
+
+/// Parameters of the decoder-spec generator.
+#[derive(Clone, Debug)]
+pub struct GenParams {
+    /// RNG seed (generation is deterministic per seed).
+    pub seed: u64,
+    /// Number of independent decoder groups (each group threads its own
+    /// state record, bounding record width).
+    pub groups: usize,
+    /// Decode functions per group.
+    pub decoders_per_group: usize,
+    /// Intermediate operations per decode function.
+    pub ops_per_decoder: usize,
+    /// Whether to add the semantics layer ("+ Sem" variants).
+    pub with_sem: bool,
+}
+
+impl Default for GenParams {
+    fn default() -> GenParams {
+        GenParams {
+            seed: 0xD5C0DE,
+            groups: 4,
+            decoders_per_group: 6,
+            ops_per_decoder: 4,
+            with_sem: false,
+        }
+    }
+}
+
+/// One row of the paper's Fig. 9.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Decoder name as printed in the paper.
+    pub name: &'static str,
+    /// Source line count reported in the paper.
+    pub paper_lines: usize,
+    /// Whether the workload includes the semantics layer.
+    pub with_sem: bool,
+    /// Inference time in seconds reported by the paper, without fields.
+    pub paper_secs_without: f64,
+    /// Inference time in seconds reported by the paper, with fields.
+    pub paper_secs_with: f64,
+}
+
+/// The four decoder workloads of Fig. 9 with the paper's reported
+/// numbers.
+pub fn fig9_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "Atmel AVR",
+            paper_lines: 1468,
+            with_sem: false,
+            paper_secs_without: 0.18,
+            paper_secs_with: 0.32,
+        },
+        Workload {
+            name: "Atmel AVR + Sem",
+            paper_lines: 5166,
+            with_sem: true,
+            paper_secs_without: 1.55,
+            paper_secs_with: 3.01,
+        },
+        Workload {
+            name: "Intel x86",
+            paper_lines: 9315,
+            with_sem: false,
+            paper_secs_without: 6.11,
+            paper_secs_with: 15.65,
+        },
+        Workload {
+            name: "Intel x86 + Sem",
+            paper_lines: 18124,
+            with_sem: true,
+            paper_secs_without: 15.42,
+            paper_secs_with: 27.38,
+        },
+    ]
+}
+
+/// Generates a decoder-spec program.
+pub fn generate(params: &GenParams) -> Program {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut defs: Vec<Def> = Vec::new();
+
+    // Shared polymorphic helpers, used across all groups.
+    defs.push(def(
+        "mk_state",
+        lam(
+            "x",
+            update("mode", int(0), update("opcode", var("x"), empty())),
+        ),
+    ));
+    defs.push(def("get_opcode", lam("s", select("opcode", var("s")))));
+    defs.push(def(
+        "with_scratch",
+        lam("s", lam("v", update("scratch", var("v"), var("s")))),
+    ));
+    defs.push(def("read_scratch", lam("s", select("scratch", var("s")))));
+    defs.push(def(
+        "twice",
+        lam("f", lam("s", app(var("f"), app(var("f"), var("s"))))),
+    ));
+
+    for g in 0..params.groups {
+        let mut chain: Vec<String> = Vec::new();
+        for d in 0..params.decoders_per_group {
+            let name = format!("decode_{g}_{d}");
+            defs.push(def(&name, decoder_body(&mut rng, g, d, params)));
+            chain.push(name);
+        }
+        if params.with_sem {
+            for d in 0..params.decoders_per_group {
+                let name = format!("sem_{g}_{d}");
+                defs.push(def(&name, sem_body(&mut rng, g, d, params)));
+                chain.push(name);
+            }
+        }
+        // Group driver: thread the state through all stages.
+        let mut body = app(var("mk_state"), int(g as i64));
+        for stage in &chain {
+            body = app(var(stage), body);
+        }
+        defs.push(def(&format!("run_group_{g}"), body));
+    }
+
+    // Whole-program driver: sum a probe field of each group's state.
+    let mut total = int(0);
+    for g in 0..params.groups {
+        total = binop(
+            BinOp::Add,
+            total,
+            select("opcode", var(&format!("run_group_{g}"))),
+        );
+    }
+    defs.push(def("main", total));
+    Program { defs }
+}
+
+/// Generates a program whose pretty-printed source has approximately
+/// `target_lines` lines (within ~3%), by scaling the number of decoder
+/// groups. Returns the program and its source text.
+pub fn generate_with_lines(target_lines: usize, with_sem: bool, seed: u64) -> (Program, String) {
+    let params_for = |groups: usize| GenParams {
+        seed,
+        groups,
+        decoders_per_group: 6,
+        ops_per_decoder: 4,
+        with_sem,
+    };
+    let lines_of = |groups: usize| {
+        let p = generate(&params_for(groups));
+        let src = pretty_program(&p);
+        (p, src.lines().count(), src)
+    };
+    // Lines grow linearly in `groups`; interpolate then adjust.
+    let (_, base, _) = lines_of(1);
+    let (_, two, _) = lines_of(2);
+    let per_group = (two - base).max(1);
+    let mut groups = ((target_lines.saturating_sub(base)) / per_group).max(1);
+    let (mut program, mut lines, mut src) = lines_of(groups);
+    while lines < target_lines && (target_lines - lines) * 50 > target_lines {
+        groups += 1;
+        let r = lines_of(groups);
+        program = r.0;
+        lines = r.1;
+        src = r.2;
+    }
+    while lines > target_lines && groups > 1 && (lines - target_lines) * 50 > target_lines {
+        groups -= 1;
+        let r = lines_of(groups);
+        program = r.0;
+        lines = r.1;
+        src = r.2;
+    }
+    (program, src)
+}
+
+fn def(name: &str, body: Expr) -> Def {
+    Def { name: Symbol::intern(name), span: Span::dummy(), body }
+}
+
+/// One decode function: reads the opcode, computes intermediates into
+/// fresh state fields, sometimes inside a conditional producer/consumer,
+/// and publishes `res_<g>_<d>`.
+///
+/// State and accumulator rebindings get numbered names (`st1`, `acc1`, …):
+/// `let` is recursive in this calculus, so shadowing a name with a
+/// definition that reads the old value would be a self-reference.
+fn decoder_body(rng: &mut StdRng, g: usize, d: usize, params: &GenParams) -> Expr {
+    let n = params.ops_per_decoder;
+    let st = |i: usize| if i == 0 { "st".to_owned() } else { format!("st{i}") };
+    let acc = |i: usize| format!("acc{i}");
+    // Built inside-out: the innermost expression publishes the result.
+    let mut body = update(
+        &format!("res_{g}_{d}"),
+        binop(BinOp::Add, var(&acc(n)), int(rng.gen_range(0..64))),
+        var(&st(n)),
+    );
+    // A chain of intermediate operations, each binding the next
+    // state/accumulator generation.
+    for op in (0..n).rev() {
+        let tmp_field = format!("t_{g}_{d}_{op}");
+        let (s0, s1) = (st(op), st(op + 1));
+        let (a0, a1) = (acc(op), acc(op + 1));
+        body = match rng.gen_range(0..4u8) {
+            // Plain store-then-load through the state.
+            0 => let_(
+                &s1,
+                update(&tmp_field, binop(BinOp::Mul, var(&a0), int(2)), var(&s0)),
+                let_(&a1, select(&tmp_field, var(&s1)), body),
+            ),
+            // The paper's motif: a producer/consumer confined to the
+            // then-branch of a conditional.
+            1 => let_(
+                &s1,
+                if_(
+                    binop(BinOp::Lt, var(&a0), int(rng.gen_range(1..32))),
+                    let_(
+                        "inner",
+                        update(&tmp_field, var(&a0), var(&s0)),
+                        let_("probe", select(&tmp_field, var("inner")), var("inner")),
+                    ),
+                    var(&s0),
+                ),
+                let_(&a1, binop(BinOp::Add, var(&a0), int(1)), body),
+            ),
+            // Use the shared polymorphic scratch helpers.
+            2 => let_(
+                &s1,
+                app2(var("with_scratch"), var(&s0), var(&a0)),
+                let_(&a1, app(var("read_scratch"), var(&s1)), body),
+            ),
+            // Arithmetic on the accumulator only.
+            _ => let_(
+                &s1,
+                var(&s0),
+                let_(
+                    &a1,
+                    binop(
+                        BinOp::Add,
+                        var(&a0),
+                        binop(BinOp::Mul, var(&a0), int(rng.gen_range(1..8))),
+                    ),
+                    body,
+                ),
+            ),
+        };
+    }
+    let body = let_(&acc(0), app(var("get_opcode"), var("st")), body);
+    lam("st", body)
+}
+
+/// One semantics function: consumes the decoder's published field and
+/// writes a semantics field (the "+ Sem" layer).
+fn sem_body(rng: &mut StdRng, g: usize, d: usize, params: &GenParams) -> Expr {
+    let n = params.ops_per_decoder / 2;
+    let st = |i: usize| if i == 0 { "st".to_owned() } else { format!("st{i}") };
+    let acc = |i: usize| format!("acc{i}");
+    let mut body = update(
+        &format!("sem_{g}_{d}"),
+        binop(BinOp::Add, var(&acc(n)), int(rng.gen_range(0..16))),
+        var(&st(n)),
+    );
+    for op in (0..n).rev() {
+        let tmp_field = format!("u_{g}_{d}_{op}");
+        let (s0, s1) = (st(op), st(op + 1));
+        let (a0, a1) = (acc(op), acc(op + 1));
+        body = let_(
+            &s1,
+            update(&tmp_field, var(&a0), var(&s0)),
+            let_(
+                &a1,
+                binop(BinOp::Add, select(&tmp_field, var(&s1)), int(1)),
+                body,
+            ),
+        );
+    }
+    let body = let_(&acc(0), select(&format!("res_{g}_{d}"), var("st")), body);
+    lam("st", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = GenParams::default();
+        let a = pretty_program(&generate(&p));
+        let b = pretty_program(&generate(&p));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_source_reparses() {
+        let p = generate(&GenParams::default());
+        let src = pretty_program(&p);
+        let reparsed = rowpoly_lang::parse_program(&src).expect("generated source parses");
+        assert_eq!(reparsed.defs.len(), p.defs.len());
+    }
+
+    #[test]
+    fn line_targeting_is_close() {
+        for target in [400usize, 1500] {
+            let (_, src) = generate_with_lines(target, false, 7);
+            let lines = src.lines().count();
+            let err = lines.abs_diff(target) as f64 / target as f64;
+            assert!(err < 0.25, "target {target}, got {lines}");
+        }
+    }
+
+    #[test]
+    fn sem_variant_is_larger() {
+        let base = GenParams::default();
+        let with_sem = GenParams { with_sem: true, ..base.clone() };
+        let a = pretty_program(&generate(&base)).lines().count();
+        let b = pretty_program(&generate(&with_sem)).lines().count();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn fig9_table_matches_paper_shape() {
+        let w = fig9_workloads();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].paper_lines, 1468);
+        assert_eq!(w[3].paper_lines, 18124);
+        for row in &w {
+            assert!(row.paper_secs_with > row.paper_secs_without);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Random record-pipeline programs for differential testing.
+//!
+//! Observation 1 of the paper: under its side conditions (conditionals
+//! abstracted to non-deterministic choice; no higher-order arguments that
+//! expect records, or such functions used at most once), the inference
+//! rejects a program *iff* it contains a path from an empty record to a
+//! field access on which the field has not been added.
+//!
+//! This generator produces random programs inside exactly that fragment:
+//! first-order pipelines that build records from `{}` via updates,
+//! removals and conditionals, and select fields along the way. Every
+//! program is skeleton-well-typed (all fields hold `Int`), so the *only*
+//! reason the flow inference can reject is a missing-field path — which
+//! the interpreter's path exploration can confirm or refute.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rowpoly_lang::{BinOp, Expr};
+
+use crate::build::*;
+
+/// Field names used by the fuzzer (a small pool maximises collisions,
+/// which is where missing-field bugs live).
+const FIELDS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Configuration for [`random_pipeline`].
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzParams {
+    /// Maximum recursion depth of the generated expression.
+    pub depth: usize,
+    /// Probability (percent) that a pipeline step selects a field.
+    pub select_pct: u32,
+}
+
+impl Default for FuzzParams {
+    fn default() -> FuzzParams {
+        FuzzParams { depth: 5, select_pct: 30 }
+    }
+}
+
+/// Generates a random closed program of record pipelines, ending in a
+/// field selection or an integer. Deterministic per seed.
+pub fn random_pipeline(seed: u64, params: FuzzParams) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let record = gen_record(&mut rng, params.depth, params);
+    // End the program by observing a field (often) or the record itself.
+    if rng.gen_range(0..100) < 70 {
+        let f = FIELDS[rng.gen_range(0..FIELDS.len())];
+        let_("final", record, select(f, var("final")))
+    } else {
+        record
+    }
+}
+
+/// Generates an expression of record type.
+fn gen_record(rng: &mut StdRng, depth: usize, params: FuzzParams) -> Expr {
+    if depth == 0 {
+        return base_record(rng);
+    }
+    match rng.gen_range(0..10u8) {
+        0 | 1 => base_record(rng),
+        // Update.
+        2..=4 => {
+            let f = FIELDS[rng.gen_range(0..FIELDS.len())];
+            update(f, int(rng.gen_range(0..100)), gen_record(rng, depth - 1, params))
+        }
+        // Conditional with an opaque (non-deterministic) condition: an
+        // integer literal keeps it closed, and the inference abstracts it
+        // anyway.
+        5 | 6 => if_(
+            int(rng.gen_range(0..2)),
+            gen_record(rng, depth - 1, params),
+            gen_record(rng, depth - 1, params),
+        ),
+        // Select a field mid-pipeline, keep the record.
+        7 => {
+            let f = FIELDS[rng.gen_range(0..FIELDS.len())];
+            let_(
+                "r",
+                gen_record(rng, depth - 1, params),
+                if rng.gen_range(0..100) < params.select_pct {
+                    let_("v", select(f, var("r")), var("r"))
+                } else {
+                    var("r")
+                },
+            )
+        }
+        // A first-order record→record function applied once.
+        8 => {
+            let f = FIELDS[rng.gen_range(0..FIELDS.len())];
+            let body = if rng.gen_bool(0.5) {
+                update(f, int(1), var("s"))
+            } else {
+                let_("v", select(f, var("s")), var("s"))
+            };
+            let_(
+                "g",
+                lam("s", body),
+                app(var("g"), gen_record(rng, depth - 1, params)),
+            )
+        }
+        // Arithmetic detour that still produces a record.
+        _ => {
+            let f = FIELDS[rng.gen_range(0..FIELDS.len())];
+            let inner = gen_record(rng, depth - 1, params);
+            let_(
+                "r",
+                inner,
+                update(
+                    f,
+                    binop(BinOp::Add, int(rng.gen_range(0..10)), int(1)),
+                    var("r"),
+                ),
+            )
+        }
+    }
+}
+
+fn base_record(rng: &mut StdRng) -> Expr {
+    let mut r = empty();
+    for f in FIELDS {
+        if rng.gen_bool(0.3) {
+            r = update(f, int(rng.gen_range(0..100)), r);
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpoly_lang::pretty_expr;
+
+    #[test]
+    fn pipelines_are_deterministic_and_parseable() {
+        for seed in 0..30 {
+            let e1 = random_pipeline(seed, FuzzParams::default());
+            let e2 = random_pipeline(seed, FuzzParams::default());
+            assert_eq!(pretty_expr(&e1), pretty_expr(&e2));
+            let src = pretty_expr(&e1);
+            rowpoly_lang::parse_expr(&src)
+                .unwrap_or_else(|d| panic!("seed {seed} unparseable: {d}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn pipelines_are_closed() {
+        for seed in 0..30 {
+            let e = random_pipeline(seed, FuzzParams::default());
+            assert!(e.free_vars().is_empty(), "seed {seed} has free vars");
+        }
+    }
+}

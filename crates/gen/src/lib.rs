@@ -1,0 +1,20 @@
+//! Workload generators for the evaluation.
+//!
+//! * [`decoder`] — synthetic decoder-specification programs with the
+//!   structural profile of the GDSL workloads benchmarked in the paper's
+//!   Fig. 9 (record-state-monad pipelines, conditional producer/consumer
+//!   fields, shared polymorphic helpers, optional semantics layer), with
+//!   line-count targeting so the four paper rows can be reproduced at
+//!   their exact sizes.
+//! * [`fuzz`] — random first-order record pipelines inside the fragment
+//!   of Observation 1, for differential testing of the inference against
+//!   the interpreter's path exploration.
+
+pub mod build;
+pub mod decoder;
+pub mod fuzz;
+pub mod guarded;
+
+pub use decoder::{fig9_workloads, generate, generate_with_lines, GenParams, Workload};
+pub use fuzz::{random_pipeline, FuzzParams};
+pub use guarded::{generate_guarded, GuardedParams};

@@ -1,0 +1,394 @@
+//! Lexer for the record calculus.
+
+use crate::diag::Diag;
+use crate::span::Span;
+use crate::symbol::Symbol;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source`, producing the token stream (terminated by
+/// [`TokenKind::Eof`]) or a lexical diagnostic.
+///
+/// Comments run from `--` to the end of the line.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diag> {
+    Lexer { src: source.as_bytes(), pos: 0 }.run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Result<Vec<Token>, Diag> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos as u32;
+            let Some(b) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+                return Ok(tokens);
+            };
+            let kind = self.token(b, start)?;
+            let span = Span::new(start, self.pos as u32);
+            tokens.push(Token { kind, span });
+        }
+    }
+
+    fn token(&mut self, b: u8, start: u32) -> Result<TokenKind, Diag> {
+        Ok(match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let word = self.ident();
+                match word {
+                    "def" => TokenKind::Def,
+                    "let" => TokenKind::Let,
+                    "in" => TokenKind::In,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "when" => TokenKind::When,
+                    _ => TokenKind::Ident(Symbol::intern(word)),
+                }
+            }
+            b'0'..=b'9' => self.number(start)?,
+            b'"' => self.string(start)?,
+            b'\\' => {
+                self.bump();
+                TokenKind::Lambda
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Eq
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                // `--` comments are consumed by skip_trivia, so a lone `-`
+                // here is minus or arrow.
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(self.error(start, "expected `&&`"));
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(self.error(start, "expected `||`"));
+                }
+            }
+            b'#' => {
+                self.bump();
+                TokenKind::Hash
+            }
+            b'@' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'@') => {
+                        self.bump();
+                        TokenKind::AtAt
+                    }
+                    Some(b'{') => {
+                        self.bump();
+                        TokenKind::AtBrace
+                    }
+                    _ => TokenKind::At,
+                }
+            }
+            b'%' => {
+                self.bump();
+                TokenKind::Percent
+            }
+            b'^' => {
+                self.bump();
+                if self.peek() == Some(b'{') {
+                    self.bump();
+                    TokenKind::CaretBrace
+                } else {
+                    return Err(self.error(start, "expected `^{` (field renaming)"));
+                }
+            }
+            other => {
+                return Err(self.error(
+                    start,
+                    &format!("unexpected character `{}`", other as char),
+                ));
+            }
+        })
+    }
+
+    fn ident(&mut self) -> &'s str {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'\'' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.src[start..self.pos]).expect("ascii identifier")
+    }
+
+    fn number(&mut self, start: u32) -> Result<TokenKind, Diag> {
+        let begin = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[begin..self.pos]).expect("ascii digits");
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| self.error(start, "integer literal out of range"))
+    }
+
+    fn string(&mut self, start: u32) -> Result<TokenKind, Diag> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    return Err(self.error(start, "unterminated string literal"))
+                }
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(TokenKind::Str(out));
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(self.error(start, "invalid escape sequence")),
+                    }
+                    self.bump();
+                }
+                Some(b) => {
+                    out.push(b as char);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'-') if self.src.get(self.pos + 1) == Some(&b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn error(&self, start: u32, msg: &str) -> Diag {
+        Diag::error(Span::new(start, self.pos.max(start as usize + 1) as u32), msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("let xs in iff"),
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident(Symbol::intern("xs")),
+                TokenKind::In,
+                TokenKind::Ident(Symbol::intern("iff")),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn at_family_disambiguation() {
+        assert_eq!(
+            kinds("r @ s @@ t @{foo = 1}"),
+            vec![
+                TokenKind::Ident(Symbol::intern("r")),
+                TokenKind::At,
+                TokenKind::Ident(Symbol::intern("s")),
+                TokenKind::AtAt,
+                TokenKind::Ident(Symbol::intern("t")),
+                TokenKind::AtBrace,
+                TokenKind::Ident(Symbol::intern("foo")),
+                TokenKind::Eq,
+                TokenKind::Int(1),
+                TokenKind::RBrace,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= == < <= + - * && || -> . \\"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::EqEq,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Arrow,
+                TokenKind::Dot,
+                TokenKind::Lambda,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 -- this is a comment\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![TokenKind::Str("a\nb\"c".to_owned()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn selector_and_removal() {
+        assert_eq!(
+            kinds("#foo %bar ^{a -> b}"),
+            vec![
+                TokenKind::Hash,
+                TokenKind::Ident(Symbol::intern("foo")),
+                TokenKind::Percent,
+                TokenKind::Ident(Symbol::intern("bar")),
+                TokenKind::CaretBrace,
+                TokenKind::Ident(Symbol::intern("a")),
+                TokenKind::Arrow,
+                TokenKind::Ident(Symbol::intern("b")),
+                TokenKind::RBrace,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn huge_int_is_error() {
+        assert!(lex("999999999999999999999999999").is_err());
+    }
+}

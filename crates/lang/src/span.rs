@@ -1,0 +1,122 @@
+//! Source locations.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Builds a span from byte offsets.
+    pub fn new(start: u32, end: u32) -> Span {
+        debug_assert!(start <= end);
+        Span { start, end }
+    }
+
+    /// A zero-width span used for synthesised nodes.
+    pub fn dummy() -> Span {
+        Span { start: 0, end: 0 }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span is zero-width.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Maps byte offsets to 1-based line/column pairs for diagnostics.
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// Byte offsets at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Indexes the line structure of `source`.
+    pub fn new(source: &str) -> LineMap {
+        let mut line_starts = vec![0u32];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// 1-based `(line, column)` of a byte offset.
+    pub fn position(&self, offset: u32) -> (usize, usize) {
+        let line = self
+            .line_starts
+            .partition_point(|&s| s <= offset)
+            .saturating_sub(1);
+        (line + 1, (offset - self.line_starts[line]) as usize + 1)
+    }
+
+    /// The source text of the line containing `offset` (without newline),
+    /// given the original source.
+    pub fn line_text<'s>(&self, source: &'s str, offset: u32) -> &'s str {
+        let (line, _) = self.position(offset);
+        let start = self.line_starts[line - 1] as usize;
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&e| e as usize - 1)
+            .unwrap_or(source.len());
+        &source[start..end.min(source.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_union() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn line_map_positions() {
+        let src = "ab\ncde\n\nf";
+        let lm = LineMap::new(src);
+        assert_eq!(lm.position(0), (1, 1));
+        assert_eq!(lm.position(1), (1, 2));
+        assert_eq!(lm.position(3), (2, 1));
+        assert_eq!(lm.position(5), (2, 3));
+        assert_eq!(lm.position(7), (3, 1));
+        assert_eq!(lm.position(8), (4, 1));
+    }
+
+    #[test]
+    fn line_text_extraction() {
+        let src = "first\nsecond\nthird";
+        let lm = LineMap::new(src);
+        assert_eq!(lm.line_text(src, 0), "first");
+        assert_eq!(lm.line_text(src, 8), "second");
+        assert_eq!(lm.line_text(src, 14), "third");
+    }
+}

@@ -1,0 +1,125 @@
+//! Interned identifiers.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier (program variable or record field name).
+///
+/// Symbols are process-global: the same spelling always interns to the same
+/// `Symbol`, so equality is a single integer comparison. Ordering compares
+/// the *spelling*, not the interning order, so that sorted field rows print
+/// deterministically regardless of parse order.
+///
+/// Interned strings are leaked (the interner lives for the process), which
+/// is the usual trade-off for compiler identifiers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+    gensym: u32,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner { map: HashMap::new(), strings: Vec::new(), gensym: 0 })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its unique symbol.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("interner poisoned");
+        if let Some(&id) = i.map.get(name) {
+            return Symbol(id);
+        }
+        let id = i.strings.len() as u32;
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.strings.push(leaked);
+        i.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Generates a fresh symbol guaranteed not to collide with any source
+    /// identifier (its spelling contains `'#'`, which the lexer rejects in
+    /// identifiers).
+    pub fn fresh(prefix: &str) -> Symbol {
+        let n = {
+            let mut i = interner().lock().expect("interner poisoned");
+            i.gensym += 1;
+            i.gensym
+        };
+        Symbol::intern(&format!("{prefix}#{n}"))
+    }
+
+    /// The spelling of this symbol.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("interner poisoned");
+        i.strings[self.0 as usize]
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(Symbol::intern("foo"), Symbol::intern("foo"));
+        assert_ne!(Symbol::intern("foo"), Symbol::intern("bar"));
+        assert_eq!(Symbol::intern("foo").as_str(), "foo");
+    }
+
+    #[test]
+    fn ordering_is_by_spelling() {
+        // Intern in reverse lexicographic order; Ord must still be textual.
+        let z = Symbol::intern("zzz_order");
+        let a = Symbol::intern("aaa_order");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let a = Symbol::fresh("r");
+        let b = Symbol::fresh("r");
+        assert_ne!(a, b);
+        assert!(a.as_str().contains('#'));
+    }
+}

@@ -1,0 +1,142 @@
+//! Token kinds produced by the lexer.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (variable or field name).
+    Ident(Symbol),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (contents, unescaped).
+    Str(String),
+
+    // Keywords.
+    Def,
+    Let,
+    In,
+    If,
+    Then,
+    Else,
+    When,
+
+    // Punctuation and operators.
+    /// `\` introducing a lambda.
+    Lambda,
+    /// `.` separating lambda binders from the body.
+    Dot,
+    /// `->`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `#` followed directly by a field name: the selector `#N`.
+    Hash,
+    /// `@` — asymmetric record concatenation.
+    At,
+    /// `@@` — symmetric record concatenation.
+    AtAt,
+    /// `@{` with no intervening space — field update `@{N = e}`.
+    AtBrace,
+    /// `%` followed directly by a field name: field removal `%N`.
+    Percent,
+    /// `^{` with no intervening space — field renaming `^{M -> N}`.
+    CaretBrace,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Str(_) => "string literal".to_owned(),
+            TokenKind::Def => "`def`".to_owned(),
+            TokenKind::Let => "`let`".to_owned(),
+            TokenKind::In => "`in`".to_owned(),
+            TokenKind::If => "`if`".to_owned(),
+            TokenKind::Then => "`then`".to_owned(),
+            TokenKind::Else => "`else`".to_owned(),
+            TokenKind::When => "`when`".to_owned(),
+            TokenKind::Lambda => "`\\`".to_owned(),
+            TokenKind::Dot => "`.`".to_owned(),
+            TokenKind::Arrow => "`->`".to_owned(),
+            TokenKind::LParen => "`(`".to_owned(),
+            TokenKind::RParen => "`)`".to_owned(),
+            TokenKind::LBrace => "`{`".to_owned(),
+            TokenKind::RBrace => "`}`".to_owned(),
+            TokenKind::LBracket => "`[`".to_owned(),
+            TokenKind::RBracket => "`]`".to_owned(),
+            TokenKind::Comma => "`,`".to_owned(),
+            TokenKind::Semi => "`;`".to_owned(),
+            TokenKind::Eq => "`=`".to_owned(),
+            TokenKind::EqEq => "`==`".to_owned(),
+            TokenKind::Lt => "`<`".to_owned(),
+            TokenKind::Le => "`<=`".to_owned(),
+            TokenKind::Plus => "`+`".to_owned(),
+            TokenKind::Minus => "`-`".to_owned(),
+            TokenKind::Star => "`*`".to_owned(),
+            TokenKind::AndAnd => "`&&`".to_owned(),
+            TokenKind::OrOr => "`||`".to_owned(),
+            TokenKind::Hash => "`#`".to_owned(),
+            TokenKind::At => "`@`".to_owned(),
+            TokenKind::AtAt => "`@@`".to_owned(),
+            TokenKind::AtBrace => "`@{`".to_owned(),
+            TokenKind::Percent => "`%`".to_owned(),
+            TokenKind::CaretBrace => "`^{`".to_owned(),
+            TokenKind::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: crate::span::Span,
+}

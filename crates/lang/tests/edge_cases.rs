@@ -1,0 +1,111 @@
+//! Lexer/parser edge cases beyond the in-module unit tests.
+
+use rowpoly_lang::{lex, parse_expr, parse_program, ExprKind, Symbol, TokenKind};
+
+#[test]
+fn keyword_prefixed_identifiers_lex_as_identifiers() {
+    for word in ["lets", "iff", "thenx", "elsewhere", "whenever", "inner", "defs"] {
+        let toks = lex(word).unwrap();
+        assert!(
+            matches!(toks[0].kind, TokenKind::Ident(_)),
+            "{word} must be an identifier, got {:?}",
+            toks[0].kind
+        );
+    }
+}
+
+#[test]
+fn primed_identifiers_are_allowed() {
+    let e = parse_expr("let s' = 1 in s'").unwrap();
+    assert!(matches!(e.kind, ExprKind::Let { name, .. } if name == Symbol::intern("s'")));
+}
+
+#[test]
+fn comment_at_eof_without_newline() {
+    let toks = lex("42 -- trailing").unwrap();
+    assert_eq!(toks[0].kind, TokenKind::Int(42));
+    assert_eq!(toks[1].kind, TokenKind::Eof);
+}
+
+#[test]
+fn deeply_nested_parens() {
+    // Parser recursion costs ~8 frames per paren (one per precedence
+    // level); keep the depth within default test stacks.
+    let mut src = String::new();
+    src.push_str(&"(".repeat(48));
+    src.push('1');
+    src.push_str(&")".repeat(48));
+    assert!(parse_expr(&src).is_ok());
+}
+
+#[test]
+fn shadowing_parses_into_nested_binders() {
+    let e = parse_expr(r"\x . let x = x + 1 in x").unwrap();
+    match &e.kind {
+        ExprKind::Lam(x, body) => {
+            assert_eq!(*x, Symbol::intern("x"));
+            assert!(matches!(body.kind, ExprKind::Let { .. }));
+        }
+        other => panic!("expected lambda, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_program_is_fine_empty_expr_is_not() {
+    assert!(parse_program("").unwrap().defs.is_empty());
+    assert!(parse_expr("").is_err());
+}
+
+#[test]
+fn update_requires_a_field() {
+    assert!(parse_expr("@{} r").is_err());
+}
+
+#[test]
+fn negative_literals_in_all_positions() {
+    assert!(parse_expr("-5").is_ok());
+    assert!(parse_expr("f (-5)").is_ok());
+    assert!(parse_expr("[-1, 2, -3]").is_ok());
+    assert!(parse_expr("{a = -1}").is_ok());
+    // `f -5` is subtraction, not application.
+    let e = parse_expr("f - 5").unwrap();
+    assert!(matches!(e.kind, ExprKind::BinOp(..)));
+}
+
+#[test]
+fn when_subject_must_be_a_variable() {
+    assert!(parse_expr("when a in {a = 1} then 1 else 2").is_err());
+    assert!(parse_expr("when a in r then 1 else 2").is_ok());
+}
+
+#[test]
+fn error_spans_point_into_source() {
+    let err = parse_expr("let x = in x").unwrap_err();
+    let rendered = err.render("let x = in x");
+    assert!(rendered.contains("-->"));
+    assert!(rendered.contains('^'));
+}
+
+#[test]
+fn selector_of_keywordish_field() {
+    // Field names share the identifier namespace; keyword-prefixed ones
+    // are fine.
+    assert!(parse_expr("#inner r").is_ok());
+    // But actual keywords are not identifiers.
+    assert!(parse_expr("#in r").is_err());
+}
+
+#[test]
+fn concat_chain_associates_left() {
+    let e = parse_expr("a @ b @@ c @ d").unwrap();
+    // (((a @ b) @@ c) @ d)
+    match &e.kind {
+        ExprKind::Concat(lhs, _) => match &lhs.kind {
+            ExprKind::SymConcat(inner, _) => {
+                assert!(matches!(inner.kind, ExprKind::Concat(..)));
+            }
+            other => panic!("expected @@, got {other:?}"),
+        },
+        other => panic!("expected @, got {other:?}"),
+    }
+}

@@ -1,0 +1,158 @@
+//! Pretty-printer/parser round-trip on random ASTs: `parse(pretty(e))`
+//! reproduces `e` up to spans.
+
+use proptest::prelude::*;
+use rowpoly_lang::{
+    parse_expr, pretty_expr, BinOp, Expr, ExprKind, Span, Symbol,
+};
+
+const NAMES: [&str; 5] = ["x", "y", "zed", "foo", "bar2"];
+
+fn name() -> impl Strategy<Value = Symbol> {
+    (0..NAMES.len()).prop_map(|i| Symbol::intern(NAMES[i]))
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let mk = |kind| Expr::new(kind, Span::dummy());
+    let leaf = prop_oneof![
+        name().prop_map(move |s| Expr::new(ExprKind::Var(s), Span::dummy())),
+        (-1000i64..1000).prop_map(move |n| Expr::new(ExprKind::Int(n), Span::dummy())),
+        // Printable string literals only (the lexer accepts ASCII).
+        "[a-z ]{0,6}".prop_map(move |s| Expr::new(ExprKind::Str(s), Span::dummy())),
+        Just(mk(ExprKind::Empty)),
+        name().prop_map(|n| Expr::new(ExprKind::Select(n), Span::dummy())),
+        name().prop_map(|n| Expr::new(ExprKind::Remove(n), Span::dummy())),
+        (name(), name())
+            .prop_map(|(a, b)| Expr::new(ExprKind::Rename(a, b), Span::dummy())),
+    ];
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        let e = inner.clone();
+        prop_oneof![
+            (name(), e.clone()).prop_map(|(x, b)| Expr::new(
+                ExprKind::Lam(x, Box::new(b)),
+                Span::dummy()
+            )),
+            (e.clone(), e.clone()).prop_map(|(f, a)| Expr::new(
+                ExprKind::App(Box::new(f), Box::new(a)),
+                Span::dummy()
+            )),
+            (name(), e.clone(), e.clone()).prop_map(|(n, b, k)| Expr::new(
+                ExprKind::Let { name: n, bound: Box::new(b), body: Box::new(k) },
+                Span::dummy()
+            )),
+            (e.clone(), e.clone(), e.clone()).prop_map(|(c, t, f)| Expr::new(
+                ExprKind::If(Box::new(c), Box::new(t), Box::new(f)),
+                Span::dummy()
+            )),
+            (name(), e.clone()).prop_map(|(n, v)| Expr::new(
+                ExprKind::Update(n, Box::new(v)),
+                Span::dummy()
+            )),
+            (e.clone(), e.clone()).prop_map(|(a, b)| Expr::new(
+                ExprKind::Concat(Box::new(a), Box::new(b)),
+                Span::dummy()
+            )),
+            (e.clone(), e.clone()).prop_map(|(a, b)| Expr::new(
+                ExprKind::SymConcat(Box::new(a), Box::new(b)),
+                Span::dummy()
+            )),
+            (name(), name(), e.clone(), e.clone()).prop_map(|(f, s, t, el)| Expr::new(
+                ExprKind::When {
+                    field: f,
+                    subject: s,
+                    then_branch: Box::new(t),
+                    else_branch: Box::new(el),
+                },
+                Span::dummy()
+            )),
+            prop::collection::vec(e.clone(), 0..3)
+                .prop_map(|items| Expr::new(ExprKind::List(items), Span::dummy())),
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                e.clone(),
+                e
+            )
+                .prop_map(|(op, a, b)| Expr::new(
+                    ExprKind::BinOp(op, Box::new(a), Box::new(b)),
+                    Span::dummy()
+                )),
+        ]
+    })
+}
+
+/// Structural equality modulo spans.
+fn normalize(e: &Expr) -> Expr {
+    let mut c = e.clone();
+    strip(&mut c);
+    c
+}
+
+fn strip(e: &mut Expr) {
+    e.span = Span::dummy();
+    match &mut e.kind {
+        ExprKind::List(items) => items.iter_mut().for_each(strip),
+        ExprKind::Lam(_, b) | ExprKind::Update(_, b) => strip(b),
+        ExprKind::App(a, b)
+        | ExprKind::Concat(a, b)
+        | ExprKind::SymConcat(a, b)
+        | ExprKind::BinOp(_, a, b) => {
+            strip(a);
+            strip(b);
+        }
+        ExprKind::Let { bound, body, .. } => {
+            strip(bound);
+            strip(body);
+        }
+        ExprKind::If(a, b, c) => {
+            strip(a);
+            strip(b);
+            strip(c);
+        }
+        ExprKind::When { then_branch, else_branch, .. } => {
+            strip(then_branch);
+            strip(else_branch);
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pretty_then_parse_is_identity(e in expr()) {
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|d| panic!("unparseable output: {d}\n---\n{printed}"));
+        prop_assert_eq!(
+            normalize(&reparsed),
+            normalize(&e),
+            "round trip changed the tree:\n{}",
+            printed
+        );
+    }
+
+    /// Printing is deterministic.
+    #[test]
+    fn printing_is_deterministic(e in expr()) {
+        prop_assert_eq!(pretty_expr(&e), pretty_expr(&e));
+    }
+
+    /// Free variables are preserved by the round trip.
+    #[test]
+    fn free_vars_preserved(e in expr()) {
+        let printed = pretty_expr(&e);
+        if let Ok(reparsed) = parse_expr(&printed) {
+            prop_assert_eq!(reparsed.free_vars(), e.free_vars());
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! `applyS` — applying a skeleton substitution to flow-decorated types
+//! (Fig. 4 of the paper), and scheme instantiation.
+//!
+//! A substitution `σ ∈ V → P` produced by unification maps type variables
+//! to terms *without* flow information. Applying it to a judgement
+//! `t; ρR | β` therefore has to:
+//!
+//! 1. find the `n` occurrences `a.f1, …, a.fn` of each substituted
+//!    variable `a` and their flags `⟨f1, …, fn⟩`;
+//! 2. replace occurrence `i` by a freshly decorated copy
+//!    `τi = ⇑RP(⇓RP(σ(a)))`;
+//! 3. replicate the flow between `f1, …, fn` once per flag *column* of the
+//!    copies — `expand_{f1…fn, τ1+[j]…τn+[j]}(β)` for each position `j`,
+//!    where the targets carry the contra-variant polarity of their
+//!    position inside `τ` (Example 3);
+//! 4. existentially project the now-dead original flags out of β.
+
+use rowpoly_boolfun::{Cnf, Flag, FlagAlloc, Lit};
+
+use crate::env::{Binding, Scheme, TyEnv};
+use crate::flags::{flag_lits, row_suffix_lits};
+use crate::subst::Subst;
+use crate::ty::{Row, RowTail, Ty, Var, VarAlloc, NO_FLAG};
+
+/// Replaced occurrence flags, partitioned by where the occurrence lived.
+///
+/// Flags replaced in the judgement's own result type are exclusive to the
+/// judgement and may be projected out of β immediately; flags replaced in
+/// environment bindings may still occur in *clones* of the environment
+/// held by sibling judgements, so their projection must be deferred until
+/// the enclosing rule knows they are globally dead.
+#[derive(Debug, Default)]
+pub struct ReplacedFlags {
+    /// Occurrence flags replaced in the κ type (safe to project now).
+    pub kappa: Vec<Flag>,
+    /// Occurrence flags replaced in environment bindings (defer).
+    pub env: Vec<Flag>,
+}
+
+/// Applies `subst` to the judgement `kappa; env | beta`, transporting flow
+/// information per Fig. 4. See the module documentation.
+///
+/// Only environment bindings that mention the substitution's domain are
+/// rewritten (global-layer bindings are promoted into the local layer
+/// first); if no binding is touched, the environment — including its
+/// version tag — is left alone, enabling the Section 6 meet shortcut.
+///
+/// Unlike the paper's monolithic `applyS`, the final `∃`-projection of the
+/// replaced occurrence flags is *returned* to the caller (see
+/// [`ReplacedFlags`]): the engine shares β across sibling judgements, so
+/// only it can decide when an environment flag is dead everywhere.
+///
+/// The traversal order (result type first, then environment bindings in
+/// symbol order) fixes the occurrence order; any fixed order yields
+/// logically equivalent flows.
+pub fn apply_subst_flow(
+    subst: &Subst,
+    kappa: &mut Ty,
+    env: &mut TyEnv,
+    beta: &mut Cnf,
+    flags: &mut FlagAlloc,
+) -> ReplacedFlags {
+    if subst.is_empty() {
+        return ReplacedFlags::default();
+    }
+    let mut occ: Vec<(Var, Flag, Vec<Lit>)> = Vec::new();
+    walk(kappa, subst, flags, &mut occ);
+    let kappa_count = occ.len();
+
+    // Promote global bindings the substitution touches, then rewrite only
+    // the touched local bindings.
+    for name in env.globals_touched_by(subst) {
+        env.promote(name);
+    }
+    let touched: Vec<rowpoly_lang::Symbol> = env
+        .iter_local()
+        .filter(|(_, b)| b.free_vars().iter().any(|v| subst.binds(*v)))
+        .map(|(s, _)| s)
+        .collect();
+    if !touched.is_empty() {
+        for (name, binding) in env.iter_local_mut() {
+            if !touched.contains(&name) {
+                continue;
+            }
+            match binding {
+                Binding::Mono(t) => walk(t, subst, flags, &mut occ),
+                Binding::Poly(s) => walk(&mut s.ty, subst, flags, &mut occ),
+            }
+        }
+    }
+    if occ.is_empty() {
+        return ReplacedFlags::default();
+    }
+    let mut replaced = ReplacedFlags::default();
+    for (i, (_, f, _)) in occ.iter().enumerate() {
+        if i < kappa_count {
+            replaced.kappa.push(*f);
+        } else {
+            replaced.env.push(*f);
+        }
+    }
+    // Group occurrences by variable, preserving encounter order.
+    let mut grouped: Vec<(Var, Vec<Flag>, Vec<Vec<Lit>>)> = Vec::new();
+    for (v, f, vec) in occ {
+        match grouped.iter_mut().find(|(w, _, _)| *w == v) {
+            Some((_, fs, vecs)) => {
+                fs.push(f);
+                vecs.push(vec);
+            }
+            None => grouped.push((v, vec![f], vec![vec])),
+        }
+    }
+    for (_, sources, vecs) in &grouped {
+        debug_assert!(
+            sources.iter().all(|&f| f != NO_FLAG),
+            "applyS on a skeleton judgement"
+        );
+        let width = vecs[0].len();
+        debug_assert!(vecs.iter().all(|v| v.len() == width), "copies share a shape");
+        for j in 0..width {
+            let column: Vec<Lit> = vecs.iter().map(|v| v[j]).collect();
+            beta.expand(sources, &column);
+        }
+    }
+    replaced
+}
+
+fn walk(
+    t: &mut Ty,
+    subst: &Subst,
+    flags: &mut FlagAlloc,
+    occ: &mut Vec<(Var, Flag, Vec<Lit>)>,
+) {
+    match t {
+        Ty::Var(v, f) => {
+            if let Some(binding) = subst.ty_binding(*v) {
+                let copy = binding.decorate(flags);
+                occ.push((*v, *f, flag_lits(&copy)));
+                *t = copy;
+            }
+        }
+        Ty::Int | Ty::Str => {}
+        Ty::List(inner) => walk(inner, subst, flags, occ),
+        Ty::Fun(a, b) => {
+            walk(a, subst, flags, occ);
+            walk(b, subst, flags, occ);
+        }
+        Ty::Record(row) => {
+            for fe in &mut row.fields {
+                walk(&mut fe.ty, subst, flags, occ);
+            }
+            if let RowTail::Var(v, f) = row.tail {
+                if let Some(suffix) = subst.row_binding(v) {
+                    let copy = decorate_row(suffix, flags);
+                    occ.push((v, f, row_suffix_lits(&copy)));
+                    row.fields.extend(copy.fields);
+                    row.fields.sort_by(|a, b| a.name.cmp(&b.name));
+                    debug_assert!(
+                        row.fields.windows(2).all(|w| w[0].name != w[1].name),
+                        "row splice produced duplicate fields"
+                    );
+                    row.tail = copy.tail;
+                }
+            }
+        }
+    }
+}
+
+fn decorate_row(row: &Row, flags: &mut FlagAlloc) -> Row {
+    match Ty::Record(row.clone()).decorate(flags) {
+        Ty::Record(r) => r,
+        _ => unreachable!("decorate preserves constructors"),
+    }
+}
+
+/// Instantiates a scheme (rule (VAR-LET)): quantified variables are
+/// renamed to fresh ones and *every* flag of the body is refreshed; the
+/// flow of the body's flags is duplicated onto the fresh copies by a
+/// single (positive) expansion. The scheme itself — and its share of β —
+/// is left untouched, so later instantiations are independent.
+pub fn instantiate(
+    scheme: &Scheme,
+    vars: &mut VarAlloc,
+    flags: &mut FlagAlloc,
+    beta: &mut Cnf,
+) -> Ty {
+    let renaming: Vec<(Var, Var)> =
+        scheme.vars.iter().map(|&v| (v, vars.fresh())).collect();
+    let subst = Subst::renaming(renaming);
+    // Rename quantified variables on the skeleton (flags preserved
+    // positionally by re-decorating below).
+    let renamed = apply_renaming(&scheme.ty, &subst);
+    // Refresh all flags. The old→new correspondence must be read off in
+    // the *same* traversal order on both sides: `map_flags` rebuilds the
+    // term structurally, so the fresh flags are re-collected with
+    // `Ty::flags` (Definition 1 order), exactly like the old ones.
+    let old: Vec<Flag> = scheme.ty.flags();
+    let instance = renamed.map_flags(&mut |_| flags.fresh());
+    let fresh_flags: Vec<Lit> =
+        instance.flags().into_iter().map(Lit::pos).collect();
+    debug_assert_eq!(old.len(), fresh_flags.len(), "renaming preserves flag count");
+    if !old.is_empty() {
+        beta.expand(&old, &fresh_flags);
+    }
+    // Copy the scheme's stored flow (top-level definitions keep their
+    // projected flow with the scheme rather than in the working β).
+    if !scheme.flow.is_empty() {
+        let map: std::collections::HashMap<Flag, Flag> = old
+            .iter()
+            .copied()
+            .zip(fresh_flags.iter().map(|l| l.flag()))
+            .collect();
+        for c in scheme.flow.clauses() {
+            if let Some(copy) = c.rename(|l| match map.get(&l.flag()) {
+                Some(&nf) => l.with_flag(nf),
+                None => l,
+            }) {
+                beta.add_clause(copy);
+            }
+        }
+        beta.normalize();
+    }
+    instance
+}
+
+/// Applies a pure-renaming substitution structurally (flags preserved;
+/// only variable names change). Unlike [`Subst::apply`] this keeps the
+/// flags of renamed occurrences, because instantiation refreshes them in a
+/// controlled second pass.
+fn apply_renaming(t: &Ty, subst: &Subst) -> Ty {
+    match t {
+        Ty::Var(v, f) => match subst.ty_binding(*v) {
+            Some(Ty::Var(w, _)) => Ty::Var(*w, *f),
+            Some(other) => unreachable!("renaming bound to non-variable {other:?}"),
+            None => Ty::Var(*v, *f),
+        },
+        Ty::Int => Ty::Int,
+        Ty::Str => Ty::Str,
+        Ty::List(inner) => Ty::List(Box::new(apply_renaming(inner, subst))),
+        Ty::Fun(a, b) => Ty::Fun(
+            Box::new(apply_renaming(a, subst)),
+            Box::new(apply_renaming(b, subst)),
+        ),
+        Ty::Record(row) => {
+            let fields = row
+                .fields
+                .iter()
+                .map(|fe| crate::ty::FieldEntry {
+                    name: fe.name,
+                    flag: fe.flag,
+                    ty: apply_renaming(&fe.ty, subst),
+                })
+                .collect();
+            let tail = match row.tail {
+                RowTail::Closed => RowTail::Closed,
+                RowTail::Var(v, f) => match subst.row_binding(v) {
+                    Some(Row { fields, tail: RowTail::Var(w, _) }) if fields.is_empty() => {
+                        RowTail::Var(*w, f)
+                    }
+                    Some(other) => unreachable!("renaming bound row to {other:?}"),
+                    None => RowTail::Var(v, f),
+                },
+            };
+            Ty::Record(Row { fields, tail })
+        }
+    }
+}
+
+/// Projects β onto the flags that are still alive in the judgement
+/// (`env` plus `kappa`), removing stale flags. The paper's Section 6
+/// stresses that this must happen before expansions, or copies alias their
+/// originals through stale equivalences.
+pub fn compact_flow(beta: &mut Cnf, env: &TyEnv, kappa: &Ty) {
+    let mut live = env.flags();
+    live.extend(kappa.flags());
+    beta.project_onto(&live);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpoly_lang::Symbol;
+
+    /// Example 3 of the paper: applying `[a / b→b]` to the identity's type
+    /// `a.fi → a.fo` with flow `fo → fi` yields
+    /// `(b.f1→b.f2) → (b.f3→b.f4)` with flow `fo→fi ∧ f4→f2 ∧ f1→f3`
+    /// projected onto the new flags: `f4→f2 ∧ f1→f3`.
+    #[test]
+    fn example_3_identity_self_substitution() {
+        let mut vars = VarAlloc::new();
+        let mut flags = FlagAlloc::new();
+        let a = vars.fresh();
+        let b = vars.fresh();
+        let fi = flags.fresh();
+        let fo = flags.fresh();
+        let mut kappa = Ty::fun(Ty::var(a, fi), Ty::var(a, fo));
+        let mut beta = Cnf::top();
+        beta.imply(Lit::pos(fo), Lit::pos(fi));
+        let mut subst = Subst::new();
+        subst.bind_ty(a, &Ty::fun(Ty::svar(b), Ty::svar(b)));
+        let mut env = TyEnv::new();
+        let replaced = apply_subst_flow(&subst, &mut kappa, &mut env, &mut beta, &mut flags);
+        beta.project_out(&replaced.kappa.iter().chain(&replaced.env).copied().collect());
+
+        // Shape: (b.f1→b.f2) → (b.f3→b.f4).
+        let (f1, f2, f3, f4) = match &kappa {
+            Ty::Fun(i, o) => match (i.as_ref(), o.as_ref()) {
+                (Ty::Fun(i1, i2), Ty::Fun(o1, o2)) => {
+                    let get = |t: &Ty| match t {
+                        Ty::Var(v, f) => {
+                            assert_eq!(*v, b);
+                            *f
+                        }
+                        other => panic!("expected var, got {other:?}"),
+                    };
+                    (get(i1), get(i2), get(o1), get(o2))
+                }
+                other => panic!("expected functions, got {other:?}"),
+            },
+            other => panic!("expected function, got {other:?}"),
+        };
+        // Original flags are gone.
+        assert!(!beta.mentions(fi));
+        assert!(!beta.mentions(fo));
+        // Expected flow: f4→f2 and f1→f3 (Example 3).
+        let mut expect = Cnf::top();
+        expect.imply(Lit::pos(f4), Lit::pos(f2));
+        expect.imply(Lit::pos(f1), Lit::pos(f3));
+        assert!(beta.equivalent(&expect), "got {beta:?}, want {expect:?}");
+    }
+
+    /// The `cond` example of Section 2.4: [a / {FOO : b, c}] applied to
+    /// `a.f1 → a.f2 → a.f3` with flow `f3→f1 ∧ f3→f2` replicates the flow
+    /// three times (once per flag of the record copy).
+    #[test]
+    fn section_2_4_cond_substitution() {
+        let mut vars = VarAlloc::new();
+        let mut flags = FlagAlloc::new();
+        let a = vars.fresh();
+        let b = vars.fresh();
+        let c = vars.fresh();
+        let f1 = flags.fresh();
+        let f2 = flags.fresh();
+        let f3 = flags.fresh();
+        let mut kappa = Ty::fun(
+            Ty::var(a, f1),
+            Ty::fun(Ty::var(a, f2), Ty::var(a, f3)),
+        );
+        let mut beta = Cnf::top();
+        beta.imply(Lit::pos(f3), Lit::pos(f1));
+        beta.imply(Lit::pos(f3), Lit::pos(f2));
+        let record = Ty::record(
+            vec![crate::ty::FieldEntry {
+                name: Symbol::intern("foo"),
+                flag: NO_FLAG,
+                ty: Ty::svar(b),
+            }],
+            RowTail::Var(c, NO_FLAG),
+        );
+        let mut subst = Subst::new();
+        subst.bind_ty(a, &record);
+        let mut env = TyEnv::new();
+        let replaced = apply_subst_flow(&subst, &mut kappa, &mut env, &mut beta, &mut flags);
+        beta.project_out(&replaced.kappa.iter().chain(&replaced.env).copied().collect());
+
+        // Collect the three copies' flag triples (f_field, f_tail, f_b).
+        let copies: Vec<Vec<Flag>> = match &kappa {
+            Ty::Fun(t1, rest) => match rest.as_ref() {
+                Ty::Fun(t2, t3) => vec![t1.flags(), t2.flags(), t3.flags()],
+                other => panic!("expected function, got {other:?}"),
+            },
+            other => panic!("expected function, got {other:?}"),
+        };
+        assert!(copies.iter().all(|c| c.len() == 3));
+        // Per column j: copy3[j] → copy1[j] and copy3[j] → copy2[j].
+        let mut expect = Cnf::top();
+        for j in 0..3 {
+            expect.imply(Lit::pos(copies[2][j]), Lit::pos(copies[0][j]));
+            expect.imply(Lit::pos(copies[2][j]), Lit::pos(copies[1][j]));
+        }
+        assert!(beta.equivalent(&expect), "got {beta:?}");
+    }
+
+    #[test]
+    fn row_splice_transports_tail_flow() {
+        // κ = {x.fx : Int, r.f1} → {x.gx : Int, r.f2} with f2 → f1;
+        // substituting r by {y : Int, s} must give flows between the
+        // copies of the y-flag and the new tails.
+        let mut vars = VarAlloc::new();
+        let mut flags = FlagAlloc::new();
+        let r = vars.fresh();
+        let s = vars.fresh();
+        let fx = flags.fresh();
+        let gx = flags.fresh();
+        let f1 = flags.fresh();
+        let f2 = flags.fresh();
+        let x = Symbol::intern("x");
+        let mk = |field_flag: Flag, tail_flag: Flag| {
+            Ty::record(
+                vec![crate::ty::FieldEntry { name: x, flag: field_flag, ty: Ty::Int }],
+                RowTail::Var(r, tail_flag),
+            )
+        };
+        let mut kappa = Ty::fun(mk(fx, f1), mk(gx, f2));
+        let mut beta = Cnf::top();
+        beta.imply(Lit::pos(f2), Lit::pos(f1));
+        let suffix = Row {
+            fields: vec![crate::ty::FieldEntry {
+                name: Symbol::intern("y"),
+                flag: NO_FLAG,
+                ty: Ty::Int,
+            }],
+            tail: RowTail::Var(s, NO_FLAG),
+        };
+        let mut subst = Subst::new();
+        subst.bind_row(r, &suffix);
+        let mut env = TyEnv::new();
+        let replaced = apply_subst_flow(&subst, &mut kappa, &mut env, &mut beta, &mut flags);
+        beta.project_out(&replaced.kappa.iter().chain(&replaced.env).copied().collect());
+
+        // Each record now has fields {x, y} and tail s; the flow f2→f1
+        // is replicated for the y-column and the tail-column.
+        let recs: Vec<&Row> = match &kappa {
+            Ty::Fun(a, b) => match (a.as_ref(), b.as_ref()) {
+                (Ty::Record(ra), Ty::Record(rb)) => vec![ra, rb],
+                other => panic!("expected records, got {other:?}"),
+            },
+            other => panic!("expected function, got {other:?}"),
+        };
+        let y = Symbol::intern("y");
+        let y_in = recs[0].field(y).expect("y spliced into input").flag;
+        let y_out = recs[1].field(y).expect("y spliced into output").flag;
+        let tail_of = |row: &Row| match row.tail {
+            RowTail::Var(v, f) => {
+                assert_eq!(v, s);
+                f
+            }
+            RowTail::Closed => panic!("expected open tail"),
+        };
+        let (t_in, t_out) = (tail_of(recs[0]), tail_of(recs[1]));
+        let mut expect = Cnf::top();
+        expect.imply(Lit::pos(y_out), Lit::pos(y_in));
+        expect.imply(Lit::pos(t_out), Lit::pos(t_in));
+        // x-field flags are untouched and unconstrained.
+        assert!(beta.equivalent(&expect), "got {beta:?}");
+        assert!(!beta.mentions(f1));
+        assert!(!beta.mentions(f2));
+        assert_eq!(recs[0].field(x).expect("x kept").flag, fx);
+        assert_eq!(recs[1].field(x).expect("x kept").flag, gx);
+    }
+
+    #[test]
+    fn instantiate_copies_flow_and_preserves_scheme() {
+        // Scheme ∀a . a.f1 → a.f2 with flow f2 → f1 (the identity).
+        let mut vars = VarAlloc::new();
+        let mut flags = FlagAlloc::new();
+        let a = vars.fresh();
+        let f1 = flags.fresh();
+        let f2 = flags.fresh();
+        let scheme = Scheme::new(vec![a], Ty::fun(Ty::var(a, f1), Ty::var(a, f2)));
+        let mut beta = Cnf::top();
+        beta.imply(Lit::pos(f2), Lit::pos(f1));
+
+        let inst = instantiate(&scheme, &mut vars, &mut flags, &mut beta);
+        let (b, g1, g2) = match &inst {
+            Ty::Fun(i, o) => match (i.as_ref(), o.as_ref()) {
+                (Ty::Var(v1, g1), Ty::Var(v2, g2)) => {
+                    assert_eq!(v1, v2);
+                    (*v1, *g1, *g2)
+                }
+                other => panic!("expected vars, got {other:?}"),
+            },
+            other => panic!("expected function, got {other:?}"),
+        };
+        assert_ne!(b, a, "quantified variable renamed");
+        assert_ne!(g1, f1);
+        // Instance has its own flow...
+        let mut q = beta.clone();
+        q.assert_lit(Lit::pos(g2));
+        q.assert_lit(Lit::neg(g1));
+        assert!(!q.is_sat(), "instance flow g2→g1 present");
+        // ...the scheme keeps its flow...
+        let mut q = beta.clone();
+        q.assert_lit(Lit::pos(f2));
+        q.assert_lit(Lit::neg(f1));
+        assert!(!q.is_sat(), "scheme flow f2→f1 survives");
+        // ...and the two are independent.
+        let mut q = beta.clone();
+        q.assert_lit(Lit::pos(f1));
+        q.assert_lit(Lit::neg(g1));
+        assert!(q.is_sat(), "scheme and instance flags are decoupled");
+    }
+
+    #[test]
+    fn two_instantiations_are_independent() {
+        let mut vars = VarAlloc::new();
+        let mut flags = FlagAlloc::new();
+        let a = vars.fresh();
+        let f1 = flags.fresh();
+        let scheme = Scheme::new(vec![a], Ty::var(a, f1));
+        let mut beta = Cnf::top();
+        let i1 = instantiate(&scheme, &mut vars, &mut flags, &mut beta);
+        let i2 = instantiate(&scheme, &mut vars, &mut flags, &mut beta);
+        let flag_of = |t: &Ty| match t {
+            Ty::Var(_, f) => *f,
+            other => panic!("expected var, got {other:?}"),
+        };
+        let (g1, g2) = (flag_of(&i1), flag_of(&i2));
+        assert_ne!(g1, g2);
+        let mut q = beta.clone();
+        q.assert_lit(Lit::pos(g1));
+        q.assert_lit(Lit::neg(g2));
+        assert!(q.is_sat(), "independent uses may disagree about fields");
+    }
+
+    #[test]
+    fn compact_flow_drops_stale_flags() {
+        let mut flags = FlagAlloc::new();
+        let fa = flags.fresh();
+        let fb = flags.fresh();
+        let fdead = flags.fresh();
+        let mut beta = Cnf::top();
+        beta.imply(Lit::pos(fa), Lit::pos(fdead));
+        beta.imply(Lit::pos(fdead), Lit::pos(fb));
+        let kappa = Ty::fun(Ty::var(Var(0), fa), Ty::var(Var(0), fb));
+        let env = TyEnv::new();
+        compact_flow(&mut beta, &env, &kappa);
+        assert!(!beta.mentions(fdead));
+        let mut expect = Cnf::top();
+        expect.imply(Lit::pos(fa), Lit::pos(fb));
+        assert!(beta.equivalent(&expect));
+    }
+}

@@ -1,0 +1,250 @@
+//! Human-readable rendering of types.
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+use rowpoly_boolfun::Flag;
+
+use crate::env::Scheme;
+use crate::ty::{RowTail, Ty, Var, NO_FLAG};
+
+/// Renders a type with canonical names: type variables become `a, b, c, …`
+/// in first-occurrence order and flags become `f1, f2, …`.
+///
+/// With `show_flags = false` the `P`-skeleton view is printed (as in the
+/// inference without field tracking); with `true`, fields print as
+/// `N.f1 : t` and variables as `a.f2`.
+pub fn render_ty(t: &Ty, show_flags: bool) -> String {
+    let mut r = Renderer::new(show_flags);
+    let mut out = String::new();
+    r.ty(t, false, &mut out);
+    out
+}
+
+/// Renders a scheme, prefixing `∀` quantifiers when present.
+pub fn render_scheme(s: &Scheme, show_flags: bool) -> String {
+    let mut r = Renderer::new(show_flags);
+    // Pre-seed quantified variables so they get the first letters.
+    for v in &s.vars {
+        r.var_name(*v);
+    }
+    let mut body = String::new();
+    r.ty(&s.ty, false, &mut body);
+    if s.vars.is_empty() {
+        body
+    } else {
+        let names: Vec<String> = s.vars.iter().map(|v| r.var_name(*v)).collect();
+        format!("forall {} . {}", names.join(" "), body)
+    }
+}
+
+/// Renders a scheme together with its stored flow, in the paper's
+/// `type | flow` style — e.g. the introduction's
+/// `{foo.f1 : Int, a.f2} -> {foo.f3 : Int, a.f4} | f3 -> f1, f4 -> f2`.
+/// Flags are named consistently between the type and the flow; flow
+/// clauses mentioning flags outside the type (none, for finished
+/// top-level definitions) would show raw indices.
+pub fn render_scheme_with_flow(s: &Scheme) -> String {
+    let mut r = Renderer::new(true);
+    for v in &s.vars {
+        r.var_name(*v);
+    }
+    let mut body = String::new();
+    r.ty(&s.ty, false, &mut body);
+    let quantified = if s.vars.is_empty() {
+        body
+    } else {
+        let names: Vec<String> = s.vars.iter().map(|v| r.var_name(*v)).collect();
+        format!("forall {} . {}", names.join(" "), body)
+    };
+    if s.flow.is_empty() {
+        return quantified;
+    }
+    let mut clauses: Vec<String> = Vec::new();
+    for c in s.flow.clauses() {
+        clauses.push(r.clause(c));
+    }
+    format!("{quantified} | {}", clauses.join(", "))
+}
+
+struct Renderer {
+    show_flags: bool,
+    vars: HashMap<Var, String>,
+    flags: HashMap<Flag, String>,
+}
+
+impl Renderer {
+    fn new(show_flags: bool) -> Renderer {
+        Renderer { show_flags, vars: HashMap::new(), flags: HashMap::new() }
+    }
+
+    fn var_name(&mut self, v: Var) -> String {
+        let n = self.vars.len();
+        self.vars
+            .entry(v)
+            .or_insert_with(|| {
+                // a, b, …, z, a1, b1, …
+                let letter = (b'a' + (n % 26) as u8) as char;
+                let suffix = n / 26;
+                if suffix == 0 {
+                    letter.to_string()
+                } else {
+                    format!("{letter}{suffix}")
+                }
+            })
+            .clone()
+    }
+
+    fn flag_name(&mut self, f: Flag) -> String {
+        let n = self.flags.len() + 1;
+        self.flags.entry(f).or_insert_with(|| format!("f{n}")).clone()
+    }
+
+    fn ty(&mut self, t: &Ty, atom: bool, out: &mut String) {
+        match t {
+            Ty::Var(v, f) => {
+                let name = self.var_name(*v);
+                out.push_str(&name);
+                self.flag_suffix(*f, out);
+            }
+            Ty::Int => out.push_str("Int"),
+            Ty::Str => out.push_str("Str"),
+            Ty::List(inner) => {
+                out.push('[');
+                self.ty(inner, false, out);
+                out.push(']');
+            }
+            Ty::Fun(a, b) => {
+                if atom {
+                    out.push('(');
+                }
+                self.ty(a, true, out);
+                out.push_str(" -> ");
+                self.ty(b, false, out);
+                if atom {
+                    out.push(')');
+                }
+            }
+            Ty::Record(row) => {
+                out.push('{');
+                let mut first = true;
+                for fe in &row.fields {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    write!(out, "{}", fe.name).expect("write to string");
+                    self.flag_suffix(fe.flag, out);
+                    out.push_str(" : ");
+                    self.ty(&fe.ty, false, out);
+                }
+                match row.tail {
+                    RowTail::Closed => {}
+                    RowTail::Var(v, f) => {
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        let name = self.var_name(v);
+                        out.push_str(&name);
+                        self.flag_suffix(f, out);
+                    }
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders a flow clause with the same flag names as the type.
+    /// Implications `¬a ∨ b` print as `a -> b`; other clauses print as
+    /// disjunctions.
+    fn clause(&mut self, c: &rowpoly_boolfun::Clause) -> String {
+        let lits = c.lits();
+        let lit = |r: &mut Renderer, l: rowpoly_boolfun::Lit| {
+            let name = r.flag_name(l.flag());
+            if l.is_neg() {
+                format!("!{name}")
+            } else {
+                name
+            }
+        };
+        match lits {
+            [l] => lit(self, *l),
+            [a, b] if a.is_neg() != b.is_neg() => {
+                // Exactly one negative literal: print as an implication.
+                let (neg, pos) = if a.is_neg() { (*a, *b) } else { (*b, *a) };
+                let from = self.flag_name(neg.flag());
+                let to = self.flag_name(pos.flag());
+                format!("{from} -> {to}")
+            }
+            _ => {
+                let parts: Vec<String> = lits.iter().map(|&l| lit(self, l)).collect();
+                parts.join(" | ")
+            }
+        }
+    }
+
+    fn flag_suffix(&mut self, f: Flag, out: &mut String) {
+        if self.show_flags && f != NO_FLAG {
+            let name = self.flag_name(f);
+            out.push('.');
+            out.push_str(&name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::FieldEntry;
+    use rowpoly_lang::Symbol;
+
+    #[test]
+    fn skeleton_rendering() {
+        let t = Ty::fun(Ty::svar(Var(3)), Ty::fun(Ty::svar(Var(9)), Ty::svar(Var(3))));
+        assert_eq!(render_ty(&t, false), "a -> b -> a");
+    }
+
+    #[test]
+    fn function_argument_is_parenthesised() {
+        let t = Ty::fun(Ty::fun(Ty::Int, Ty::Int), Ty::Str);
+        assert_eq!(render_ty(&t, false), "(Int -> Int) -> Str");
+    }
+
+    #[test]
+    fn record_with_flags() {
+        let t = Ty::record(
+            vec![FieldEntry { name: Symbol::intern("foo"), flag: Flag(10), ty: Ty::Int }],
+            RowTail::Var(Var(0), Flag(11)),
+        );
+        assert_eq!(render_ty(&t, true), "{foo.f1 : Int, a.f2}");
+        assert_eq!(render_ty(&t, false), "{foo : Int, a}");
+    }
+
+    #[test]
+    fn scheme_rendering() {
+        let s = Scheme::new(vec![Var(5)], Ty::fun(Ty::svar(Var(5)), Ty::svar(Var(5))));
+        assert_eq!(render_scheme(&s, false), "forall a . a -> a");
+    }
+
+    #[test]
+    fn scheme_with_flow_rendering() {
+        use rowpoly_boolfun::{Cnf, Flag as BFlag, Lit};
+        let mut flow = Cnf::top();
+        flow.imply(Lit::pos(BFlag(12)), Lit::pos(BFlag(10)));
+        flow.assert_lit(Lit::pos(BFlag(11)));
+        flow.normalize();
+        let s = Scheme {
+            vars: vec![Var(3)],
+            ty: Ty::fun(Ty::var(Var(3), Flag(10)), Ty::var(Var(3), Flag(12))),
+            flow,
+        };
+        let rendered = render_scheme_with_flow(&s);
+        assert_eq!(rendered, "forall a . a.f1 -> a.f2 | f2 -> f1, f3");
+    }
+
+    #[test]
+    fn lists_and_closed_records() {
+        let t = Ty::list(Ty::record(vec![], RowTail::Closed));
+        assert_eq!(render_ty(&t, false), "[{}]");
+    }
+}

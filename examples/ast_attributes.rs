@@ -1,0 +1,83 @@
+//! Compiler-pass scenario from the paper's introduction: passes compute
+//! and store information in the nodes of an abstract syntax tree, and the
+//! inference verifies that an attribute of an AST node is computed before
+//! it is accessed — including when passes run conditionally.
+//!
+//! ```sh
+//! cargo run --example ast_attributes
+//! ```
+
+use rowpoly::core::Session;
+
+/// Each "AST node" is a record; passes annotate it with attribute fields.
+/// `resolve` adds `sym`, `typeck` reads `sym` and adds `ty`, `emit` reads
+/// `ty`.
+const PIPELINE: &str = r"
+def resolve node = @{sym = #name_id node + 1000} node
+def typeck node = @{ty = #sym node * 2} node
+def emit node = #ty node
+
+def fresh_node i = {name_id = i}
+
+def compile i = emit (typeck (resolve (fresh_node i)))
+";
+
+fn main() {
+    let session = Session::default();
+
+    println!("correct pass order: resolve → typeck → emit");
+    match session.infer_source(PIPELINE) {
+        Ok(report) => {
+            for d in &report.defs {
+                println!("  {:<10} : {}", d.name, d.render(false));
+            }
+        }
+        Err(e) => panic!("pipeline should check: {e}"),
+    }
+
+    // Skipping `typeck` means `emit` reads an attribute nobody computed.
+    let skipped = r"
+def resolve node = @{sym = #name_id node + 1000} node
+def typeck node = @{ty = #sym node * 2} node
+def emit node = #ty node
+def compile i = emit (resolve {name_id = i})
+";
+    println!("\nskipping typeck:");
+    match session.infer_source(skipped) {
+        Ok(_) => unreachable!("`ty` was never computed"),
+        Err(e) => print!("{}", e.render(skipped)),
+    }
+
+    // Running an annotation pass conditionally is fine as long as every
+    // consumer is guarded the same way — `when` makes this checkable.
+    let conditional = r"
+def resolve node = @{sym = #name_id node + 1000} node
+def maybe_typeck node = if optimize then @{ty = #sym node * 2} node
+                        else node
+def emit node = when ty in node then #ty node else 0 - 1
+def compile i = emit (maybe_typeck (resolve {name_id = i}))
+";
+    println!("\nconditional typeck with a guarded consumer:");
+    match session.infer_source(conditional) {
+        Ok(report) => {
+            let last = report.defs.last().expect("defs");
+            println!("  accepted; compile : {}", last.render(false));
+        }
+        Err(e) => panic!("guarded consumer should check: {e}"),
+    }
+
+    // The same consumer without the guard is rejected: on the path where
+    // `optimize` is false, `ty` is missing.
+    let unguarded = r"
+def resolve node = @{sym = #name_id node + 1000} node
+def maybe_typeck node = if optimize then @{ty = #sym node * 2} node
+                        else node
+def emit node = #ty node
+def compile i = emit (maybe_typeck (resolve {name_id = i}))
+";
+    println!("\nconditional typeck with an unguarded consumer:");
+    match session.infer_source(unguarded) {
+        Ok(_) => unreachable!("the no-optimize path lacks `ty`"),
+        Err(e) => print!("{}", e.render(unguarded)),
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: parse, type-check and run small record programs.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rowpoly::core::Session;
+use rowpoly::eval::eval_program;
+use rowpoly::lang::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A record is built field by field; `#name` selects, `@{n = e}`
+    // updates, `%n` removes, `r1 @ r2` concatenates (right-biased).
+    let src = r#"
+def point    = {x = 3, y = 4}
+def moved    = @{x = #x point + 10} point
+def norm1 p  = #x p + #y p
+def answer   = norm1 moved
+"#;
+
+    let session = Session::default();
+    let report = session.infer_source(src)?;
+    println!("inferred types:");
+    for def in &report.defs {
+        println!("  {:<8} : {}", def.name, def.render(false));
+    }
+    println!("  (hardest SAT class reached: {:?})", report.sat_class);
+
+    let program = parse_program(src)?;
+    println!("\nanswer evaluates to {}", eval_program(&program, 100_000)?);
+
+    // Field-existence errors are caught at type-checking time, with the
+    // path from the empty record to the failing access explained.
+    let bad = "def broken = #colour {x = 1}";
+    match session.infer_source(bad) {
+        Ok(_) => unreachable!("`colour` was never added"),
+        Err(e) => println!("\nrejected as expected:\n{}", e.render(bad)),
+    }
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! An interactive type-checking loop.
+//!
+//! ```sh
+//! cargo run --example repl
+//! ```
+//!
+//! Enter an expression to see its inferred type (with `:flags` to toggle
+//! flag display) and its value; enter `def name … = …` to extend the
+//! session's definitions.
+
+use std::io::{BufRead, Write};
+
+use rowpoly::core::Session;
+use rowpoly::eval::eval_program;
+use rowpoly::lang::{parse_expr, parse_program, pretty_expr, Def, Program, Symbol};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut program = Program::default();
+    let session = Session::default();
+    let mut show_flags = false;
+
+    println!("rowpoly repl — :q quits, :flags toggles flag display, :env lists definitions");
+    print!("> ");
+    std::io::stdout().flush().ok();
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let input = line.trim();
+        match input {
+            "" => {}
+            ":q" | ":quit" => break,
+            ":flags" => {
+                show_flags = !show_flags;
+                println!("flags {}", if show_flags { "on" } else { "off" });
+            }
+            ":env" => match session.infer_program(&program) {
+                Ok(report) => {
+                    for d in &report.defs {
+                        println!("  {} : {}", d.name, d.render(show_flags));
+                    }
+                }
+                Err(e) => println!("environment is inconsistent: {e}"),
+            },
+            _ if input.starts_with("def ") => match parse_program(input) {
+                Ok(p) => {
+                    let mut candidate = program.clone();
+                    candidate.defs.extend(p.defs);
+                    match session.infer_program(&candidate) {
+                        Ok(report) => {
+                            let d = report.defs.last().expect("just added");
+                            println!("{} : {}", d.name, d.render(show_flags));
+                            program = candidate;
+                        }
+                        Err(e) => print!("{}", e.to_diag().render(input)),
+                    }
+                }
+                Err(d) => print!("{}", d.render(input)),
+            },
+            _ => match parse_expr(input) {
+                Ok(expr) => {
+                    // Type-check the expression in the session context by
+                    // binding it as a throwaway definition.
+                    let mut candidate = program.clone();
+                    candidate.defs.push(Def {
+                        name: Symbol::intern("it"),
+                        span: expr.span,
+                        body: expr.clone(),
+                    });
+                    match session.infer_program(&candidate) {
+                        Ok(report) => {
+                            let d = report.defs.last().expect("it");
+                            println!("it : {}", d.render(show_flags));
+                            match eval_program(&candidate, 1_000_000) {
+                                Ok(v) => println!("   = {v}"),
+                                Err(e) => println!("   (does not evaluate: {e})"),
+                            }
+                        }
+                        Err(e) => {
+                            print!("{}", e.to_diag().render(&pretty_expr(&expr)));
+                        }
+                    }
+                }
+                Err(d) => print!("{}", d.render(input)),
+            },
+        }
+        print!("> ");
+        std::io::stdout().flush().ok();
+    }
+    println!();
+}

@@ -1,0 +1,121 @@
+//! Command-line front end: check, type and run record-calculus programs.
+//!
+//! ```text
+//! rowpoly check <file> [--no-fields] [--flags]   type-check a program
+//! rowpoly types <file> [--flags]                 print every definition's scheme
+//! rowpoly run   <file> [--fuel N]                type-check then evaluate `main`
+//! rowpoly compare <file>                         flow vs Rémy vs flow-free verdicts
+//! ```
+
+use std::process::ExitCode;
+
+use rowpoly::core::{hm, remy::RemyInfer, Options, Session};
+use rowpoly::eval::eval_program;
+use rowpoly::lang::parse_program;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => {
+            eprintln!("usage: rowpoly <check|types|run|compare> <file> [options]");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let show_flags = args.iter().any(|a| a == "--flags");
+    let no_fields = args.iter().any(|a| a == "--no-fields");
+    let fuel: u64 = args
+        .iter()
+        .position(|a| a == "--fuel")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000_000);
+
+    let session = Session::new(Options {
+        track_fields: !no_fields,
+        ..Options::default()
+    });
+
+    match cmd {
+        "check" => match session.infer_source(&source) {
+            Ok(report) => {
+                println!(
+                    "ok: {} definitions, SAT class {:?}",
+                    report.defs.len(),
+                    report.sat_class
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprint!("{}", e.render(&source));
+                ExitCode::FAILURE
+            }
+        },
+        "types" => match session.infer_source(&source) {
+            Ok(report) => {
+                for d in &report.defs {
+                    if show_flags {
+                        println!("{} : {}", d.name, d.render_with_flow());
+                    } else {
+                        println!("{} : {}", d.name, d.render(false));
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprint!("{}", e.render(&source));
+                ExitCode::FAILURE
+            }
+        },
+        "run" => {
+            let program = match parse_program(&source) {
+                Ok(p) => p,
+                Err(d) => {
+                    eprint!("{}", d.render(&source));
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = session.infer_program(&program) {
+                eprint!("{}", e.to_diag().render(&source));
+                return ExitCode::FAILURE;
+            }
+            match eval_program(&program, fuel) {
+                Ok(v) => {
+                    println!("{v}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "compare" => {
+            let verdict = |ok: bool| if ok { "accepts" } else { "rejects" };
+            println!(
+                "flow (this paper)          {}",
+                verdict(session.infer_source(&source).is_ok())
+            );
+            println!(
+                "Remy Pre/Abs baseline      {}",
+                verdict(RemyInfer::new().infer_source(&source).is_ok())
+            );
+            println!(
+                "Fig. 2 (no field tracking) {}",
+                verdict(hm::infer_source(&source).is_ok())
+            );
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`; use check, types, run or compare");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # rowpoly — optimal inference of fields in row-polymorphic records
+//!
+//! A from-scratch Rust reproduction of Axel Simon, *Optimal Inference of
+//! Fields in Row-Polymorphic Records* (PLDI 2014): a flow-sensitive type
+//! inference that pairs unification-based Milner–Mycroft typing of
+//! row-polymorphic records with a Boolean function over field-existence
+//! flags, rejecting a program exactly when a record field is accessed on
+//! a path where it was never added.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`lang`] — the surface calculus: lexer, parser, AST, pretty-printer;
+//! * [`boolfun`] — Boolean functions (CNF), expansion, projection, and
+//!   the 2-SAT / Horn-SAT / CDCL solvers;
+//! * [`types`] — type terms, row unification, `*t+` flag sequences,
+//!   `applyS`, schemes and environments;
+//! * [`core`] — the inference engines: the flow inference (Fig. 3 +
+//!   Section 5 extensions), the flow-free Fig. 2 configuration, the
+//!   Rémy `Pre`/`Abs` baseline, and the SMT(unification) extension;
+//! * [`eval`] — the concrete semantics (interpreter + path exploration);
+//! * [`gen`] — decoder-spec workload generators for the evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rowpoly::core::Session;
+//!
+//! let report = Session::default().infer_source(
+//!     "def get s = #foo s
+//!      def use = get (@{foo = 42} {})",
+//! )?;
+//! assert_eq!(report.defs[1].render(false), "Int");
+//!
+//! // Accessing a field that no path has added is a type error:
+//! assert!(Session::default().infer_source("def bad = #foo {}").is_err());
+//! # Ok::<(), rowpoly::core::SessionError>(())
+//! ```
+
+pub use rowpoly_boolfun as boolfun;
+pub use rowpoly_core as core;
+pub use rowpoly_eval as eval;
+pub use rowpoly_gen as gen;
+pub use rowpoly_lang as lang;
+pub use rowpoly_types as types;

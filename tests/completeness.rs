@@ -1,0 +1,85 @@
+//! Section 4.4: where the inference is (and is not) complete.
+
+use rowpoly::core::Session;
+
+fn flow() -> Session {
+    Session::default()
+}
+
+/// The program `p` of Section 4.4: a λ-bound function argument is used at
+/// two different types. The abstraction forces `proj` to have one type in
+/// all its uses, so `g null` gets the type [a] → [a] → Int (not
+/// [a] → [b] → Int) — the inference is backward-complete but not
+/// forward-complete here.
+#[test]
+fn lambda_bound_arguments_are_monomorphic() {
+    let src = r"def g proj xs ys = proj xs + proj ys
+def h = g (\l . null l)";
+    let report = flow().infer_source(src).expect("checks");
+    assert_eq!(report.defs[1].render(false), "forall a . [a] -> [a] -> Int");
+
+    // Consequently two different element types are rejected...
+    let bad = format!("{src}\ndef use = h [1] [\"s\"]");
+    assert!(flow().infer_source(&bad).is_err());
+    // ...while equal ones are fine.
+    let good = format!("{src}\ndef use = h [1] [2]");
+    assert!(flow().infer_source(&good).is_ok());
+}
+
+/// The program `p'` of Section 4.4: with records, the same approximation
+/// creates spurious flow between the two uses of `proj`, so the function
+/// can only be applied to records containing *both* fields.
+#[test]
+fn spurious_flow_between_uses_of_a_functional_argument() {
+    let src = r"def g proj xs ys = #foo (proj xs) + #bar (proj ys)
+def id x = x";
+    // Both fields present: accepted.
+    let both = format!(
+        "{src}\ndef use = g id {{foo = 1, bar = 2}} {{foo = 1, bar = 2}}"
+    );
+    assert!(flow().infer_source(&both).is_ok());
+    // Only the respectively-selected field present: the optimal collecting
+    // semantics would accept, the inference rejects (documented
+    // incompleteness for reused higher-order arguments).
+    let split = format!("{src}\ndef use = g id {{foo = 1}} {{bar = 2}}");
+    assert!(
+        flow().infer_source(&split).is_err(),
+        "incompleteness of Section 4.4 reproduced"
+    );
+}
+
+/// Let-bound functions do not suffer the approximation: each use
+/// instantiates the scheme (and its flags) freshly.
+#[test]
+fn let_bound_functions_are_use_independent() {
+    let src = r"def id x = x
+def use = #foo (id {foo = 1}) + #bar (id {bar = 2})";
+    assert!(flow().infer_source(src).is_ok(), "independent instantiations");
+}
+
+/// Under Observation 1's conditions, annotations cannot rescue a rejected
+/// program: rejection means a genuine failing path exists.
+#[test]
+fn rejection_is_semantic_for_first_order_programs() {
+    use rowpoly::eval::explore_paths;
+    use rowpoly::lang::parse_program;
+
+    let src = r"def f s = if c then @{a = 1} s else s
+def use = #a (f {})";
+    assert!(flow().infer_source(src).is_err());
+    let program = parse_program(src).unwrap();
+    let summary = explore_paths(&program.to_expr(), 100_000, 64);
+    assert!(summary.any_field_error(), "a real failing path exists");
+}
+
+/// Two independent calls of a let-bound updater may disagree about the
+/// field's presence in their arguments (this is what implicit flag
+/// generalization at let buys).
+#[test]
+fn updater_called_with_and_without_field() {
+    let src = r"def upd s = @{foo = 0} s
+def a = upd {foo = 1}
+def b = upd {}
+def use = #foo a + #foo b";
+    assert!(flow().infer_source(src).is_ok());
+}

@@ -1,0 +1,165 @@
+//! The worked examples of the paper, end to end.
+
+use rowpoly::core::{hm, remy::RemyInfer, Options, Session};
+
+fn flow() -> Session {
+    Session::default()
+}
+
+/// The introduction's motivating program: a producer adds `foo` inside the
+/// then-branch of a conditional before a consumer reads it; the else
+/// branch returns the state unchanged.
+const MOTIVATING: &str = r"
+def f s = if some_condition then
+            let s2 = @{foo = 42} s;
+                v  = #foo s2
+            in s2
+          else s
+";
+
+#[test]
+fn intro_f_is_typed() {
+    let report = flow().infer_source(MOTIVATING).expect("f checks");
+    // f : {FOO.fN : Int, a.fa} → {FOO.f'N : Int, a.f'a} — the same row
+    // variable on both sides (only the flags differ), as in the paper.
+    assert_eq!(report.defs[0].render(false), "forall a . {foo : Int, a} -> {foo : Int, a}");
+    // The paper's flow for f is f'N → fN ∧ f'a → fa: output implies input.
+    // Our stored flow must contain implications from output flags to input
+    // flags (flag numbering: f1/f2 input field/tail, f3/f4 output).
+    let with_flow = report.defs[0].render_with_flow();
+    assert!(with_flow.contains('|'), "flow is rendered: {with_flow}");
+    assert!(
+        with_flow.contains("f3 -> f1") || with_flow.contains("f4 -> f2"),
+        "output-to-input implications present: {with_flow}"
+    );
+}
+
+#[test]
+fn intro_call_with_empty_record_is_accepted_by_flow_inference() {
+    let src = format!("{MOTIVATING}\ndef use = f {{}}");
+    let report = flow().infer_source(&src).expect("f {} is safe: no path reads foo");
+    assert!(report.defs[1].render(false).contains('{'), "result is a record");
+}
+
+#[test]
+fn intro_select_after_call_is_rejected() {
+    // #foo (f {}) — the else-path returns {} to the outer selector.
+    let src = format!("{MOTIVATING}\ndef use = #foo (f {{}})");
+    let err = flow().infer_source(&src).expect_err("the else-path has no foo");
+    let rendered = err.render(&src);
+    assert!(rendered.contains("foo"), "error mentions the field: {rendered}");
+}
+
+#[test]
+fn intro_remy_baseline_already_rejects_the_call() {
+    // Rémy's Pre/Abs unification propagates the selector's demand to f's
+    // input, so even `f {}` clashes Pre with Abs.
+    let src = format!("{MOTIVATING}\ndef use = f {{}}");
+    assert!(RemyInfer::new().infer_source(&src).is_err());
+    // While f itself is fine.
+    assert!(RemyInfer::new().infer_source(MOTIVATING).is_ok());
+}
+
+#[test]
+fn intro_incompatible_field_type_is_rejected() {
+    // The paper: "Our type inference rejects the latter call since the
+    // type of field FOO is not unifiable" — f {foo="bad"} clashes
+    // Str with Int.
+    let src = format!("{MOTIVATING}\ndef use = f {{foo = \"bad\"}}");
+    assert!(flow().infer_source(&src).is_err());
+    // A call with the right field type is fine.
+    let src_ok = format!("{MOTIVATING}\ndef use = f {{foo = 7}}");
+    assert!(flow().infer_source(&src_ok).is_ok());
+}
+
+/// Example 1: the identity has type a.f1 → a.f2 with flow f2 → f1.
+#[test]
+fn example_1_identity_flow() {
+    let report = flow().infer_source("def id x = x").expect("id checks");
+    assert_eq!(report.defs[0].render(false), "forall a . a -> a");
+    // The flow direction is observable: feeding a field-less record into
+    // id cannot produce a record with a field...
+    let bad = "def id x = x\ndef use = #foo (id {})";
+    assert!(flow().infer_source(bad).is_err());
+    // ...but a record that has the field keeps it through id.
+    let good = "def id x = x\ndef use = #foo (id {foo = 1})";
+    assert!(flow().infer_source(good).is_ok());
+}
+
+/// Example 2: passing the identity to itself returns the identity,
+/// including its flow.
+#[test]
+fn example_2_identity_self_application() {
+    let src = "def id x = x\ndef id2 = id id\ndef use = #foo (id2 {foo = 1})";
+    let report = flow().infer_source(src).expect("id id preserves the flow");
+    assert_eq!(report.defs[1].render(false), "forall a . a -> a");
+
+    let bad = "def id x = x\ndef id2 = id id\ndef use = #foo (id2 {})";
+    assert!(flow().infer_source(bad).is_err(), "flow f8→f7 of Ex. 2 survives");
+}
+
+/// Section 2.4's `cond` function: λx.λy. if 0 then x else y, whose flow
+/// states a field is in the output only if it is in both inputs.
+#[test]
+fn section_2_4_cond_flow() {
+    let src = r"def cond x y = if 0 then x else y";
+    let report = flow().infer_source(src).expect("cond checks");
+    assert_eq!(report.defs[0].render(false), "forall a . a -> a -> a");
+
+    // Selecting from the result demands the field from *both* branches.
+    let both = r"def cond x y = if 0 then x else y
+def use = #n (cond {n = 1} {n = 2})";
+    assert!(flow().infer_source(both).is_ok());
+    let one = r"def cond x y = if 0 then x else y
+def use = #n (cond {n = 1} {})";
+    assert!(flow().infer_source(one).is_err(), "a field must come from both branches");
+}
+
+/// Although (REC-UPDATE) asserts the output flag (the field really is
+/// there), conditional joins still work: (COND) relates the result to the
+/// branches by implications, not equations.
+#[test]
+fn update_still_joins_with_bare_state() {
+    let src = r"def g s = if c then @{foo = 1} s else s
+def use = g {}";
+    assert!(flow().infer_source(src).is_ok());
+}
+
+#[test]
+fn update_replaces_field_type() {
+    // Updating may change the field's type; the old content is dropped.
+    let src = r#"def use = #x (@{x = 1} (@{x = "old"} {})) + 1"#;
+    assert!(flow().infer_source(src).is_ok());
+}
+
+/// Fig. 9's baseline configuration (w/o fields) accepts field-unsafe
+/// programs but still checks ordinary types.
+#[test]
+fn without_fields_configuration() {
+    assert!(hm::infer_source("def use = #foo {}").is_ok());
+    assert!(hm::infer_source(r#"def use = 1 + "s""#).is_err());
+    let opts = Options { track_fields: false, ..Options::default() };
+    assert!(Session::new(opts).infer_source("def use = #foo {}").is_ok());
+}
+
+/// Polymorphic recursion à la Milner–Mycroft (the paper's (LETREC) rule).
+#[test]
+fn polymorphic_recursion_with_records() {
+    // The recursive call wraps the argument in a record: each level uses
+    // f at a different type — untypeable in Damas–Milner.
+    let src = "def depth x = if stop then 0 else 1 + depth {inner = x}";
+    let report = flow().infer_source(src).expect("Mycroft fixpoint");
+    assert_eq!(report.defs[0].render(false), "forall a . a -> Int");
+}
+
+#[test]
+fn error_rendering_includes_path_notes() {
+    let src = "def use = #foo {}";
+    let err = flow().infer_source(src).expect_err("rejected");
+    let rendered = err.render(src);
+    assert!(rendered.contains("error:"), "{rendered}");
+    assert!(
+        rendered.contains("selected here") || rendered.contains("foo"),
+        "explanation names the access: {rendered}"
+    );
+}

@@ -1,0 +1,50 @@
+//! The sample programs shipped in `programs/` behave as advertised:
+//! the well-typed ones check and run, the ill-typed one is rejected.
+
+use rowpoly::core::Session;
+use rowpoly::eval::{eval_program, Value};
+use rowpoly::lang::parse_program;
+
+fn load(name: &str) -> String {
+    std::fs::read_to_string(format!("{}/programs/{name}", env!("CARGO_MANIFEST_DIR")))
+        .unwrap_or_else(|e| panic!("missing sample {name}: {e}"))
+}
+
+#[test]
+fn state_monad_sample_checks_and_runs() {
+    let src = load("state_monad.rp");
+    Session::default().infer_source(&src).expect("checks");
+    // `some_condition` is free, so only type-check here; a closed variant
+    // runs end to end.
+    let closed = src.replace("some_condition", "1");
+    let program = parse_program(&closed).unwrap();
+    assert!(matches!(eval_program(&program, 100_000), Ok(Value::Int(42))));
+}
+
+#[test]
+fn attributes_sample_checks() {
+    let src = load("attributes.rp");
+    Session::default().infer_source(&src).expect("checks");
+    let closed = src.replace("optimize", "1");
+    let program = parse_program(&closed).unwrap();
+    assert!(matches!(eval_program(&program, 100_000), Ok(Value::Int(2014))));
+    let closed_off = src.replace("optimize", "0");
+    let program = parse_program(&closed_off).unwrap();
+    assert!(matches!(eval_program(&program, 100_000), Ok(Value::Int(-1))));
+}
+
+#[test]
+fn merge_sample_checks_and_runs() {
+    let src = load("merge.rp");
+    Session::default().infer_source(&src).expect("checks");
+    let program = parse_program(&src).unwrap();
+    assert!(matches!(eval_program(&program, 100_000), Ok(Value::Int(43))));
+}
+
+#[test]
+fn bad_select_sample_is_rejected_with_explanation() {
+    let src = load("bad_select.rp");
+    let err = Session::default().infer_source(&src).expect_err("ill-typed");
+    let rendered = err.render(&src);
+    assert!(rendered.contains("colour"), "{rendered}");
+}

@@ -1,0 +1,90 @@
+//! Scheme-level behaviours: stored flows, instantiation independence,
+//! and the shape of reported types across representative programs.
+
+use rowpoly::core::Session;
+
+fn types_of(src: &str) -> Vec<(String, String)> {
+    Session::default()
+        .infer_source(src)
+        .unwrap_or_else(|e| panic!("{src} should check: {e}"))
+        .defs
+        .iter()
+        .map(|d| (d.name.to_string(), d.render(false)))
+        .collect()
+}
+
+#[test]
+fn representative_scheme_gallery() {
+    let cases: &[(&str, &str)] = &[
+        ("def f x = x", "forall a . a -> a"),
+        ("def k a b = a", "forall a b . a -> b -> a"),
+        ("def s = {x = 1}", "forall a . {x : Int, a}"),
+        ("def get s = #n s", "forall a b . {n.* : a.*, b.*} -> a.*"),
+        ("def put v s = @{n = v} s", "*"),
+        ("def swap r = ^{a -> b} r", "*"),
+        ("def drop r = %tmp r", "*"),
+        ("def len l = if null l then 0 else 1 + len (tail l)", "forall a . [a] -> Int"),
+        ("def map2 f l = if null l then [] else cons (f (head l)) (map2 f (tail l))",
+         "forall a b . (a -> b) -> [a] -> [b]"),
+    ];
+    for (src, expect) in cases {
+        let all = types_of(src);
+        let got = &all.last().expect("def").1;
+        if *expect == "*" {
+            continue; // shape checked by acceptance
+        }
+        if expect.contains('*') {
+            // Loose pattern: compare with flags/field annotations elided.
+            let pat: String = expect.replace(".*", "");
+            assert_eq!(got, &pat, "for {src}");
+        } else {
+            assert_eq!(got, expect, "for {src}");
+        }
+    }
+}
+
+#[test]
+fn flows_are_stored_per_definition() {
+    let report = Session::default()
+        .infer_source("def id x = x\ndef get s = #n s")
+        .expect("checks");
+    for d in &report.defs {
+        assert!(
+            !d.scheme.flow.is_empty(),
+            "{} should carry its flow ({})",
+            d.name,
+            d.render_with_flow()
+        );
+    }
+    // The identity's flow is a single implication output → input.
+    let id = &report.defs[0];
+    assert_eq!(id.render_with_flow(), "forall a . a.f1 -> a.f2 | f2 -> f1");
+}
+
+#[test]
+fn three_independent_instantiations() {
+    let src = r"
+def tag v s = @{tag = v} s
+def a = #tag (tag 1 {})
+def b = #tag (tag 2 {other = 5})
+def c = tag 3 {}
+";
+    assert!(Session::default().infer_source(src).is_ok());
+}
+
+#[test]
+fn scheme_reuse_across_many_defs_stays_cheap() {
+    // 50 definitions all instantiating the same helpers: the working β
+    // must stay bounded (peak clause count far below total clauses ever
+    // produced).
+    let mut src = String::from("def put v s = @{n = v} s\ndef get s = #n s\n");
+    for i in 0..50 {
+        src.push_str(&format!("def u{i} = get (put {i} {{}})\n"));
+    }
+    let report = Session::default().infer_source(&src).expect("checks");
+    assert!(
+        report.stats.peak_clauses < 200,
+        "working β stayed def-local: peak {}",
+        report.stats.peak_clauses
+    );
+}

@@ -1,0 +1,87 @@
+//! Soundness: well-typed programs do not go wrong (Lemma 6), checked by
+//! running accepted programs concretely and through path exploration.
+
+use proptest::prelude::*;
+use rowpoly::core::Session;
+use rowpoly::eval::{eval, explore_paths, RuntimeError};
+use rowpoly::gen::{random_pipeline, FuzzParams};
+use rowpoly::lang::{parse_expr, pretty_expr};
+
+/// Concrete evaluation of an accepted closed program never produces a
+/// field error (`Ω`).
+#[test]
+fn accepted_closed_programs_run_clean() {
+    let cases = [
+        "#foo (@{foo = 42} {})",
+        "let r = {a = 1, b = 2} in #a r + #b r",
+        "let f = \\s . @{x = #a s} s in #x (f {a = 5})",
+        "#b (^{a -> b} {a = 1})",
+        "#a ({a = 1} @ {b = 2}) + #b ({a = 1} @@ {b = 2})",
+        "let r = {a = 1} in when a in r then #a r else 0",
+        "let fact n = if n == 0 then 1 else n * fact (n - 1) in fact 6",
+        "head [1, 2] + head (tail [1, 2])",
+    ];
+    let session = Session::default();
+    for src in cases {
+        let expr = parse_expr(src).expect("parses");
+        session
+            .infer_expr(&expr)
+            .unwrap_or_else(|e| panic!("{src} should check: {e}"));
+        match eval(&expr, 1_000_000) {
+            Ok(_) => {}
+            Err(e) => {
+                assert!(
+                    !e.is_field_error(),
+                    "accepted program hit field error {e}: {src}"
+                );
+                panic!("accepted program got stuck ({e}): {src}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Property form of Lemma 6 on random pipelines: acceptance implies no
+    /// path reaches a field error, and concrete evaluation (when the
+    /// oracle is irrelevant) returns a value.
+    #[test]
+    fn prop_accepted_pipelines_never_hit_field_errors(seed in 0u64..5_000) {
+        let expr = random_pipeline(seed, FuzzParams::default());
+        if Session::default().infer_expr(&expr).is_ok() {
+            let summary = explore_paths(&expr, 200_000, 4096);
+            prop_assert_eq!(
+                summary.field_errors, 0,
+                "seed {} unsound: {}", seed, pretty_expr(&expr)
+            );
+        }
+    }
+
+    /// The inference verdict is deterministic.
+    #[test]
+    fn prop_inference_is_deterministic(seed in 0u64..1_000) {
+        let expr = random_pipeline(seed, FuzzParams::default());
+        let a = Session::default().infer_expr(&expr).is_ok();
+        let b = Session::default().infer_expr(&expr).is_ok();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Rejected programs fail at runtime on *some* path; spot-check that the
+/// reported field matches the actual runtime error.
+#[test]
+fn rejection_matches_runtime_error_field() {
+    let src = "let f = \\s . if c then @{a = 1} s else s in #a (f {})";
+    let expr = parse_expr(src).unwrap();
+    let err = Session::default().infer_expr(&expr).expect_err("rejected");
+    assert!(err.to_diag().message.contains('a'));
+    let summary = explore_paths(&expr, 100_000, 64);
+    assert!(summary.field_errors > 0);
+    // And the concrete error on the failing path names the same field.
+    let failing = parse_expr("let f = \\s . if 0 then @{a = 1} s else s in #a (f {})").unwrap();
+    match eval(&failing, 100_000) {
+        Err(RuntimeError::MissingField(n)) => assert_eq!(n.as_str(), "a"),
+        other => panic!("expected missing field, got {other:?}"),
+    }
+}
