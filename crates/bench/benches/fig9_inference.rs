@@ -1,49 +1,40 @@
-//! Criterion counterpart of the `fig9` binary: inference throughput on
+//! Bench counterpart of the `fig9` binary: inference throughput on
 //! decoder workloads at sweep sizes, with and without field tracking,
 //! plus the stale-flag compaction ablation (aggressive vs per-def).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rowpoly_bench::bench;
 use rowpoly_core::{Compaction, Options, Session};
 use rowpoly_gen::generate_with_lines;
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_inference");
-    group.sample_size(10);
+fn main() {
     for lines in [200usize, 400, 800] {
         let (program, _) = generate_with_lines(lines, false, 42);
-        group.bench_with_input(
-            BenchmarkId::new("without_fields", lines),
-            &program,
-            |b, p| {
-                let opts = Options { track_fields: false, ..Options::default() };
-                b.iter(|| Session::new(opts.clone()).infer_program(p).expect("checks"));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("with_fields", lines),
-            &program,
-            |b, p| {
-                let opts = Options::default();
-                b.iter(|| Session::new(opts.clone()).infer_program(p).expect("checks"));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("with_fields_perdef_compaction", lines),
-            &program,
-            |b, p| {
-                let opts =
-                    Options { compaction: Compaction::PerDef, ..Options::default() };
+        bench(&format!("fig9_inference/without_fields/{lines}"), || {
+            let opts = Options {
+                track_fields: false,
+                ..Options::default()
+            };
+            Session::new(opts).infer_program(&program).expect("checks")
+        });
+        bench(&format!("fig9_inference/with_fields/{lines}"), || {
+            Session::new(Options::default())
+                .infer_program(&program)
+                .expect("checks")
+        });
+        bench(
+            &format!("fig9_inference/with_fields_perdef_compaction/{lines}"),
+            || {
+                let opts = Options {
+                    compaction: Compaction::PerDef,
+                    ..Options::default()
+                };
                 // Deliberately not unwrapped: deferring stale-flag
                 // projection to definition boundaries lets expansion alias
                 // flag copies (the Section 6 bug), so this configuration
                 // *over-rejects* — the ablation measures its cost and
                 // documents its incorrectness.
-                b.iter(|| Session::new(opts.clone()).infer_program(p).is_ok());
+                Session::new(opts).infer_program(&program).is_ok()
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

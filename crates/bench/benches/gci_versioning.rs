@@ -2,45 +2,37 @@
 //! of two environments short-circuits when both carry the same version
 //! tag. Disabling it forces point-wise equations for every application.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rowpoly_bench::bench;
 use rowpoly_core::{Options, Session};
 use rowpoly_gen::generate_with_lines;
 
-fn bench_versioning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gci_versioning");
-    group.sample_size(10);
+fn main() {
     for lines in [200usize, 400] {
         let (program, _) = generate_with_lines(lines, false, 42);
-        group.bench_with_input(
-            BenchmarkId::new("with_version_tags", lines),
-            &program,
-            |b, p| {
-                let opts = Options::default();
-                b.iter(|| Session::new(opts.clone()).infer_program(p).expect("checks"));
+        bench(&format!("gci_versioning/with_version_tags/{lines}"), || {
+            Session::new(Options::default())
+                .infer_program(&program)
+                .expect("checks")
+        });
+        bench(
+            &format!("gci_versioning/without_version_tags/{lines}"),
+            || {
+                let opts = Options {
+                    env_versions: false,
+                    ..Options::default()
+                };
+                Session::new(opts).infer_program(&program).expect("checks")
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("without_version_tags", lines),
-            &program,
-            |b, p| {
-                let opts = Options { env_versions: false, ..Options::default() };
-                b.iter(|| Session::new(opts.clone()).infer_program(p).expect("checks"));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("union_find_unifier", lines),
-            &program,
-            |b, p| {
+        bench(
+            &format!("gci_versioning/union_find_unifier/{lines}"),
+            || {
                 let opts = Options {
                     unifier: rowpoly_core::Unifier::UnionFind,
                     ..Options::default()
                 };
-                b.iter(|| Session::new(opts.clone()).infer_program(p).expect("checks"));
+                Session::new(opts).infer_program(&program).expect("checks")
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_versioning);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! complexity classification (select/update ⇒ 2-SAT, asymmetric concat ⇒
 //! Horn, symmetric concat / `when` ⇒ general CNF).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rowpoly_bench::bench;
 use rowpoly_boolfun::sat::{solve_with, Engine};
 use rowpoly_boolfun::{Cnf, Flag, Lit};
 
@@ -48,33 +48,28 @@ fn symmetric(n: u32) -> Cnf {
     b
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat_solvers");
+fn main() {
     for n in [100u32, 1000, 5000] {
         let f = chain(n);
-        group.bench_with_input(BenchmarkId::new("twosat_on_chain", n), &f, |b, f| {
-            b.iter(|| assert!(solve_with(Engine::TwoSat, f).is_sat()));
+        bench(&format!("sat_solvers/twosat_on_chain/{n}"), || {
+            assert!(solve_with(Engine::TwoSat, &f).is_sat())
         });
-        group.bench_with_input(BenchmarkId::new("cdcl_on_chain", n), &f, |b, f| {
-            b.iter(|| assert!(solve_with(Engine::Cdcl, f).is_sat()));
+        bench(&format!("sat_solvers/cdcl_on_chain/{n}"), || {
+            assert!(solve_with(Engine::Cdcl, &f).is_sat())
         });
         let h = horn_rules(n);
-        group.bench_with_input(BenchmarkId::new("horn_on_rules", n), &h, |b, f| {
-            b.iter(|| assert!(solve_with(Engine::Horn, f).is_sat()));
+        bench(&format!("sat_solvers/horn_on_rules/{n}"), || {
+            assert!(solve_with(Engine::Horn, &h).is_sat())
         });
-        group.bench_with_input(BenchmarkId::new("cdcl_on_rules", n), &h, |b, f| {
-            b.iter(|| assert!(solve_with(Engine::Cdcl, f).is_sat()));
+        bench(&format!("sat_solvers/cdcl_on_rules/{n}"), || {
+            assert!(solve_with(Engine::Cdcl, &h).is_sat())
         });
         let s = symmetric(n / 2);
-        group.bench_with_input(BenchmarkId::new("cdcl_on_symmetric", n), &s, |b, f| {
-            b.iter(|| assert!(solve_with(Engine::Cdcl, f).is_sat()));
+        bench(&format!("sat_solvers/cdcl_on_symmetric/{n}"), || {
+            assert!(solve_with(Engine::Cdcl, &s).is_sat())
         });
-        group.bench_with_input(BenchmarkId::new("auto_dispatch_chain", n), &f, |b, f| {
-            b.iter(|| assert!(solve_with(Engine::Auto, f).is_sat()));
+        bench(&format!("sat_solvers/auto_dispatch_chain/{n}"), || {
+            assert!(solve_with(Engine::Auto, &f).is_sat())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

@@ -6,10 +6,10 @@
 //! Section 5 classification costs on whole programs once the other
 //! operations exist:
 //!
-//! * `decoder`         — select/update pipelines (2-SAT fragment);
-//! * `guarded`         — optional fields consumed behind `when` guards
-//!                       (general CNF);
-//! * `guarded+concat`  — additionally merges side tables with `@`.
+//! * `decoder` — select/update pipelines (2-SAT fragment);
+//! * `guarded` — optional fields consumed behind `when` guards
+//!   (general CNF);
+//! * `guarded+concat` — additionally merges side tables with `@`.
 //!
 //! ```sh
 //! cargo run --release -p rowpoly-bench --bin ext_classes
@@ -37,7 +37,11 @@ fn main() {
             with_concat: false,
             ..GuardedParams::default()
         });
-        row("guarded", &pretty_lines(&pretty_program(&guarded)), &guarded);
+        row(
+            "guarded",
+            &pretty_lines(&pretty_program(&guarded)),
+            &guarded,
+        );
 
         let concat = generate_guarded(&GuardedParams {
             modules: scale,
@@ -59,7 +63,10 @@ fn pretty_lines(src: &str) -> usize {
 
 fn row(name: &str, lines: &usize, program: &rowpoly_lang::Program) {
     let run = |track: bool| {
-        let opts = Options { track_fields: track, ..Options::default() };
+        let opts = Options {
+            track_fields: track,
+            ..Options::default()
+        };
         let start = Instant::now();
         let report = Session::new(opts)
             .infer_program(program)

@@ -2,29 +2,53 @@
 //! workloads, with and without record-field tracking.
 //!
 //! ```text
-//! fig9 [--quick] [--phases] [--seed N]
+//! fig9 [--quick] [--phases] [--classes] [--json] [--trace PATH] [--seed N]
 //! ```
 //!
-//! * `--quick`  — scale every workload down 8x (for smoke runs);
-//! * `--phases` — additionally print per-phase timings (unify / applyS /
+//! * `--quick`   — scale every workload down 8x (for smoke runs);
+//! * `--phases`  — additionally print per-phase timings (unify / applyS /
 //!   projection / SAT), reproducing the paper's Section 6 observation
 //!   that substitution application rivals the 2-SAT solver;
-//! * `--seed N` — workload generation seed (default 42).
+//! * `--classes` — print how many definitions landed in each
+//!   satisfiability class (Section 5's operation → solver mapping);
+//! * `--json`    — print a machine-readable report instead of the table
+//!   (this is what `BENCH_fig9.json` in the repository root is);
+//! * `--trace PATH` — write a Chrome trace-event file of the whole run
+//!   (equivalent to setting `ROWPOLY_TRACE=PATH`);
+//! * `--seed N`  — workload generation seed (default 42).
 //!
 //! Absolute numbers are not comparable to the paper's (different
 //! hardware, language and — necessarily — synthetic workloads); the
 //! *shape* is: times grow superlinearly with line count and the
 //! "w. fields" column costs a small constant factor over "w/o fields".
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use rowpoly_core::{Options, Session};
+use rowpoly_core::{Options, ProgramReport, Session, Stats, SAT_CLASSES};
 use rowpoly_gen::{fig9_workloads, generate_with_lines};
+use rowpoly_obs::json::Json;
+
+struct Measurement {
+    name: &'static str,
+    paper_lines: usize,
+    lines: usize,
+    t_without: Duration,
+    t_with: Duration,
+    rep_without: ProgramReport,
+    rep_with: ProgramReport,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let phases = args.iter().any(|a| a == "--phases");
+    let classes = args.iter().any(|a| a == "--classes");
+    let json = args.iter().any(|a| a == "--json");
+    let trace = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let seed = args
         .iter()
         .position(|a| a == "--seed")
@@ -32,21 +56,35 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(42u64);
 
-    println!("Figure 9: inference times on synthetic decoder specifications");
-    println!("(paper numbers measured MLton-compiled SML on a 3.4 GHz Core i7)");
-    println!();
-    println!(
-        "{:<18} {:>7} {:>7}  {:>12} {:>12}  {:>12} {:>12} {:>7}",
-        "decoder", "paper", "lines", "paper w/o", "paper w.", "time w/o", "time w.", "ratio"
-    );
+    if trace.is_some() {
+        rowpoly_obs::enable();
+    }
 
+    if !json {
+        println!("Figure 9: inference times on synthetic decoder specifications");
+        println!("(paper numbers measured MLton-compiled SML on a 3.4 GHz Core i7)");
+        println!();
+        println!(
+            "{:<18} {:>7} {:>7}  {:>12} {:>12}  {:>12} {:>12} {:>7}",
+            "decoder", "paper", "lines", "paper w/o", "paper w.", "time w/o", "time w.", "ratio"
+        );
+    }
+
+    let mut measurements = Vec::new();
     for w in fig9_workloads() {
-        let target = if quick { w.paper_lines / 8 } else { w.paper_lines };
+        let target = if quick {
+            w.paper_lines / 8
+        } else {
+            w.paper_lines
+        };
         let (program, src) = generate_with_lines(target, w.with_sem, seed);
         let lines = src.lines().count();
 
         let run = |track: bool| {
-            let opts = Options { track_fields: track, ..Options::default() };
+            let opts = Options {
+                track_fields: track,
+                ..Options::default()
+            };
             let start = Instant::now();
             let report = Session::new(opts)
                 .infer_program(&program)
@@ -56,39 +94,156 @@ fn main() {
         let (t_without, rep_without) = run(false);
         let (t_with, rep_with) = run(true);
 
-        println!(
-            "{:<18} {:>7} {:>7}  {:>11.2}s {:>11.2}s  {:>11.2}s {:>11.2}s {:>6.2}x",
-            w.name,
-            w.paper_lines,
+        let m = Measurement {
+            name: w.name,
+            paper_lines: w.paper_lines,
             lines,
-            w.paper_secs_without,
-            w.paper_secs_with,
-            t_without.as_secs_f64(),
-            t_with.as_secs_f64(),
-            t_with.as_secs_f64() / t_without.as_secs_f64().max(1e-9),
-        );
-        if phases {
-            let s0 = &rep_without.stats;
-            let s1 = &rep_with.stats;
-            println!(
-                "    w/o fields: unify {:>8.3}s  applyS {:>8.3}s  ({} mgu, {} applyS)",
-                s0.unify.as_secs_f64(),
-                s0.applys.as_secs_f64(),
-                s0.unify_calls,
-                s0.applys_calls
-            );
-            println!(
-                "    w. fields:  unify {:>8.3}s  applyS {:>8.3}s  project {:>8.3}s  sat {:>8.3}s  ({} checks, class {:?}, peak {} clauses)",
-                s1.unify.as_secs_f64(),
-                s1.applys.as_secs_f64(),
-                s1.project.as_secs_f64(),
-                s1.sat.as_secs_f64(),
-                s1.sat_calls,
-                rep_with.sat_class,
-                s1.peak_clauses
-            );
+            t_without,
+            t_with,
+            rep_without,
+            rep_with,
+        };
+        if !json {
+            print_row(&m, &w, phases, classes);
+        }
+        measurements.push(m);
+    }
+
+    if json {
+        println!("{}", render_json(seed, quick, &measurements).render());
+    } else {
+        println!();
+        println!("shape checks: ratios should be ~1.5-3x; both columns grow superlinearly");
+    }
+
+    if let Some(path) = trace {
+        let snap = rowpoly_obs::snapshot();
+        match rowpoly_obs::chrome::write_chrome_trace(&snap, std::path::Path::new(&path)) {
+            Ok(()) => eprintln!("wrote Chrome trace to {path}"),
+            Err(e) => eprintln!("failed to write trace {path}: {e}"),
         }
     }
-    println!();
-    println!("shape checks: ratios should be ~1.5-3x; both columns grow superlinearly");
+}
+
+fn print_row(m: &Measurement, w: &rowpoly_gen::Workload, phases: bool, classes: bool) {
+    println!(
+        "{:<18} {:>7} {:>7}  {:>11.2}s {:>11.2}s  {:>11.2}s {:>11.2}s {:>6.2}x",
+        m.name,
+        m.paper_lines,
+        m.lines,
+        w.paper_secs_without,
+        w.paper_secs_with,
+        m.t_without.as_secs_f64(),
+        m.t_with.as_secs_f64(),
+        m.t_with.as_secs_f64() / m.t_without.as_secs_f64().max(1e-9),
+    );
+    if phases {
+        let s0 = &m.rep_without.stats;
+        let s1 = &m.rep_with.stats;
+        println!(
+            "    w/o fields: unify {:>8.3}s  applyS {:>8.3}s  ({} mgu, {} applyS)",
+            s0.unify.as_secs_f64(),
+            s0.applys.as_secs_f64(),
+            s0.unify_calls,
+            s0.applys_calls
+        );
+        println!(
+            "    w. fields:  unify {:>8.3}s  applyS {:>8.3}s  project {:>8.3}s  sat {:>8.3}s  ({} checks, class {}, peak {} clauses)",
+            s1.unify.as_secs_f64(),
+            s1.applys.as_secs_f64(),
+            s1.project.as_secs_f64(),
+            s1.sat.as_secs_f64(),
+            s1.sat_calls,
+            m.rep_with.sat_class,
+            s1.peak_clauses
+        );
+    }
+    if classes {
+        let mut counts = std::collections::BTreeMap::new();
+        for d in &m.rep_with.defs {
+            *counts.entry(d.sat_class.name()).or_insert(0usize) += 1;
+        }
+        let summary: Vec<String> = counts
+            .iter()
+            .map(|(name, n)| format!("{n} {name}"))
+            .collect();
+        println!(
+            "    per-def flow classes: {} ({} defs)",
+            summary.join(", "),
+            m.rep_with.defs.len()
+        );
+    }
+}
+
+fn phases_json(stats: &Stats) -> Json {
+    Json::obj(vec![
+        ("unify", Json::Float(stats.unify.as_secs_f64())),
+        ("applys", Json::Float(stats.applys.as_secs_f64())),
+        ("project", Json::Float(stats.project.as_secs_f64())),
+        ("sat", Json::Float(stats.sat.as_secs_f64())),
+    ])
+}
+
+fn run_json(wall: Duration, report: &ProgramReport) -> Json {
+    let stats = &report.stats;
+    let mut members = vec![
+        ("wall_s", Json::Float(wall.as_secs_f64())),
+        ("phases", phases_json(stats)),
+        ("unify_calls", Json::Int(stats.unify_calls as i64)),
+        ("applys_calls", Json::Int(stats.applys_calls as i64)),
+        ("sat_checks", Json::Int(stats.sat_calls as i64)),
+        ("peak_clauses", Json::Int(stats.peak_clauses as i64)),
+        (
+            "project_resolutions",
+            Json::Int(stats.project_resolutions as i64),
+        ),
+        ("env_meet_hits", Json::Int(stats.env_meet_hits as i64)),
+        ("env_meet_misses", Json::Int(stats.env_meet_misses as i64)),
+        ("sat_class", Json::Str(report.sat_class.name().to_string())),
+    ];
+    let by_class: Vec<(&str, Json)> = SAT_CLASSES
+        .iter()
+        .filter(|&&c| stats.sat_checks_for(c) > 0)
+        .map(|&c| (c.name(), Json::Int(stats.sat_checks_for(c) as i64)))
+        .collect();
+    members.push(("sat_checks_by_class", Json::obj(by_class)));
+    let mut def_classes = std::collections::BTreeMap::new();
+    for d in &report.defs {
+        *def_classes.entry(d.sat_class.name()).or_insert(0i64) += 1;
+    }
+    members.push((
+        "def_classes",
+        Json::Obj(
+            def_classes
+                .into_iter()
+                .map(|(k, n)| (k.to_string(), Json::Int(n)))
+                .collect(),
+        ),
+    ));
+    Json::obj(members)
+}
+
+fn render_json(seed: u64, quick: bool, measurements: &[Measurement]) -> Json {
+    let workloads: Vec<Json> = measurements
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("name", Json::Str(m.name.to_string())),
+                ("paper_lines", Json::Int(m.paper_lines as i64)),
+                ("lines", Json::Int(m.lines as i64)),
+                ("without_fields", run_json(m.t_without, &m.rep_without)),
+                ("with_fields", run_json(m.t_with, &m.rep_with)),
+                (
+                    "ratio",
+                    Json::Float(m.t_with.as_secs_f64() / m.t_without.as_secs_f64().max(1e-9)),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("bench", Json::Str("fig9".to_string())),
+        ("seed", Json::Int(seed as i64)),
+        ("quick", Json::Bool(quick)),
+        ("workloads", Json::Arr(workloads)),
+    ])
 }

@@ -1,4 +1,44 @@
 //! Benchmark harness crate. The executable entry point is the `fig9`
-//! binary (regenerating the paper's Figure 9); the Criterion benches
-//! cover the same workloads at reduced scale plus the solver- and
-//! environment-versioning ablations called out in `DESIGN.md`.
+//! binary (regenerating the paper's Figure 9); the `cargo bench`
+//! targets cover the same workloads at reduced scale plus the solver-
+//! and environment-versioning ablations called out in `DESIGN.md`.
+//!
+//! The bench targets run on the in-tree [`harness`] below (the build
+//! environment has no crates.io access, so Criterion is unavailable):
+//! a warmup pass, a fixed number of timed samples, and a median /
+//! min / max summary line per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 10;
+
+/// Runs `f` through a warmup pass plus [`DEFAULT_SAMPLES`] timed
+/// samples and prints one summary line. Returns the median sample so
+/// callers (and tests) can assert on it. The closure's result is
+/// returned through `std::hint::black_box`, preventing the optimiser
+/// from deleting the measured work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
+    bench_with_samples(name, DEFAULT_SAMPLES, &mut f)
+}
+
+/// [`bench`] with an explicit sample count.
+pub fn bench_with_samples<R>(name: &str, samples: usize, f: &mut impl FnMut() -> R) -> Duration {
+    assert!(samples > 0);
+    std::hint::black_box(f()); // warmup
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<44} median {:>12?}  min {:>12?}  max {:>12?}  ({samples} samples)",
+        median,
+        times[0],
+        times[times.len() - 1]
+    );
+    median
+}

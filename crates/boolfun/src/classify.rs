@@ -29,6 +29,26 @@ pub enum SatClass {
     General,
 }
 
+impl SatClass {
+    /// A short stable name, used as a metric key and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SatClass::Trivial => "trivial",
+            SatClass::Unsat => "unsat",
+            SatClass::TwoSat => "2sat",
+            SatClass::Horn => "horn",
+            SatClass::DualHorn => "dual-horn",
+            SatClass::General => "general",
+        }
+    }
+}
+
+impl std::fmt::Display for SatClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Classifies `cnf` into the most specific [`SatClass`].
 pub fn classify(cnf: &Cnf) -> SatClass {
     if cnf.is_empty() {
@@ -130,9 +150,9 @@ mod tests {
         let mut b = Cnf::top();
         b.add_lits(vec![n(0), n(1), p(2)]); // Horn, not 2-SAT
         b.add_lits(vec![p(0), p(1)]); // 2-SAT + dual-Horn, not Horn
-        // Neither invariant holds across all clauses except... pos counts:
-        // clause1 has 2 negatives (not dual), clause2 has 2 positives (not
-        // horn), clause1 has 3 lits (not two-sat) => General.
+                                      // Neither invariant holds across all clauses except... pos counts:
+                                      // clause1 has 2 negatives (not dual), clause2 has 2 positives (not
+                                      // horn), clause1 has 3 lits (not two-sat) => General.
         assert_eq!(classify(&b), SatClass::General);
     }
 }

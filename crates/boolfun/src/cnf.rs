@@ -27,12 +27,18 @@ pub struct Cnf {
 impl Cnf {
     /// The empty conjunction `true` (the top element of the lattice `B`).
     pub fn top() -> Cnf {
-        Cnf { clauses: Vec::new(), normalized: true }
+        Cnf {
+            clauses: Vec::new(),
+            normalized: true,
+        }
     }
 
     /// A function that is trivially unsatisfiable (`⊥B`).
     pub fn bottom() -> Cnf {
-        Cnf { clauses: vec![Clause::empty()], normalized: true }
+        Cnf {
+            clauses: vec![Clause::empty()],
+            normalized: true,
+        }
     }
 
     /// Builds a CNF from clauses.
@@ -255,12 +261,19 @@ impl Cnf {
     ///
     /// Panics if the universe misses a mentioned flag or exceeds 24 flags.
     pub fn models(&self, universe: &[Flag]) -> Vec<BTreeSet<Flag>> {
-        assert!(universe.len() <= 24, "model enumeration limited to 24 flags");
+        assert!(
+            universe.len() <= 24,
+            "model enumeration limited to 24 flags"
+        );
         let mentioned = self.flags();
         for f in &mentioned {
             assert!(universe.contains(f), "universe misses mentioned flag {f}");
         }
-        let max = universe.iter().map(|f| f.index()).max().map_or(0, |m| m + 1);
+        let max = universe
+            .iter()
+            .map(|f| f.index())
+            .max()
+            .map_or(0, |m| m + 1);
         let mut assign = vec![false; max];
         let mut out = Vec::new();
         for bits in 0u64..(1u64 << universe.len()) {

@@ -88,7 +88,7 @@ mod tests {
         let mut beta = Cnf::top();
         beta.imply(p(2), p(0)); // f3 → f1
         beta.imply(p(2), p(1)); // f3 → f2
-        // Columns: f_f^i = 3,4,5; f_b^i = 6,7,8; f_c^i = 9,10,11.
+                                // Columns: f_f^i = 3,4,5; f_b^i = 6,7,8; f_c^i = 9,10,11.
         beta.expand(&[Flag(0), Flag(1), Flag(2)], &[p(3), p(4), p(5)]);
         beta.expand(&[Flag(0), Flag(1), Flag(2)], &[p(6), p(7), p(8)]);
         beta.expand(&[Flag(0), Flag(1), Flag(2)], &[p(9), p(10), p(11)]);
@@ -113,7 +113,7 @@ mod tests {
         let f4 = flags.fresh(); // 5
         let mut beta = Cnf::top();
         beta.imply(Lit::pos(fo), Lit::pos(fi)); // fo → fi
-        // *ti+ = ⟨¬f1, f2⟩ and *to+ = ⟨¬f3, f4⟩.
+                                                // *ti+ = ⟨¬f1, f2⟩ and *to+ = ⟨¬f3, f4⟩.
         beta.expand(&[fi, fo], &[Lit::neg(f1), Lit::neg(f3)]);
         beta.expand(&[fi, fo], &[Lit::pos(f2), Lit::pos(f4)]);
         // Expected: βid ∧ f4→f2 ∧ f1→f3 (per Example 3).
@@ -165,7 +165,10 @@ mod tests {
         let mut q = beta.clone();
         q.assert_lit(Lit::pos(fa));
         q.assert_lit(Lit::neg(fa2));
-        assert!(!q.is_sat(), "stale flag must alias the copy (documented bug)");
+        assert!(
+            !q.is_sat(),
+            "stale flag must alias the copy (documented bug)"
+        );
         // Projecting the stale flag out *before* expanding avoids it.
         let mut clean = Cnf::top();
         clean.imply(Lit::pos(fa), Lit::pos(fb));

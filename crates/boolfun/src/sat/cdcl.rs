@@ -16,7 +16,16 @@ use crate::sat::{Model, SatResult};
 /// Decides satisfiability of an arbitrary CNF formula.
 pub fn solve(cnf: &Cnf) -> SatResult {
     let dense = Dense::new(cnf);
-    match Solver::new(&dense).run() {
+    let mut solver = Solver::new(&dense);
+    let outcome = solver.run();
+    if rowpoly_obs::enabled() {
+        rowpoly_obs::counter_add("sat.cdcl.solves", 1);
+        rowpoly_obs::counter_add("sat.cdcl.decisions", solver.search.decisions);
+        rowpoly_obs::counter_add("sat.cdcl.propagations", solver.search.propagations);
+        rowpoly_obs::counter_add("sat.cdcl.learned_clauses", solver.search.learned);
+        rowpoly_obs::counter_add("sat.cdcl.restarts", solver.search.restarts);
+    }
+    match outcome {
         Some(assign) => {
             let mut model = Model::new();
             for (i, &v) in assign.iter().enumerate() {
@@ -89,11 +98,25 @@ impl Dense {
             }
             clauses.push(dc);
         }
-        Dense { flags, clauses, has_empty }
+        Dense {
+            flags,
+            clauses,
+            has_empty,
+        }
     }
 }
 
 const NO_REASON: u32 = u32::MAX;
+
+/// Search statistics accumulated locally (no locks on the hot path) and
+/// flushed to the observability layer once per [`solve`] call.
+#[derive(Default)]
+struct SearchStats {
+    decisions: u64,
+    propagations: u64,
+    learned: u64,
+    restarts: u64,
+}
 
 struct Solver {
     nvars: usize,
@@ -112,6 +135,7 @@ struct Solver {
     activity: Vec<f64>,
     act_inc: f64,
     unsat: bool,
+    search: SearchStats,
 }
 
 impl Solver {
@@ -131,6 +155,7 @@ impl Solver {
             activity: vec![0.0; nvars],
             act_inc: 1.0,
             unsat: dense.has_empty,
+            search: SearchStats::default(),
         };
         for c in &dense.clauses {
             s.add_clause(c.clone());
@@ -200,6 +225,7 @@ impl Solver {
         while self.prop_head < self.trail.len() {
             let l = self.trail[self.prop_head];
             self.prop_head += 1;
+            self.search.propagations += 1;
             // Clauses watching ¬l (i.e. registered under watches[l.code()]
             // with our convention: we store under negate().code() at add
             // time, so the list keyed by l.code() holds clauses where a
@@ -382,6 +408,7 @@ impl Solver {
                     return None;
                 }
                 conflicts_since_restart += 1;
+                self.search.learned += 1;
                 let (clause, back) = self.analyze(conflict);
                 self.cancel_until(back);
                 self.act_inc /= 0.95;
@@ -403,11 +430,13 @@ impl Solver {
             } else if conflicts_since_restart >= 64 * luby(restart_count) {
                 conflicts_since_restart = 0;
                 restart_count += 1;
+                self.search.restarts += 1;
                 self.cancel_until(0);
             } else {
                 match self.decide() {
                     None => return Some(self.assign.clone()),
                     Some(d) => {
+                        self.search.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         let ok = self.enqueue(d, NO_REASON);
                         debug_assert!(ok, "decision on unassigned var cannot conflict");
@@ -520,7 +549,9 @@ mod tests {
     fn random_3sat_agrees_with_brute_force() {
         let mut state: u64 = 42;
         let mut rand = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         for _case in 0..120 {
@@ -531,7 +562,11 @@ mod tests {
                 let mut lits = Vec::new();
                 for _ in 0..3 {
                     let f = Flag(rand(nvars as u64) as u32);
-                    lits.push(if rand(2) == 0 { Lit::pos(f) } else { Lit::neg(f) });
+                    lits.push(if rand(2) == 0 {
+                        Lit::pos(f)
+                    } else {
+                        Lit::neg(f)
+                    });
                 }
                 b.add_lits(lits);
             }

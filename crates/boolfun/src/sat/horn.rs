@@ -37,6 +37,21 @@ pub fn solve_dual(cnf: &Cnf) -> SatResult {
 }
 
 fn solve_impl(cnf: &Cnf, flip: bool) -> SatResult {
+    let mut propagations = 0u64;
+    let out = propagate(cnf, flip, &mut propagations);
+    if rowpoly_obs::enabled() {
+        let (solves, props) = if flip {
+            ("sat.dual-horn.solves", "sat.dual-horn.propagations")
+        } else {
+            ("sat.horn.solves", "sat.horn.propagations")
+        };
+        rowpoly_obs::counter_add(solves, 1);
+        rowpoly_obs::counter_add(props, propagations);
+    }
+    out
+}
+
+fn propagate(cnf: &Cnf, flip: bool, propagations: &mut u64) -> SatResult {
     let orient = |l: Lit| if flip { l.negate() } else { l };
     // Per clause: the head (positive literal, if any) and the number of
     // body atoms (negative literals) not yet satisfied.
@@ -79,7 +94,10 @@ fn solve_impl(cnf: &Cnf, flip: bool) -> SatResult {
                 queue.push(f);
             }
         }
-        rows.push(Row { head, pending: body });
+        rows.push(Row {
+            head,
+            pending: body,
+        });
     }
 
     let mut derived: Vec<Flag> = Vec::new();
@@ -87,6 +105,7 @@ fn solve_impl(cnf: &Cnf, flip: bool) -> SatResult {
     while qi < queue.len() {
         let f = queue[qi];
         qi += 1;
+        *propagations += 1;
         derived.push(f);
         if let Some(clauses) = body_watch.get(&f) {
             for &ci in clauses {
@@ -104,8 +123,7 @@ fn solve_impl(cnf: &Cnf, flip: bool) -> SatResult {
                             // All-negative clause with all body atoms true:
                             // contradiction. Build the chain of facts that
                             // fired this clause, most recent last.
-                            let chain =
-                                conflict_chain(cnf, ci, &reason, &derived, flip);
+                            let chain = conflict_chain(cnf, ci, &reason, &derived, flip);
                             return SatResult::Unsat(chain);
                         }
                     }

@@ -67,7 +67,11 @@ impl SatResult {
 /// Decides satisfiability of `cnf`, dispatching to the cheapest solver
 /// that is complete for its clause shape.
 pub fn solve(cnf: &Cnf) -> SatResult {
-    match classify(cnf) {
+    let class = classify(cnf);
+    if rowpoly_obs::enabled() {
+        rowpoly_obs::counter_add(&format!("sat.dispatch.{}", class.name()), 1);
+    }
+    match class {
         SatClass::Trivial => SatResult::Sat(Model::new()),
         SatClass::Unsat => SatResult::Unsat(Vec::new()),
         SatClass::TwoSat => twosat::solve(cnf),
@@ -131,7 +135,9 @@ mod tests {
         // Deterministic pseudo-random generator (LCG) to avoid an extra dep.
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut rand = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         for _case in 0..300 {
@@ -143,7 +149,11 @@ mod tests {
                 let mut lits = Vec::new();
                 for _ in 0..len {
                     let f = Flag(rand(nflags as u64) as u32);
-                    lits.push(if rand(2) == 0 { Lit::pos(f) } else { Lit::neg(f) });
+                    lits.push(if rand(2) == 0 {
+                        Lit::pos(f)
+                    } else {
+                        Lit::neg(f)
+                    });
                 }
                 cnf.add_lits(lits);
             }

@@ -25,11 +25,17 @@ use crate::sat::{Model, SatResult};
 /// Panics if any clause has more than two literals; callers must dispatch
 /// through [`crate::classify`] or guarantee the shape.
 pub fn solve(cnf: &Cnf) -> SatResult {
+    rowpoly_obs::counter_add("sat.twosat.solves", 1);
     let graph = match ImplicationGraph::build(cnf) {
         Ok(g) => g,
         Err(unsat) => return unsat,
     };
     let comp = graph.tarjan();
+    if rowpoly_obs::enabled() {
+        rowpoly_obs::counter_add("sat.twosat.literal_nodes", (2 * graph.nflags) as u64);
+        let sccs = comp.iter().copied().max().map_or(0, |m| m as u64 + 1);
+        rowpoly_obs::counter_add("sat.twosat.sccs", sccs);
+    }
     // Unsat iff some flag and its negation share a component.
     for flag_idx in 0..graph.nflags {
         let f = graph.flags[flag_idx];

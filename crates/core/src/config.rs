@@ -1,6 +1,21 @@
 //! Inference configuration and phase statistics.
 
+use rowpoly_boolfun::SatClass;
 use std::time::Duration;
+
+/// The number of [`SatClass`] variants (for per-class count arrays).
+pub const SAT_CLASS_COUNT: usize = 6;
+
+/// All [`SatClass`] variants in ascending difficulty order, for
+/// iterating per-class counters.
+pub const SAT_CLASSES: [SatClass; SAT_CLASS_COUNT] = [
+    SatClass::Trivial,
+    SatClass::Unsat,
+    SatClass::TwoSat,
+    SatClass::Horn,
+    SatClass::DualHorn,
+    SatClass::General,
+];
 
 /// When to project stale flags out of the Boolean function β.
 ///
@@ -79,6 +94,12 @@ impl Default for Options {
 /// Wall-clock time spent per inference phase, mirroring the paper's
 /// Section 6 observation that "the 2-SAT solver is not the biggest
 /// bottleneck but applying substitutions is equally expensive".
+///
+/// Phase durations are *exclusive* (self-time): the engine attributes
+/// each instant to the innermost open phase, so a stale-flag projection
+/// performed in the middle of `applyS` counts towards [`Stats::project`]
+/// only, never both buckets. Consequently the four phase durations sum
+/// to at most [`Stats::wall`].
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
     /// Time in unification (`mgu`).
@@ -89,6 +110,8 @@ pub struct Stats {
     pub sat: Duration,
     /// Time projecting stale flags (resolution).
     pub project: Duration,
+    /// Total wall-clock time of the run the phases were carved out of.
+    pub wall: Duration,
     /// Number of `mgu` calls.
     pub unify_calls: usize,
     /// Number of `applyS` calls.
@@ -97,18 +120,49 @@ pub struct Stats {
     pub sat_calls: usize,
     /// Peak clause count of β.
     pub peak_clauses: usize,
+    /// Number of flags eliminated by resolution (stale-flag projection).
+    pub project_resolutions: usize,
+    /// Environment meets short-circuited by matching version tags
+    /// (the Section 6 optimisation taking effect).
+    pub env_meet_hits: usize,
+    /// Environment meets that fell back to point-wise equations.
+    pub env_meet_misses: usize,
+    /// SAT checks per clause class of β at check time, indexed by
+    /// `SatClass as usize` (see [`SAT_CLASSES`]).
+    pub sat_checks_by_class: [usize; SAT_CLASS_COUNT],
 }
 
 impl Stats {
+    /// Records one SAT check of a β in class `class`.
+    pub fn note_sat_class(&mut self, class: SatClass) {
+        self.sat_checks_by_class[class as usize] += 1;
+    }
+
+    /// Number of SAT checks that ran on a β of class `class`.
+    pub fn sat_checks_for(&self, class: SatClass) -> usize {
+        self.sat_checks_by_class[class as usize]
+    }
+
     /// Adds another stats record into this one.
     pub fn merge(&mut self, other: &Stats) {
         self.unify += other.unify;
         self.applys += other.applys;
         self.sat += other.sat;
         self.project += other.project;
+        self.wall += other.wall;
         self.unify_calls += other.unify_calls;
         self.applys_calls += other.applys_calls;
         self.sat_calls += other.sat_calls;
         self.peak_clauses = self.peak_clauses.max(other.peak_clauses);
+        self.project_resolutions += other.project_resolutions;
+        self.env_meet_hits += other.env_meet_hits;
+        self.env_meet_misses += other.env_meet_misses;
+        for (mine, theirs) in self
+            .sat_checks_by_class
+            .iter_mut()
+            .zip(other.sat_checks_by_class.iter())
+        {
+            *mine += theirs;
+        }
     }
 }

@@ -2,9 +2,11 @@
 
 use rowpoly_boolfun::{classify, Lit, SatClass};
 use rowpoly_lang::{parse_program, Diag, Expr, Program, Span, Symbol};
+use rowpoly_obs as obs;
 use rowpoly_types::{render_scheme, Binding, Scheme, Ty, TyEnv};
+use std::time::Instant;
 
-use crate::config::{CheckPolicy, Options, Stats};
+use crate::config::{CheckPolicy, Options, Stats, SAT_CLASSES};
 use crate::error::TypeError;
 use crate::flow::FlowInfer;
 
@@ -57,6 +59,10 @@ pub struct DefReport {
     pub name: Symbol,
     /// Inferred scheme (a `PR` term; flags intact).
     pub scheme: Scheme,
+    /// Satisfiability class of the definition's stored flow — which
+    /// solver its clauses need on re-instantiation (Section 5's
+    /// per-operation classification, observed per definition).
+    pub sat_class: SatClass,
 }
 
 impl DefReport {
@@ -121,7 +127,30 @@ impl Session {
     }
 
     /// Type-checks a parsed program.
+    ///
+    /// When `ROWPOLY_TRACE` names a path, global collection is enabled
+    /// and a Chrome trace of everything collected so far is (re)written
+    /// there on completion, success or failure.
     pub fn infer_program(&self, program: &Program) -> Result<ProgramReport, TypeError> {
+        let trace_path = obs::init_from_env();
+        let result = {
+            let _session = obs::span("session");
+            self.infer_program_impl(program)
+        };
+        if let Some(path) = trace_path {
+            let snap = obs::snapshot();
+            if let Err(e) = obs::chrome::write_chrome_trace(&snap, std::path::Path::new(path)) {
+                eprintln!(
+                    "rowpoly: failed to write {TRACE}={path}: {e}",
+                    TRACE = obs::TRACE_ENV
+                );
+            }
+        }
+        result
+    }
+
+    fn infer_program_impl(&self, program: &Program) -> Result<ProgramReport, TypeError> {
+        let wall_start = Instant::now();
         let mut engine = FlowInfer::new(self.opts.clone());
         let needed = if program.defs.is_empty() {
             Default::default()
@@ -135,8 +164,8 @@ impl Session {
         let mut defs = Vec::new();
         let mut sat_class = SatClass::Trivial;
         for def in &program.defs {
-            let (mut scheme, env_after) =
-                engine.infer_def(&env, def.name, &def.body, def.span)?;
+            let _def_span = obs::span_lazy(|| format!("def {}", def.name));
+            let (mut scheme, env_after) = engine.infer_def(&env, def.name, &def.body, def.span)?;
             if self.opts.check != CheckPolicy::Final {
                 engine.check_sat(def.span, None)?;
             }
@@ -146,12 +175,26 @@ impl Session {
             env = env_after;
             env.insert(def.name, Binding::Poly(scheme.clone()));
             env.freeze();
-            defs.push(DefReport { name: def.name, scheme });
+            let def_class = classify(&scheme.flow);
+            defs.push(DefReport {
+                name: def.name,
+                scheme,
+                sat_class: def_class,
+            });
         }
         let final_span = program.defs.last().map(|d| d.span).unwrap_or(Span::dummy());
         engine.check_sat(final_span, None)?;
-        sat_class = sat_class.max(classify(&engine.beta)).max(engine.worst_class);
-        Ok(ProgramReport { defs, stats: engine.stats.clone(), sat_class })
+        sat_class = sat_class
+            .max(classify(&engine.beta))
+            .max(engine.worst_class);
+        let mut stats = engine.stats();
+        stats.wall = wall_start.elapsed();
+        flush_stats_metrics(&stats);
+        Ok(ProgramReport {
+            defs,
+            stats,
+            sat_class,
+        })
     }
 
     /// Parses and type-checks a single expression, returning its rendered
@@ -193,6 +236,28 @@ impl FlowInfer {
     }
 }
 
+/// Pushes a run's aggregate [`Stats`] into the global metrics registry
+/// (no-ops when collection is disabled). Counters accumulate across
+/// runs; maxima keep the largest run.
+fn flush_stats_metrics(stats: &Stats) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter_add("unify.calls", stats.unify_calls as u64);
+    obs::counter_add("applys.calls", stats.applys_calls as u64);
+    obs::counter_add("sat.checks", stats.sat_calls as u64);
+    for class in SAT_CLASSES {
+        let n = stats.sat_checks_for(class);
+        if n > 0 {
+            obs::counter_add(&format!("sat.checks.{}", class.name()), n as u64);
+        }
+    }
+    obs::counter_add("project.resolutions", stats.project_resolutions as u64);
+    obs::counter_add("envmeet.version_hits", stats.env_meet_hits as u64);
+    obs::counter_add("envmeet.version_misses", stats.env_meet_misses as u64);
+    obs::counter_max("beta.clauses.peak", stats.peak_clauses as u64);
+}
+
 /// Binds every free variable of the program to a fresh monomorphic type,
 /// so that open programs (like the paper's `some_condition`) check.
 fn bind_free_vars(engine: &mut FlowInfer, env: &mut TyEnv, program: &Program) {
@@ -221,7 +286,10 @@ fn builtin_env(engine: &mut FlowInfer, needed: &std::collections::BTreeSet<Symbo
         let a = engine.vars.fresh();
         let f = flag(engine);
         let ty = Ty::fun(Ty::list(Ty::Var(a, f)), Ty::Int);
-        env.insert(Symbol::intern("null"), Binding::Poly(Scheme::new(vec![a], ty)));
+        env.insert(
+            Symbol::intern("null"),
+            Binding::Poly(Scheme::new(vec![a], ty)),
+        );
     }
     if needed.contains(&Symbol::intern("head")) {
         // head : ∀a . [a.f1] → a.f2 with f2 → f1 (fields of the element
@@ -233,7 +301,10 @@ fn builtin_env(engine: &mut FlowInfer, needed: &std::collections::BTreeSet<Symbo
         if engine.tracking() {
             engine.beta.imply(Lit::pos(f2), Lit::pos(f1));
         }
-        env.insert(Symbol::intern("head"), Binding::Poly(Scheme::new(vec![a], ty)));
+        env.insert(
+            Symbol::intern("head"),
+            Binding::Poly(Scheme::new(vec![a], ty)),
+        );
     }
     if needed.contains(&Symbol::intern("tail")) {
         // tail : ∀a . [a.f1] → [a.f2] with f2 → f1.
@@ -244,7 +315,10 @@ fn builtin_env(engine: &mut FlowInfer, needed: &std::collections::BTreeSet<Symbo
         if engine.tracking() {
             engine.beta.imply(Lit::pos(f2), Lit::pos(f1));
         }
-        env.insert(Symbol::intern("tail"), Binding::Poly(Scheme::new(vec![a], ty)));
+        env.insert(
+            Symbol::intern("tail"),
+            Binding::Poly(Scheme::new(vec![a], ty)),
+        );
     }
     if needed.contains(&Symbol::intern("cons")) {
         // cons : ∀a . a.f1 → [a.f2] → [a.f3] with f3 → f1 ∨ f2.
@@ -261,7 +335,10 @@ fn builtin_env(engine: &mut FlowInfer, needed: &std::collections::BTreeSet<Symbo
                 .beta
                 .add_lits(vec![Lit::neg(f3), Lit::pos(f1), Lit::pos(f2)]);
         }
-        env.insert(Symbol::intern("cons"), Binding::Poly(Scheme::new(vec![a], ty)));
+        env.insert(
+            Symbol::intern("cons"),
+            Binding::Poly(Scheme::new(vec![a], ty)),
+        );
     }
     env
 }

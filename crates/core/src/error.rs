@@ -111,7 +111,11 @@ pub struct TypeError {
 impl TypeError {
     /// Builds an error without notes.
     pub fn new(kind: TypeErrorKind, span: Span) -> TypeError {
-        TypeError { kind, span, notes: Vec::new() }
+        TypeError {
+            kind,
+            span,
+            notes: Vec::new(),
+        }
     }
 
     /// The primary message, without location.
@@ -173,7 +177,11 @@ mod tests {
     fn provenance_explains_chains() {
         let mut p = Provenance::new_for_test();
         p.record(Flag(0), Span::new(0, 2), FlagOrigin::EmptyRecord);
-        p.record(Flag(2), Span::new(5, 9), FlagOrigin::FieldSelected(Symbol::intern("foo")));
+        p.record(
+            Flag(2),
+            Span::new(5, 9),
+            FlagOrigin::FieldSelected(Symbol::intern("foo")),
+        );
         let chain = vec![Lit::pos(Flag(2)), Lit::neg(Flag(1)), Lit::neg(Flag(0))];
         let notes = p.explain(&chain);
         assert_eq!(notes.len(), 2);
@@ -190,7 +198,9 @@ mod tests {
     #[test]
     fn error_messages_are_specific() {
         let e = TypeError::new(
-            TypeErrorKind::FieldMissing { field: Some(Symbol::intern("foo")) },
+            TypeErrorKind::FieldMissing {
+                field: Some(Symbol::intern("foo")),
+            },
             Span::new(0, 1),
         );
         assert!(e.message().contains("`foo`"));

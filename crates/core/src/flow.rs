@@ -26,11 +26,12 @@
 
 use rowpoly_boolfun::{Cnf, Flag, FlagAlloc, FlagSet, Lit, SatResult};
 use rowpoly_lang::{BinOp, Expr, ExprKind, FieldName, Span, Symbol};
+use rowpoly_obs as obs;
+use rowpoly_obs::{Phase, PhaseClock};
 use rowpoly_types::{
-    apply_subst_flow, flag_lits, generalize, instantiate, mgu, Binding,
-    FieldEntry, RowTail, Scheme, Subst, Ty, TyEnv, Var, VarAlloc, NO_FLAG,
+    apply_subst_flow, flag_lits, generalize, instantiate, mgu, Binding, FieldEntry, RowTail,
+    Scheme, Subst, Ty, TyEnv, Var, VarAlloc, NO_FLAG,
 };
-use std::time::Instant;
 
 use crate::config::{CheckPolicy, Compaction, Options, Stats};
 use crate::error::{FlagOrigin, Provenance, TypeError, TypeErrorKind};
@@ -52,8 +53,14 @@ pub struct FlowInfer {
     pub beta: Cnf,
     /// Where each rule-created flag came from.
     pub prov: Provenance,
-    /// Phase timing statistics.
-    pub stats: Stats,
+    /// Phase call counts and structural metrics; the four phase
+    /// *durations* inside are dead weight here — [`Self::stats`] fills
+    /// them in from `clock`.
+    counts: Stats,
+    /// Exclusive-time phase clock: each instant is charged to the
+    /// innermost open phase, so nested work (a projection inside
+    /// `applyS`) lands in exactly one bucket.
+    clock: PhaseClock,
     opts: Options,
     /// Flags of suspended sibling judgements (kept live by projection).
     held: Vec<Vec<Flag>>,
@@ -74,7 +81,8 @@ impl FlowInfer {
             flags: FlagAlloc::new(),
             beta: Cnf::top(),
             prov: Provenance::default(),
-            stats: Stats::default(),
+            counts: Stats::default(),
+            clock: PhaseClock::new(),
             opts,
             held: Vec::new(),
             pending_dead: FlagSet::new(),
@@ -82,12 +90,27 @@ impl FlowInfer {
         }
     }
 
-    /// Samples β's current clause class into [`Self::worst_class`].
-    fn note_class(&mut self) {
+    /// Samples β's current clause class into [`Self::worst_class`] and
+    /// returns it.
+    fn note_class(&mut self) -> rowpoly_boolfun::SatClass {
         let c = rowpoly_boolfun::classify(&self.beta);
         if c > self.worst_class {
             self.worst_class = c;
         }
+        c
+    }
+
+    /// A snapshot of the phase statistics. The four phase durations are
+    /// taken from the exclusive-time [`PhaseClock`], so their sum never
+    /// exceeds the wall time of the run ([`Stats::wall`] is the caller's
+    /// to fill — the engine cannot know the session's full extent).
+    pub fn stats(&self) -> Stats {
+        let mut s = self.counts.clone();
+        s.unify = self.clock.total(Phase::Unify);
+        s.applys = self.clock.total(Phase::ApplyS);
+        s.project = self.clock.total(Phase::Project);
+        s.sat = self.clock.total(Phase::Sat);
+        s
     }
 
     /// Whether field flows are tracked (Fig. 9's "w. fields" column).
@@ -122,15 +145,14 @@ impl FlowInfer {
 
     /// Timed `mgu` wrapper mapping unification failures to located errors.
     fn mgu(&mut self, pairs: Vec<(Ty, Ty)>, span: Span) -> Infer<Subst> {
-        let start = Instant::now();
+        let _span = obs::span(Phase::Unify.name());
+        self.clock.enter(Phase::Unify);
         let r = match self.opts.unifier {
             crate::config::Unifier::Substitution => mgu(pairs, &mut self.vars),
-            crate::config::Unifier::UnionFind => {
-                rowpoly_types::mgu_uf(pairs, &mut self.vars)
-            }
+            crate::config::Unifier::UnionFind => rowpoly_types::mgu_uf(pairs, &mut self.vars),
         };
-        self.stats.unify += start.elapsed();
-        self.stats.unify_calls += 1;
+        self.clock.exit();
+        self.counts.unify_calls += 1;
         r.map_err(|e| TypeError::new(TypeErrorKind::Unify(e), span))
     }
 
@@ -142,22 +164,34 @@ impl FlowInfer {
     /// they join the pending-dead pool and are projected by [`Self::compact`]
     /// once no live structure mentions them.
     fn apply_flow(&mut self, subst: &Subst, kappa: &mut Ty, env: &mut TyEnv) {
-        let start = Instant::now();
+        let _span = obs::span(Phase::ApplyS.name());
+        self.clock.enter(Phase::ApplyS);
         if self.opts.track_fields {
-            let replaced =
-                apply_subst_flow(subst, kappa, env, &mut self.beta, &mut self.flags);
+            let replaced = apply_subst_flow(subst, kappa, env, &mut self.beta, &mut self.flags);
             if !replaced.kappa.is_empty() {
+                // Projecting the κ-exclusive flags is resolution work,
+                // not substitution application: charge it to the
+                // projection bucket even though it runs inside `applyS`.
+                let _span = obs::span(Phase::Project.name());
+                self.clock.enter(Phase::Project);
                 let dead: FlagSet = replaced.kappa.iter().copied().collect();
+                self.counts.project_resolutions += dead.len();
                 self.beta.project_out(&dead);
+                self.clock.exit();
             }
             self.pending_dead.extend(replaced.env);
         } else {
             *kappa = subst.apply(kappa);
             env.apply_subst(subst);
         }
-        self.stats.applys += start.elapsed();
-        self.stats.applys_calls += 1;
-        self.stats.peak_clauses = self.stats.peak_clauses.max(self.beta.len());
+        self.clock.exit();
+        self.counts.applys_calls += 1;
+        let live = self.beta.len();
+        self.counts.peak_clauses = self.counts.peak_clauses.max(live);
+        if obs::enabled() {
+            obs::hist_record("beta.clauses.live", live as u64);
+            obs::counter_max("beta.clauses.peak", live as u64);
+        }
     }
 
     /// Marks the flags of a dropped structure as candidates for
@@ -229,11 +263,7 @@ impl FlowInfer {
     /// ran on top of the first's output it would re-copy the first's
     /// per-column copies, manufacturing spurious cross-position
     /// implications (e.g. tying a field's existence to its record's tail).
-    fn with_forked_beta<R>(
-        &mut self,
-        base: Cnf,
-        body: impl FnOnce(&mut Self) -> R,
-    ) -> (R, Cnf) {
+    fn with_forked_beta<R>(&mut self, base: Cnf, body: impl FnOnce(&mut Self) -> R) -> (R, Cnf) {
         let saved = std::mem::replace(&mut self.beta, base);
         let r = body(self);
         let fork = std::mem::replace(&mut self.beta, saved);
@@ -269,7 +299,8 @@ impl FlowInfer {
             return;
         }
         self.note_class();
-        let start = Instant::now();
+        let _span = obs::span(Phase::Project.name());
+        self.clock.enter(Phase::Project);
         let mut keep: std::collections::HashSet<Flag> = ty.flags().into_iter().collect();
         keep.extend(env.local_flags());
         for roots in &self.held {
@@ -285,14 +316,13 @@ impl FlowInfer {
             .pending_dead
             .iter()
             .copied()
-            .filter(|f| {
-                mentioned.contains(f) && !keep.contains(f) && !global.contains(f)
-            })
+            .filter(|f| mentioned.contains(f) && !keep.contains(f) && !global.contains(f))
             .collect();
         if !dead.is_empty() {
+            self.counts.project_resolutions += dead.len();
             self.beta.project_out(&dead);
         }
-        self.stats.project += start.elapsed();
+        self.clock.exit();
     }
 
     /// Finishes a top-level definition: projects β onto the live flags,
@@ -309,10 +339,11 @@ impl FlowInfer {
             return;
         }
         self.note_class();
-        let start = Instant::now();
+        let _span = obs::span(Phase::Project.name());
+        self.clock.enter(Phase::Project);
+        let before = self.beta.flags().len();
         let scheme_flags: FlagSet = scheme.ty.flags().into_iter().collect();
-        let locals: std::collections::HashSet<Flag> =
-            env.local_flags().into_iter().collect();
+        let locals: std::collections::HashSet<Flag> = env.local_flags().into_iter().collect();
         {
             let global = env.global_flags();
             self.beta.project_unless(|f| {
@@ -329,7 +360,8 @@ impl FlowInfer {
         self.beta.normalize();
         scheme.flow = flow;
         self.pending_dead.clear();
-        self.stats.project += start.elapsed();
+        self.counts.project_resolutions += before.saturating_sub(self.beta.flags().len());
+        self.clock.exit();
     }
 
     /// Projects β onto the frozen global layer — the definitive cleanup
@@ -339,14 +371,16 @@ impl FlowInfer {
         if !self.opts.track_fields {
             return;
         }
-        let start = Instant::now();
-        let locals: std::collections::HashSet<Flag> =
-            env.local_flags().into_iter().collect();
+        let _span = obs::span(Phase::Project.name());
+        self.clock.enter(Phase::Project);
+        let before = self.beta.flags().len();
+        let locals: std::collections::HashSet<Flag> = env.local_flags().into_iter().collect();
         let global = env.global_flags();
         self.beta
             .project_unless(|f| global.contains(&f) || locals.contains(&f));
         self.pending_dead.clear();
-        self.stats.project += start.elapsed();
+        self.counts.project_resolutions += before.saturating_sub(self.beta.flags().len());
+        self.clock.exit();
     }
 
     /// Satisfiability check; maps a conflict to a located, explained
@@ -355,11 +389,13 @@ impl FlowInfer {
         if !self.opts.track_fields {
             return Ok(());
         }
-        self.note_class();
-        let start = Instant::now();
+        let class = self.note_class();
+        let _span = obs::span(Phase::Sat.name());
+        self.clock.enter(Phase::Sat);
         let result = self.beta.solve();
-        self.stats.sat += start.elapsed();
-        self.stats.sat_calls += 1;
+        self.clock.exit();
+        self.counts.sat_calls += 1;
+        self.counts.note_sat_class(class);
         match result {
             SatResult::Sat(_) => Ok(()),
             SatResult::Unsat(chain) => {
@@ -370,8 +406,7 @@ impl FlowInfer {
                         _ => None,
                     })
                 });
-                let mut err =
-                    TypeError::new(TypeErrorKind::FieldMissing { field }, span);
+                let mut err = TypeError::new(TypeErrorKind::FieldMissing { field }, span);
                 err.notes = self.prov.explain(&chain);
                 Err(err)
             }
@@ -388,7 +423,12 @@ impl FlowInfer {
 
     /// Point-wise environment equations for a judgement meet, honouring
     /// the version-tag shortcut unless disabled for ablation.
-    fn env_pairs(&self, a: &TyEnv, b: &TyEnv) -> Vec<(Ty, Ty)> {
+    fn env_pairs(&mut self, a: &TyEnv, b: &TyEnv) -> Vec<(Ty, Ty)> {
+        if self.opts.env_versions && a.same(b) {
+            self.counts.env_meet_hits += 1;
+        } else {
+            self.counts.env_meet_misses += 1;
+        }
         env_pairs_opt(a, b, self.opts.env_versions)
     }
 
@@ -400,9 +440,7 @@ impl FlowInfer {
             ExprKind::Str(_) => Ok((Ty::Str, env.clone())),
             ExprKind::Lam(x, body) => self.rule_lam(env, *x, body, e.span),
             ExprKind::App(f, a) => self.rule_app(env, f, a, e.span),
-            ExprKind::Let { name, bound, body } => {
-                self.rule_let(env, *name, bound, body, e.span)
-            }
+            ExprKind::Let { name, bound, body } => self.rule_let(env, *name, bound, body, e.span),
             ExprKind::If(c, t, f) => self.rule_cond(env, c, t, f, e.span),
             ExprKind::Empty => self.rule_empty(env, e.span),
             ExprKind::Select(n) => self.rule_select(env, *n, e.span),
@@ -411,9 +449,12 @@ impl FlowInfer {
             ExprKind::Rename(m, n) => self.rule_rename(env, *m, *n, e.span),
             ExprKind::Concat(a, b) => self.rule_concat(env, a, b, false, e.span),
             ExprKind::SymConcat(a, b) => self.rule_concat(env, a, b, true, e.span),
-            ExprKind::When { field, subject, then_branch, else_branch } => {
-                self.rule_when(env, *field, *subject, then_branch, else_branch, e.span)
-            }
+            ExprKind::When {
+                field,
+                subject,
+                then_branch,
+                else_branch,
+            } => self.rule_when(env, *field, *subject, then_branch, else_branch, e.span),
             ExprKind::List(items) => self.rule_list(env, items, e.span),
             ExprKind::BinOp(op, a, b) => self.rule_binop(env, *op, a, b, e.span),
         }
@@ -438,8 +479,11 @@ impl FlowInfer {
                     instantiate(&scheme, &mut self.vars, &mut self.flags, &mut self.beta)
                 } else {
                     // Skeleton instantiation: rename quantified variables.
-                    let renaming: Vec<(Var, Var)> =
-                        scheme.vars.iter().map(|&v| (v, self.vars.fresh())).collect();
+                    let renaming: Vec<(Var, Var)> = scheme
+                        .vars
+                        .iter()
+                        .map(|&v| (v, self.vars.fresh()))
+                        .collect();
                     Subst::renaming(renaming).apply(&scheme.ty)
                 };
                 Ok((t, env.clone()))
@@ -476,8 +520,7 @@ impl FlowInfer {
         // judgement's applyS expands its own fork before the conjunction.
         let input_roots = env.local_flags();
         let base = self.beta.clone();
-        let (t1, mut env1) =
-            self.with_held(input_roots, |s| s.infer(env, f))?;
+        let (t1, mut env1) = self.with_held(input_roots, |s| s.infer(env, f))?;
         let (r2, beta2) = self.with_forked_beta(base, |s| {
             s.with_held(Self::judgement_flags(&t1, &env1), |s| s.infer(env, a))
         });
@@ -602,10 +645,11 @@ impl FlowInfer {
 
         let branch_roots = envc.local_flags();
         let base = self.beta.clone();
-        let (tt, mut envt) =
-            self.with_held(branch_roots, |s| s.infer(&envc, then_e))?;
+        let (tt, mut envt) = self.with_held(branch_roots, |s| s.infer(&envc, then_e))?;
         let (re, beta2) = self.with_forked_beta(base, |s| {
-            s.with_held(Self::judgement_flags(&tt, &envt), |s| s.infer(&envc, else_e))
+            s.with_held(Self::judgement_flags(&tt, &envt), |s| {
+                s.infer(&envc, else_e)
+            })
         });
         let (te, mut enve) = re?;
         let mut pairs = vec![(tt.clone(), te.clone())];
@@ -653,7 +697,11 @@ impl FlowInfer {
         let b = self.vars.fresh();
         let (f_n, f_a, f_a2, f_b) = (self.flag(), self.flag(), self.flag(), self.flag());
         let record = Ty::record(
-            vec![FieldEntry { name: n, flag: f_n, ty: Ty::Var(a, f_a) }],
+            vec![FieldEntry {
+                name: n,
+                flag: f_n,
+                ty: Ty::Var(a, f_a),
+            }],
             RowTail::Var(b, f_b),
         );
         let t = Ty::fun(record, Ty::Var(a, f_a2));
@@ -677,14 +725,27 @@ impl FlowInfer {
         let (tv, env1) = self.infer(env, value)?;
         let a = self.vars.fresh();
         let b = self.vars.fresh();
-        let (f_n, f_n2, f_a, f_b, f_b2) =
-            (self.flag(), self.flag(), self.flag(), self.flag(), self.flag());
+        let (f_n, f_n2, f_a, f_b, f_b2) = (
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+            self.flag(),
+        );
         let input = Ty::record(
-            vec![FieldEntry { name: n, flag: f_n, ty: Ty::Var(a, f_a) }],
+            vec![FieldEntry {
+                name: n,
+                flag: f_n,
+                ty: Ty::Var(a, f_a),
+            }],
             RowTail::Var(b, f_b),
         );
         let output = Ty::record(
-            vec![FieldEntry { name: n, flag: f_n2, ty: tv }],
+            vec![FieldEntry {
+                name: n,
+                flag: f_n2,
+                ty: tv,
+            }],
             RowTail::Var(b, f_b2),
         );
         if self.opts.track_fields {
@@ -718,11 +779,19 @@ impl FlowInfer {
             self.flag(),
         );
         let input = Ty::record(
-            vec![FieldEntry { name: n, flag: f_n, ty: Ty::Var(a, f_a) }],
+            vec![FieldEntry {
+                name: n,
+                flag: f_n,
+                ty: Ty::Var(a, f_a),
+            }],
             RowTail::Var(b, f_b),
         );
         let output = Ty::record(
-            vec![FieldEntry { name: n, flag: f_n2, ty: Ty::Var(c, f_c) }],
+            vec![FieldEntry {
+                name: n,
+                flag: f_n2,
+                ty: Ty::Var(c, f_c),
+            }],
             RowTail::Var(b, f_b2),
         );
         if self.opts.track_fields {
@@ -755,11 +824,19 @@ impl FlowInfer {
                 self.flag(),
             );
             let input = Ty::record(
-                vec![FieldEntry { name: m, flag: f_m, ty: Ty::Var(a, f_a) }],
+                vec![FieldEntry {
+                    name: m,
+                    flag: f_m,
+                    ty: Ty::Var(a, f_a),
+                }],
                 RowTail::Var(b, f_b),
             );
             let output = Ty::record(
-                vec![FieldEntry { name: m, flag: f_m2, ty: Ty::Var(a, f_a2) }],
+                vec![FieldEntry {
+                    name: m,
+                    flag: f_m2,
+                    ty: Ty::Var(a, f_a2),
+                }],
                 RowTail::Var(b, f_b2),
             );
             if self.opts.track_fields {
@@ -787,15 +864,31 @@ impl FlowInfer {
         );
         let input = Ty::record(
             vec![
-                FieldEntry { name: m, flag: f_m, ty: Ty::Var(a, f_a) },
-                FieldEntry { name: n, flag: f_n, ty: Ty::Var(c, f_c) },
+                FieldEntry {
+                    name: m,
+                    flag: f_m,
+                    ty: Ty::Var(a, f_a),
+                },
+                FieldEntry {
+                    name: n,
+                    flag: f_n,
+                    ty: Ty::Var(c, f_c),
+                },
             ],
             RowTail::Var(b, f_b),
         );
         let output = Ty::record(
             vec![
-                FieldEntry { name: m, flag: f_m2, ty: Ty::Var(d, f_d) },
-                FieldEntry { name: n, flag: f_n2, ty: Ty::Var(a, f_a2) },
+                FieldEntry {
+                    name: m,
+                    flag: f_m2,
+                    ty: Ty::Var(d, f_d),
+                },
+                FieldEntry {
+                    name: n,
+                    flag: f_n2,
+                    ty: Ty::Var(a, f_a2),
+                },
             ],
             RowTail::Var(b, f_b2),
         );
@@ -828,8 +921,7 @@ impl FlowInfer {
     ) -> Infer<(Ty, TyEnv)> {
         let input_roots = env.local_flags();
         let base = self.beta.clone();
-        let (t1, mut env1) =
-            self.with_held(input_roots, |s| s.infer(env, e1))?;
+        let (t1, mut env1) = self.with_held(input_roots, |s| s.infer(env, e1))?;
         let (r2, beta2) = self.with_forked_beta(base, |s| {
             s.with_held(Self::judgement_flags(&t1, &env1), |s| s.infer(env, e2))
         });
@@ -870,8 +962,7 @@ impl FlowInfer {
                 // entries of the sequence.
                 let row_positions = match &t1s {
                     Ty::Record(row) => {
-                        row.fields.len()
-                            + matches!(row.tail, RowTail::Var(..)) as usize
+                        row.fields.len() + matches!(row.tail, RowTail::Var(..)) as usize
                     }
                     other => unreachable!("σ forced a record, got {other:?}"),
                 };
@@ -906,7 +997,11 @@ impl FlowInfer {
         let c = self.vars.fresh();
         let a = self.vars.fresh();
         let pat = Ty::record(
-            vec![FieldEntry { name: field, flag: self.flag(), ty: Ty::Var(c, self.flag()) }],
+            vec![FieldEntry {
+                name: field,
+                flag: self.flag(),
+                ty: Ty::Var(c, self.flag()),
+            }],
             RowTail::Var(a, self.flag()),
         );
         let subst = self.mgu(vec![(tx.clone(), pat)], span)?;
@@ -925,13 +1020,15 @@ impl FlowInfer {
         // β on return, so both branches start from the same βs and their
         // constraint sets come back as guarded clause lists.
         let tx_flags = txs.flags();
-        let branch_roots: Vec<Flag> =
-            tx_flags.iter().copied().chain(envs.local_flags()).collect();
+        let branch_roots: Vec<Flag> = tx_flags.iter().copied().chain(envs.local_flags()).collect();
         let (tt, mut envt, then_guarded) = self.with_held(branch_roots.clone(), |s| {
             s.infer_guarded(&envs, then_e, Lit::pos(ff))
         })?;
         let (te, mut enve, else_guarded) = self.with_held(
-            branch_roots.iter().copied().chain(Self::judgement_flags(&tt, &envt)),
+            branch_roots
+                .iter()
+                .copied()
+                .chain(Self::judgement_flags(&tt, &envt)),
             |s| s.infer_guarded(&envs, else_e, Lit::neg(ff)),
         )?;
 
@@ -948,7 +1045,10 @@ impl FlowInfer {
         }
         let mut tts = tt;
         self.with_held(
-            tx_flags.iter().copied().chain(Self::judgement_flags(&te, &enve)),
+            tx_flags
+                .iter()
+                .copied()
+                .chain(Self::judgement_flags(&te, &enve)),
             |s| s.apply_flow(&subst, &mut tts, &mut envt),
         );
         let mut beta_else = base;
@@ -960,7 +1060,10 @@ impl FlowInfer {
         let mut tes = te;
         let ((), beta_else_s) = self.with_forked_beta(beta_else, |s| {
             s.with_held(
-                tx_flags.iter().copied().chain(Self::judgement_flags(&tts, &envt)),
+                tx_flags
+                    .iter()
+                    .copied()
+                    .chain(Self::judgement_flags(&tts, &envt)),
                 |s| s.apply_flow(&subst, &mut tes, &mut enve),
             )
         });
@@ -973,8 +1076,10 @@ impl FlowInfer {
             let st = flag_lits(&tts);
             let se = flag_lits(&tes);
             for j in 0..sr.len() {
-                self.beta.add_lits(vec![Lit::neg(ff), sr[j].negate(), st[j]]);
-                self.beta.add_lits(vec![Lit::pos(ff), sr[j].negate(), se[j]]);
+                self.beta
+                    .add_lits(vec![Lit::neg(ff), sr[j].negate(), st[j]]);
+                self.beta
+                    .add_lits(vec![Lit::pos(ff), sr[j].negate(), se[j]]);
             }
         }
         self.register_dead_ty(&txs);
@@ -1083,8 +1188,7 @@ impl FlowInfer {
     ) -> Infer<(Ty, TyEnv)> {
         let input_roots = env.local_flags();
         let base = self.beta.clone();
-        let (ta, mut env1) =
-            self.with_held(input_roots, |s| s.infer(env, a))?;
+        let (ta, mut env1) = self.with_held(input_roots, |s| s.infer(env, a))?;
         let (r2, beta2) = self.with_forked_beta(base, |s| {
             s.with_held(Self::judgement_flags(&ta, &env1), |s| s.infer(env, b))
         });
@@ -1172,9 +1276,7 @@ pub fn alpha_eq_skeleton(t1: &Ty, t2: &Ty) -> bool {
             }
             (Ty::Int, Ty::Int) | (Ty::Str, Ty::Str) => true,
             (Ty::List(a), Ty::List(b)) => go(a, b, fwd, bwd),
-            (Ty::Fun(a1, a2), Ty::Fun(b1, b2)) => {
-                go(a1, b1, fwd, bwd) && go(a2, b2, fwd, bwd)
-            }
+            (Ty::Fun(a1, a2), Ty::Fun(b1, b2)) => go(a1, b1, fwd, bwd) && go(a2, b2, fwd, bwd),
             (Ty::Record(r1), Ty::Record(r2)) => {
                 if r1.fields.len() != r2.fields.len() {
                     return false;

@@ -15,7 +15,10 @@ use crate::driver::{ProgramReport, Session, SessionError};
 
 /// Options for the flow-free (Fig. 2) configuration.
 pub fn options() -> Options {
-    Options { track_fields: false, ..Options::default() }
+    Options {
+        track_fields: false,
+        ..Options::default()
+    }
 }
 
 /// A session running the Fig. 2 inference (no field tracking).
@@ -101,7 +104,10 @@ def use = h [1] [2]"#;
     fn record_skeletons_still_unify() {
         // Without flags, field *presence* is not checked...
         let src = "def use = #foo {}";
-        assert!(infer_source(src).is_ok(), "w/o fields, missing fields go unnoticed");
+        assert!(
+            infer_source(src).is_ok(),
+            "w/o fields, missing fields go unnoticed"
+        );
         // ...but field *types* are.
         let src2 = r#"def use = #foo (@{foo = "s"} {}) + 1"#;
         assert!(infer_source(src2).is_err());

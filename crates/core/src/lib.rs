@@ -52,7 +52,7 @@ pub mod hm;
 pub mod remy;
 pub mod smt;
 
-pub use config::{CheckPolicy, Compaction, Options, Stats, Unifier};
+pub use config::{CheckPolicy, Compaction, Options, Stats, Unifier, SAT_CLASSES, SAT_CLASS_COUNT};
 pub use driver::{DefReport, ProgramReport, Session, SessionError};
 pub use error::{FlagOrigin, Provenance, TypeError, TypeErrorKind};
 pub use flow::{alpha_eq_skeleton, FlowInfer, Infer};

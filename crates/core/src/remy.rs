@@ -76,7 +76,7 @@ impl RTy {
     }
 
     fn record(mut fields: Vec<(FieldName, RFlag, RTy)>, tail: Option<(RVar, RFlag)>) -> RTy {
-        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.sort_by_key(|f| f.0);
         RTy::Record(RRow { fields, tail })
     }
 
@@ -231,7 +231,7 @@ impl RemyInfer {
             }
         }
         let tail = tail.map(|(v, f)| (v, self.resolve_flag(f)));
-        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.sort_by_key(|f| f.0);
         fields.dedup_by(|a, b| a.0 == b.0);
         RTy::Record(RRow { fields, tail })
     }
@@ -550,8 +550,7 @@ impl RemyInfer {
     }
 
     fn instantiate(&mut self, s: &RScheme) -> RTy {
-        let var_map: HashMap<RVar, RVar> =
-            s.vars.iter().map(|&v| (v, self.fresh_rvar())).collect();
+        let var_map: HashMap<RVar, RVar> = s.vars.iter().map(|&v| (v, self.fresh_rvar())).collect();
         let flag_map: HashMap<FVar, RFlag> =
             s.fvars.iter().map(|&v| (v, self.fresh_flag())).collect();
         let resolved = self.resolve(&s.ty);
@@ -593,7 +592,9 @@ fn rename(t: &RTy, vars: &HashMap<RVar, RVar>, flags: &HashMap<FVar, RFlag>) -> 
                 .iter()
                 .map(|(n, f, t)| (*n, rn_flag(*f), rename(t, vars, flags)))
                 .collect(),
-            tail: row.tail.map(|(v, f)| (vars.get(&v).copied().unwrap_or(v), rn_flag(f))),
+            tail: row
+                .tail
+                .map(|(v, f)| (vars.get(&v).copied().unwrap_or(v), rn_flag(f))),
         }),
     }
 }

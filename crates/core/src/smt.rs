@@ -21,6 +21,7 @@
 //! assignment of the finitely many guard flags.
 
 use rowpoly_boolfun::{sat, Clause, Cnf, Lit, SatResult};
+use rowpoly_obs as obs;
 use rowpoly_types::{mgu, Subst, Ty, VarAlloc};
 
 /// A conditional unification constraint `left =guard right`: the two
@@ -38,12 +39,20 @@ pub struct CondEq {
 impl CondEq {
     /// An unconditional equation.
     pub fn always(left: Ty, right: Ty) -> CondEq {
-        CondEq { guard: Vec::new(), left, right }
+        CondEq {
+            guard: Vec::new(),
+            left,
+            right,
+        }
     }
 
     /// An equation guarded by a single literal.
     pub fn when(guard: Lit, left: Ty, right: Ty) -> CondEq {
-        CondEq { guard: vec![guard], left, right }
+        CondEq {
+            guard: vec![guard],
+            left,
+            right,
+        }
     }
 
     fn active_in(&self, model: &sat::Model) -> bool {
@@ -85,23 +94,35 @@ impl SmtOutcome {
 /// Decides whether some model of `beta` makes all guarded equations
 /// unifiable (see the module documentation for the algorithm).
 pub fn solve_conditional(beta: &Cnf, eqs: &[CondEq], vars: &mut VarAlloc) -> SmtOutcome {
+    let _span = obs::span("smt.solve");
     let mut working = beta.clone();
     // Guard flags must be decided by the model even if β does not mention
     // them; mention them with tautologies... instead we default unmentioned
     // guards to false in `active_in` and enumerate flips via blocking
     // clauses over the guard literals that *were* true.
     let mut iterations = 0;
-    loop {
+    let mut theory_checks: u64 = 0;
+    let mut blocking_clauses: u64 = 0;
+    let out = loop {
         iterations += 1;
         let model = match working.solve() {
             SatResult::Sat(m) => m,
-            SatResult::Unsat(_) => return SmtOutcome::Unsat { iterations },
+            SatResult::Unsat(_) => break SmtOutcome::Unsat { iterations },
         };
         let active: Vec<&CondEq> = eqs.iter().filter(|eq| eq.active_in(&model)).collect();
-        let pairs: Vec<(Ty, Ty)> =
-            active.iter().map(|eq| (eq.left.clone(), eq.right.clone())).collect();
+        let pairs: Vec<(Ty, Ty)> = active
+            .iter()
+            .map(|eq| (eq.left.clone(), eq.right.clone()))
+            .collect();
+        theory_checks += 1;
         match mgu(pairs, vars) {
-            Ok(unifier) => return SmtOutcome::Sat { model, unifier, iterations },
+            Ok(unifier) => {
+                break SmtOutcome::Sat {
+                    model,
+                    unifier,
+                    iterations,
+                }
+            }
             Err(_) => {
                 // Block this activation pattern: at least one active guard
                 // literal must flip.
@@ -113,15 +134,28 @@ pub fn solve_conditional(beta: &Cnf, eqs: &[CondEq], vars: &mut VarAlloc) -> Smt
                 lits.dedup();
                 if lits.is_empty() {
                     // Unconditional equations failed: no model can help.
-                    return SmtOutcome::Unsat { iterations };
+                    break SmtOutcome::Unsat { iterations };
                 }
                 match Clause::new(lits) {
-                    Some(c) => working.add_clause(c),
-                    None => return SmtOutcome::Unsat { iterations },
+                    Some(c) => {
+                        blocking_clauses += 1;
+                        working.add_clause(c);
+                    }
+                    None => break SmtOutcome::Unsat { iterations },
                 }
             }
         }
+    };
+    if obs::enabled() {
+        obs::counter_add("smt.solves", 1);
+        obs::counter_add("smt.iterations", iterations as u64);
+        obs::counter_add("smt.theory_checks", theory_checks);
+        obs::counter_add("smt.blocking_clauses", blocking_clauses);
+        // Each blocking clause is one backtrack of the DPLL(T) loop, so
+        // the count doubles as this solve's backtracking depth.
+        obs::counter_max("smt.backtrack.depth", blocking_clauses);
     }
+    out
 }
 
 #[cfg(test)]
@@ -190,7 +224,10 @@ mod tests {
             SmtOutcome::Sat { model, .. } => {
                 let gv = model.get(&g).copied().unwrap_or(false);
                 let hv = model.get(&h).copied().unwrap_or(false);
-                assert!(gv ^ hv, "exactly one branch may be active, got g={gv} h={hv}");
+                assert!(
+                    gv ^ hv,
+                    "exactly one branch may be active, got g={gv} h={hv}"
+                );
             }
             SmtOutcome::Unsat { .. } => panic!("a consistent assignment exists"),
         }

@@ -24,8 +24,12 @@ enum BranchMode {
 /// [`RuntimeError::OutOfFuel`] (an unknown result, not a type error).
 /// Free variables evaluate to [`RuntimeError::Unbound`].
 pub fn eval(expr: &Expr, fuel: u64) -> Result<Value, RuntimeError> {
-    let mut interp =
-        Interp { fuel, mode: BranchMode::Concrete, oracle: 0, oracle_used: 0 };
+    let mut interp = Interp {
+        fuel,
+        mode: BranchMode::Concrete,
+        oracle: 0,
+        oracle_used: 0,
+    };
     interp.eval(&builtin_env(), expr)
 }
 
@@ -69,10 +73,15 @@ pub fn explore_paths(expr: &Expr, fuel: u64, max_paths: u32) -> PathSummary {
     let mut oracle: u64 = 0;
     let mut width = 0u32;
     loop {
-        let mut interp = Interp { fuel, mode: BranchMode::Oracle, oracle, oracle_used: 0 };
+        let mut interp = Interp {
+            fuel,
+            mode: BranchMode::Oracle,
+            oracle,
+            oracle_used: 0,
+        };
         match interp.eval(&env, expr) {
             Ok(_) => summary.ok += 1,
-            Err(e) if e == RuntimeError::OutOfFuel => summary.unknown += 1,
+            Err(RuntimeError::OutOfFuel) => summary.unknown += 1,
             Err(e) if e.is_field_error() => summary.field_errors += 1,
             Err(_) => summary.other_errors += 1,
         }
@@ -106,9 +115,7 @@ impl Interp {
     fn eval(&mut self, env: &Env, e: &Expr) -> Result<Value, RuntimeError> {
         self.tick()?;
         match &e.kind {
-            ExprKind::Var(x) => {
-                env.get(x).cloned().ok_or(RuntimeError::Unbound(*x))
-            }
+            ExprKind::Var(x) => env.get(x).cloned().ok_or(RuntimeError::Unbound(*x)),
             ExprKind::Int(n) => Ok(Value::Int(*n)),
             ExprKind::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
             ExprKind::List(items) => {
@@ -208,7 +215,12 @@ impl Interp {
                 }
                 Ok(Value::Record(Rc::new(out)))
             }
-            ExprKind::When { field, subject, then_branch, else_branch } => {
+            ExprKind::When {
+                field,
+                subject,
+                then_branch,
+                else_branch,
+            } => {
                 let v = env
                     .get(subject)
                     .cloned()
@@ -251,7 +263,12 @@ impl Interp {
     fn apply(&mut self, f: Value, a: Value) -> Result<Value, RuntimeError> {
         self.tick()?;
         match f {
-            Value::Closure { me, param, body, env } => {
+            Value::Closure {
+                me,
+                param,
+                body,
+                env,
+            } => {
                 let mut inner = (*env).clone();
                 if let Some(name) = me {
                     inner.insert(
@@ -386,10 +403,7 @@ mod tests {
     #[test]
     fn records_update_select() {
         assert!(matches!(run("#foo (@{foo = 42} {})"), Ok(Value::Int(42))));
-        assert!(matches!(
-            run("#bar {}"),
-            Err(RuntimeError::MissingField(_))
-        ));
+        assert!(matches!(run("#bar {}"), Err(RuntimeError::MissingField(_))));
         assert!(matches!(
             run("#a (%a {a = 1})"),
             Err(RuntimeError::MissingField(_))
@@ -446,7 +460,10 @@ mod tests {
     fn dynamic_type_errors_are_stuck() {
         assert!(matches!(run("1 + {}"), Err(RuntimeError::Stuck(_))));
         assert!(matches!(run("1 2"), Err(RuntimeError::Stuck(_))));
-        assert!(matches!(run("if {} then 1 else 2"), Err(RuntimeError::Stuck(_))));
+        assert!(matches!(
+            run("if {} then 1 else 2"),
+            Err(RuntimeError::Stuck(_))
+        ));
     }
 
     /// The motivating example: `f {}` is safe on *every* path (the

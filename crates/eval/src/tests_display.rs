@@ -52,7 +52,10 @@ fn describe_covers_all_shapes() {
     assert_eq!(Value::Int(0).describe(), "an integer");
     assert_eq!(Value::Str(Rc::from("")).describe(), "a string");
     assert_eq!(Value::List(Rc::new(vec![])).describe(), "a list");
-    assert_eq!(Value::Record(Rc::new(BTreeMap::new())).describe(), "a record");
+    assert_eq!(
+        Value::Record(Rc::new(BTreeMap::new())).describe(),
+        "a record"
+    );
 }
 
 #[test]
@@ -72,7 +75,10 @@ fn runtime_error_messages_name_the_field() {
 fn prim_arities() {
     assert_eq!(Prim::Select(Symbol::intern("a")).arity(), 1);
     assert_eq!(Prim::Update(Symbol::intern("a")).arity(), 2);
-    assert_eq!(Prim::Rename(Symbol::intern("a"), Symbol::intern("b")).arity(), 1);
+    assert_eq!(
+        Prim::Rename(Symbol::intern("a"), Symbol::intern("b")).arity(),
+        1
+    );
     assert_eq!(Prim::Cons.arity(), 2);
     assert_eq!(Prim::Null.arity(), 1);
 }

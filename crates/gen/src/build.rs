@@ -24,7 +24,10 @@ pub fn app2(f: Expr, a: Expr, b: Expr) -> Expr {
 
 /// Lambda.
 pub fn lam(param: &str, body: Expr) -> Expr {
-    Expr::new(ExprKind::Lam(Symbol::intern(param), Box::new(body)), Span::dummy())
+    Expr::new(
+        ExprKind::Lam(Symbol::intern(param), Box::new(body)),
+        Span::dummy(),
+    )
 }
 
 /// `let name = bound in body`.
@@ -41,7 +44,10 @@ pub fn let_(name: &str, bound: Expr, body: Expr) -> Expr {
 
 /// Conditional.
 pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
-    Expr::new(ExprKind::If(Box::new(c), Box::new(t), Box::new(e)), Span::dummy())
+    Expr::new(
+        ExprKind::If(Box::new(c), Box::new(t), Box::new(e)),
+        Span::dummy(),
+    )
 }
 
 /// The empty record.

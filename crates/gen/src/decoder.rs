@@ -25,9 +25,8 @@
 //! the decoded instructions mean, which is why the substitution preserves
 //! the benchmark's behaviour.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rowpoly_lang::{pretty_program, BinOp, Def, Expr, Program, Span, Symbol};
+use rowpoly_obs::rng::SplitMix64 as StdRng;
 
 use crate::build::*;
 
@@ -112,26 +111,26 @@ pub fn fig9_workloads() -> Vec<Workload> {
 /// Generates a decoder-spec program.
 pub fn generate(params: &GenParams) -> Program {
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut defs: Vec<Def> = Vec::new();
-
     // Shared polymorphic helpers, used across all groups.
-    defs.push(def(
-        "mk_state",
-        lam(
-            "x",
-            update("mode", int(0), update("opcode", var("x"), empty())),
+    let mut defs: Vec<Def> = vec![
+        def(
+            "mk_state",
+            lam(
+                "x",
+                update("mode", int(0), update("opcode", var("x"), empty())),
+            ),
         ),
-    ));
-    defs.push(def("get_opcode", lam("s", select("opcode", var("s")))));
-    defs.push(def(
-        "with_scratch",
-        lam("s", lam("v", update("scratch", var("v"), var("s")))),
-    ));
-    defs.push(def("read_scratch", lam("s", select("scratch", var("s")))));
-    defs.push(def(
-        "twice",
-        lam("f", lam("s", app(var("f"), app(var("f"), var("s"))))),
-    ));
+        def("get_opcode", lam("s", select("opcode", var("s")))),
+        def(
+            "with_scratch",
+            lam("s", lam("v", update("scratch", var("v"), var("s")))),
+        ),
+        def("read_scratch", lam("s", select("scratch", var("s")))),
+        def(
+            "twice",
+            lam("f", lam("s", app(var("f"), app(var("f"), var("s"))))),
+        ),
+    ];
 
     for g in 0..params.groups {
         let mut chain: Vec<String> = Vec::new();
@@ -208,7 +207,11 @@ pub fn generate_with_lines(target_lines: usize, with_sem: bool, seed: u64) -> (P
 }
 
 fn def(name: &str, body: Expr) -> Def {
-    Def { name: Symbol::intern(name), span: Span::dummy(), body }
+    Def {
+        name: Symbol::intern(name),
+        span: Span::dummy(),
+        body,
+    }
 }
 
 /// One decode function: reads the opcode, computes intermediates into
@@ -220,7 +223,13 @@ fn def(name: &str, body: Expr) -> Def {
 /// definition that reads the old value would be a self-reference.
 fn decoder_body(rng: &mut StdRng, g: usize, d: usize, params: &GenParams) -> Expr {
     let n = params.ops_per_decoder;
-    let st = |i: usize| if i == 0 { "st".to_owned() } else { format!("st{i}") };
+    let st = |i: usize| {
+        if i == 0 {
+            "st".to_owned()
+        } else {
+            format!("st{i}")
+        }
+    };
     let acc = |i: usize| format!("acc{i}");
     // Built inside-out: the innermost expression publishes the result.
     let mut body = update(
@@ -286,7 +295,13 @@ fn decoder_body(rng: &mut StdRng, g: usize, d: usize, params: &GenParams) -> Exp
 /// writes a semantics field (the "+ Sem" layer).
 fn sem_body(rng: &mut StdRng, g: usize, d: usize, params: &GenParams) -> Expr {
     let n = params.ops_per_decoder / 2;
-    let st = |i: usize| if i == 0 { "st".to_owned() } else { format!("st{i}") };
+    let st = |i: usize| {
+        if i == 0 {
+            "st".to_owned()
+        } else {
+            format!("st{i}")
+        }
+    };
     let acc = |i: usize| format!("acc{i}");
     let mut body = update(
         &format!("sem_{g}_{d}"),
@@ -344,7 +359,10 @@ mod tests {
     #[test]
     fn sem_variant_is_larger() {
         let base = GenParams::default();
-        let with_sem = GenParams { with_sem: true, ..base.clone() };
+        let with_sem = GenParams {
+            with_sem: true,
+            ..base.clone()
+        };
         let a = pretty_program(&generate(&base)).lines().count();
         let b = pretty_program(&generate(&with_sem)).lines().count();
         assert!(b > a);

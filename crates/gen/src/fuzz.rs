@@ -13,9 +13,8 @@
 //! reason the flow inference can reject is a missing-field path — which
 //! the interpreter's path exploration can confirm or refute.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rowpoly_lang::{BinOp, Expr};
+use rowpoly_obs::rng::SplitMix64 as StdRng;
 
 use crate::build::*;
 
@@ -34,7 +33,10 @@ pub struct FuzzParams {
 
 impl Default for FuzzParams {
     fn default() -> FuzzParams {
-        FuzzParams { depth: 5, select_pct: 30 }
+        FuzzParams {
+            depth: 5,
+            select_pct: 30,
+        }
     }
 }
 
@@ -62,7 +64,11 @@ fn gen_record(rng: &mut StdRng, depth: usize, params: FuzzParams) -> Expr {
         // Update.
         2..=4 => {
             let f = FIELDS[rng.gen_range(0..FIELDS.len())];
-            update(f, int(rng.gen_range(0..100)), gen_record(rng, depth - 1, params))
+            update(
+                f,
+                int(rng.gen_range(0..100)),
+                gen_record(rng, depth - 1, params),
+            )
         }
         // Conditional with an opaque (non-deterministic) condition: an
         // integer literal keeps it closed, and the inference abstracts it

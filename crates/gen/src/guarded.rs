@@ -8,9 +8,8 @@
 //! and consumed behind `when` guards, with occasional record
 //! concatenations.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rowpoly_lang::{BinOp, Def, Expr, ExprKind, Program, Span, Symbol};
+use rowpoly_obs::rng::SplitMix64 as StdRng;
 
 use crate::build::*;
 
@@ -29,7 +28,12 @@ pub struct GuardedParams {
 
 impl Default for GuardedParams {
     fn default() -> GuardedParams {
-        GuardedParams { seed: 0x6A4DED, modules: 4, fields_per_module: 3, with_concat: false }
+        GuardedParams {
+            seed: 0x6A4DED,
+            modules: 4,
+            fields_per_module: 3,
+            with_concat: false,
+        }
     }
 }
 
@@ -141,7 +145,11 @@ pub fn generate_guarded(params: &GuardedParams) -> Program {
 }
 
 fn def(name: &str, body: Expr) -> Def {
-    Def { name: Symbol::intern(name), span: Span::dummy(), body }
+    Def {
+        name: Symbol::intern(name),
+        span: Span::dummy(),
+        body,
+    }
 }
 
 #[cfg(test)]
@@ -169,9 +177,10 @@ mod tests {
     #[test]
     fn concat_variant_adds_defs() {
         let base = GuardedParams::default();
-        let with = GuardedParams { with_concat: true, ..base.clone() };
-        assert!(
-            generate_guarded(&with).defs.len() > generate_guarded(&base).defs.len()
-        );
+        let with = GuardedParams {
+            with_concat: true,
+            ..base.clone()
+        };
+        assert!(generate_guarded(&with).defs.len() > generate_guarded(&base).defs.len());
     }
 }

@@ -15,6 +15,9 @@ pub mod decoder;
 pub mod fuzz;
 pub mod guarded;
 
+/// The seeded PRNG the generators are built on (in-tree, no `rand`).
+pub use rowpoly_obs::rng;
+
 pub use decoder::{fig9_workloads, generate, generate_with_lines, GenParams, Workload};
 pub use fuzz::{random_pipeline, FuzzParams};
 pub use guarded::{generate_guarded, GuardedParams};

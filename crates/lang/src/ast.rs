@@ -156,7 +156,11 @@ impl Expr {
                 f.free_vars_into(bound, out);
                 a.free_vars_into(bound, out);
             }
-            ExprKind::Let { name, bound: b, body } => {
+            ExprKind::Let {
+                name,
+                bound: b,
+                body,
+            } => {
                 let fresh = bound.insert(*name);
                 b.free_vars_into(bound, out);
                 body.free_vars_into(bound, out);
@@ -174,7 +178,12 @@ impl Expr {
                 a.free_vars_into(bound, out);
                 b.free_vars_into(bound, out);
             }
-            ExprKind::When { subject, then_branch, else_branch, .. } => {
+            ExprKind::When {
+                subject,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 if !bound.contains(subject) {
                     out.insert(*subject);
                 }
@@ -224,7 +233,11 @@ impl Expr {
                 f(e);
             }
             ExprKind::Update(_, e) => f(e),
-            ExprKind::When { then_branch, else_branch, .. } => {
+            ExprKind::When {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 f(then_branch);
                 f(else_branch);
             }
@@ -262,7 +275,10 @@ impl Program {
     ///
     /// Panics if the program has no definitions.
     pub fn to_expr(&self) -> Expr {
-        let last = self.defs.last().expect("program has at least one definition");
+        let last = self
+            .defs
+            .last()
+            .expect("program has at least one definition");
         let mut expr = Expr::new(ExprKind::Var(last.name), last.span);
         for def in self.defs.iter().rev() {
             expr = Expr::new(
@@ -349,8 +365,16 @@ mod tests {
     fn program_to_expr_nests_lets() {
         let p = Program {
             defs: vec![
-                Def { name: Symbol::intern("a"), span: Span::dummy(), body: var("x") },
-                Def { name: Symbol::intern("b"), span: Span::dummy(), body: var("a") },
+                Def {
+                    name: Symbol::intern("a"),
+                    span: Span::dummy(),
+                    body: var("x"),
+                },
+                Def {
+                    name: Symbol::intern("b"),
+                    span: Span::dummy(),
+                    body: var("a"),
+                },
             ],
         };
         let e = p.to_expr();

@@ -29,7 +29,12 @@ pub struct Diag {
 impl Diag {
     /// Builds an error diagnostic.
     pub fn error(span: Span, message: impl Into<String>) -> Diag {
-        Diag { severity: Severity::Error, span, message: message.into(), notes: Vec::new() }
+        Diag {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
     }
 
     /// Attaches a note at a location (builder style).
@@ -50,7 +55,14 @@ impl Diag {
     pub fn render(&self, source: &str) -> String {
         let lm = LineMap::new(source);
         let mut out = String::new();
-        render_one(&mut out, source, &lm, self.severity, self.span, &self.message);
+        render_one(
+            &mut out,
+            source,
+            &lm,
+            self.severity,
+            self.span,
+            &self.message,
+        );
         for (span, note) in &self.notes {
             render_one(&mut out, source, &lm, Severity::Note, *span, note);
         }
@@ -76,7 +88,9 @@ fn render_one(
     writeln!(out, " --> {line}:{col}").expect("write to string");
     let text = lm.line_text(source, span.start);
     writeln!(out, "  | {text}").expect("write to string");
-    let width = span.len().clamp(1, text.len().saturating_sub(col - 1).max(1));
+    let width = span
+        .len()
+        .clamp(1, text.len().saturating_sub(col - 1).max(1));
     writeln!(out, "  | {}{}", " ".repeat(col - 1), "^".repeat(width)).expect("write to string");
 }
 

@@ -10,7 +10,11 @@ use crate::token::{Token, TokenKind};
 ///
 /// Comments run from `--` to the end of the line.
 pub fn lex(source: &str) -> Result<Vec<Token>, Diag> {
-    Lexer { src: source.as_bytes(), pos: 0 }.run()
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+    }
+    .run()
 }
 
 struct Lexer<'s> {
@@ -25,7 +29,10 @@ impl<'s> Lexer<'s> {
             self.skip_trivia();
             let start = self.pos as u32;
             let Some(b) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start),
+                });
                 return Ok(tokens);
             };
             let kind = self.token(b, start)?;
@@ -178,10 +185,7 @@ impl<'s> Lexer<'s> {
                 }
             }
             other => {
-                return Err(self.error(
-                    start,
-                    &format!("unexpected character `{}`", other as char),
-                ));
+                return Err(self.error(start, &format!("unexpected character `{}`", other as char)));
             }
         })
     }
@@ -218,9 +222,7 @@ impl<'s> Lexer<'s> {
         let mut out = String::new();
         loop {
             match self.peek() {
-                None | Some(b'\n') => {
-                    return Err(self.error(start, "unterminated string literal"))
-                }
+                None | Some(b'\n') => return Err(self.error(start, "unterminated string literal")),
                 Some(b'"') => {
                     self.bump();
                     return Ok(TokenKind::Str(out));
@@ -272,7 +274,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn error(&self, start: u32, msg: &str) -> Diag {
-        Diag::error(Span::new(start, self.pos.max(start as usize + 1) as u32), msg)
+        Diag::error(
+            Span::new(start, self.pos.max(start as usize + 1) as u32),
+            msg,
+        )
     }
 }
 
@@ -281,7 +286,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -94,7 +94,11 @@ impl Parser {
         } else {
             Err(Diag::error(
                 self.peek_span(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -170,7 +174,11 @@ impl Parser {
         let span = start.to(body.span);
         for (name, bound) in bindings.into_iter().rev() {
             body = Expr::new(
-                ExprKind::Let { name, bound: Box::new(bound), body: Box::new(body) },
+                ExprKind::Let {
+                    name,
+                    bound: Box::new(bound),
+                    body: Box::new(body),
+                },
                 span,
             );
         }
@@ -357,12 +365,8 @@ impl Parser {
                 let full = span.to(end);
                 let mut record = Expr::new(ExprKind::Empty, full);
                 for (name, value) in fields {
-                    let update =
-                        Expr::new(ExprKind::Update(name, Box::new(value)), full);
-                    record = Expr::new(
-                        ExprKind::App(Box::new(update), Box::new(record)),
-                        full,
-                    );
+                    let update = Expr::new(ExprKind::Update(name, Box::new(value)), full);
+                    record = Expr::new(ExprKind::App(Box::new(update), Box::new(record)), full);
                 }
                 Ok(record)
             }
@@ -401,12 +405,8 @@ impl Parser {
                         let r = Symbol::fresh("r");
                         let mut body = Expr::new(ExprKind::Var(r), full);
                         for (name, value) in fields {
-                            let update =
-                                Expr::new(ExprKind::Update(name, Box::new(value)), full);
-                            body = Expr::new(
-                                ExprKind::App(Box::new(update), Box::new(body)),
-                                full,
-                            );
+                            let update = Expr::new(ExprKind::Update(name, Box::new(value)), full);
+                            body = Expr::new(ExprKind::App(Box::new(update), Box::new(body)), full);
                         }
                         Ok(Expr::new(ExprKind::Lam(r, Box::new(body)), full))
                     }
@@ -629,7 +629,10 @@ def main = f {}
 
     #[test]
     fn rename_and_remove() {
-        assert!(matches!(parse_expr("%foo").unwrap().kind, ExprKind::Remove(_)));
+        assert!(matches!(
+            parse_expr("%foo").unwrap().kind,
+            ExprKind::Remove(_)
+        ));
         assert!(
             matches!(parse_expr("^{a -> b}").unwrap().kind, ExprKind::Rename(a, b)
                 if a == sym("a") && b == sym("b"))

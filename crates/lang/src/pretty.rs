@@ -71,10 +71,7 @@ fn indent(text: &str, by: usize) -> String {
 fn level(e: &Expr) -> u8 {
     use crate::ast::BinOp::*;
     match &e.kind {
-        ExprKind::Lam(..)
-        | ExprKind::Let { .. }
-        | ExprKind::If(..)
-        | ExprKind::When { .. } => 0,
+        ExprKind::Lam(..) | ExprKind::Let { .. } | ExprKind::If(..) | ExprKind::When { .. } => 0,
         ExprKind::BinOp(Or, ..) => 1,
         ExprKind::BinOp(And, ..) => 2,
         ExprKind::BinOp(Eq | Lt | Le, ..) => 3,
@@ -151,7 +148,12 @@ fn print_node(e: &Expr, depth: usize) -> String {
         ExprKind::SymConcat(a, b) => {
             format!("{} @@ {}", print_prec(a, 4, depth), print_prec(b, 5, depth))
         }
-        ExprKind::When { field, subject, then_branch, else_branch } => {
+        ExprKind::When {
+            field,
+            subject,
+            then_branch,
+            else_branch,
+        } => {
             format!(
                 "when {field} in {subject}\nthen {}\nelse {}",
                 print_prec(then_branch, 0, depth),
@@ -206,7 +208,11 @@ mod tests {
                 strip(b);
                 strip(c);
             }
-            ExprKind::When { then_branch, else_branch, .. } => {
+            ExprKind::When {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 strip(then_branch);
                 strip(else_branch);
             }
@@ -217,9 +223,13 @@ mod tests {
     fn roundtrip(src: &str) {
         let e1 = parse_expr(src).expect("parse original");
         let printed = pretty_expr(&e1);
-        let e2 = parse_expr(&printed)
-            .unwrap_or_else(|d| panic!("re-parse failed for {printed:?}: {d}"));
-        assert_eq!(normalize(&e1), normalize(&e2), "round trip changed:\n{printed}");
+        let e2 =
+            parse_expr(&printed).unwrap_or_else(|d| panic!("re-parse failed for {printed:?}: {d}"));
+        assert_eq!(
+            normalize(&e1),
+            normalize(&e2),
+            "round trip changed:\n{printed}"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl Span {
 
     /// The smallest span covering both `self` and `other`.
     pub fn to(self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 
     /// Length in bytes.

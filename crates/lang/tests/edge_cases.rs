@@ -4,7 +4,15 @@ use rowpoly_lang::{lex, parse_expr, parse_program, ExprKind, Symbol, TokenKind};
 
 #[test]
 fn keyword_prefixed_identifiers_lex_as_identifiers() {
-    for word in ["lets", "iff", "thenx", "elsewhere", "whenever", "inner", "defs"] {
+    for word in [
+        "lets",
+        "iff",
+        "thenx",
+        "elsewhere",
+        "whenever",
+        "inner",
+        "defs",
+    ] {
         let toks = lex(word).unwrap();
         assert!(
             matches!(toks[0].kind, TokenKind::Ident(_)),

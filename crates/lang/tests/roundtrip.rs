@@ -1,92 +1,106 @@
 //! Pretty-printer/parser round-trip on random ASTs: `parse(pretty(e))`
 //! reproduces `e` up to spans.
+//!
+//! Random trees come from the in-tree seeded PRNG (`rowpoly_obs::rng`);
+//! case counts scale with the `exhaustive` feature.
 
-use proptest::prelude::*;
-use rowpoly_lang::{
-    parse_expr, pretty_expr, BinOp, Expr, ExprKind, Span, Symbol,
-};
+use rowpoly_lang::{parse_expr, pretty_expr, BinOp, Expr, ExprKind, Span, Symbol};
+use rowpoly_obs::cases;
+use rowpoly_obs::rng::SplitMix64;
 
 const NAMES: [&str; 5] = ["x", "y", "zed", "foo", "bar2"];
 
-fn name() -> impl Strategy<Value = Symbol> {
-    (0..NAMES.len()).prop_map(|i| Symbol::intern(NAMES[i]))
+fn name(rng: &mut SplitMix64) -> Symbol {
+    Symbol::intern(NAMES[rng.gen_range(0..NAMES.len())])
 }
 
-fn expr() -> impl Strategy<Value = Expr> {
-    let mk = |kind| Expr::new(kind, Span::dummy());
-    let leaf = prop_oneof![
-        name().prop_map(move |s| Expr::new(ExprKind::Var(s), Span::dummy())),
-        (-1000i64..1000).prop_map(move |n| Expr::new(ExprKind::Int(n), Span::dummy())),
-        // Printable string literals only (the lexer accepts ASCII).
-        "[a-z ]{0,6}".prop_map(move |s| Expr::new(ExprKind::Str(s), Span::dummy())),
-        Just(mk(ExprKind::Empty)),
-        name().prop_map(|n| Expr::new(ExprKind::Select(n), Span::dummy())),
-        name().prop_map(|n| Expr::new(ExprKind::Remove(n), Span::dummy())),
-        (name(), name())
-            .prop_map(|(a, b)| Expr::new(ExprKind::Rename(a, b), Span::dummy())),
-    ];
-    leaf.prop_recursive(4, 40, 3, |inner| {
-        let e = inner.clone();
-        prop_oneof![
-            (name(), e.clone()).prop_map(|(x, b)| Expr::new(
-                ExprKind::Lam(x, Box::new(b)),
-                Span::dummy()
-            )),
-            (e.clone(), e.clone()).prop_map(|(f, a)| Expr::new(
-                ExprKind::App(Box::new(f), Box::new(a)),
-                Span::dummy()
-            )),
-            (name(), e.clone(), e.clone()).prop_map(|(n, b, k)| Expr::new(
-                ExprKind::Let { name: n, bound: Box::new(b), body: Box::new(k) },
-                Span::dummy()
-            )),
-            (e.clone(), e.clone(), e.clone()).prop_map(|(c, t, f)| Expr::new(
-                ExprKind::If(Box::new(c), Box::new(t), Box::new(f)),
-                Span::dummy()
-            )),
-            (name(), e.clone()).prop_map(|(n, v)| Expr::new(
-                ExprKind::Update(n, Box::new(v)),
-                Span::dummy()
-            )),
-            (e.clone(), e.clone()).prop_map(|(a, b)| Expr::new(
-                ExprKind::Concat(Box::new(a), Box::new(b)),
-                Span::dummy()
-            )),
-            (e.clone(), e.clone()).prop_map(|(a, b)| Expr::new(
-                ExprKind::SymConcat(Box::new(a), Box::new(b)),
-                Span::dummy()
-            )),
-            (name(), name(), e.clone(), e.clone()).prop_map(|(f, s, t, el)| Expr::new(
-                ExprKind::When {
-                    field: f,
-                    subject: s,
-                    then_branch: Box::new(t),
-                    else_branch: Box::new(el),
-                },
-                Span::dummy()
-            )),
-            prop::collection::vec(e.clone(), 0..3)
-                .prop_map(|items| Expr::new(ExprKind::List(items), Span::dummy())),
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Eq),
-                    Just(BinOp::Lt),
-                    Just(BinOp::Le),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                ],
-                e.clone(),
-                e
-            )
-                .prop_map(|(op, a, b)| Expr::new(
-                    ExprKind::BinOp(op, Box::new(a), Box::new(b)),
-                    Span::dummy()
-                )),
-        ]
-    })
+fn mk(kind: ExprKind) -> Expr {
+    Expr::new(kind, Span::dummy())
+}
+
+fn leaf(rng: &mut SplitMix64) -> Expr {
+    match rng.gen_range(0..7u8) {
+        0 => mk(ExprKind::Var(name(rng))),
+        1 => mk(ExprKind::Int(rng.gen_range(-1000i64..1000))),
+        2 => {
+            // Printable string literals only (the lexer accepts ASCII).
+            let len = rng.gen_range(0..7usize);
+            let s: String = (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.15) {
+                        ' '
+                    } else {
+                        (b'a' + rng.gen_range(0..26u8)) as char
+                    }
+                })
+                .collect();
+            mk(ExprKind::Str(s))
+        }
+        3 => mk(ExprKind::Empty),
+        4 => mk(ExprKind::Select(name(rng))),
+        5 => mk(ExprKind::Remove(name(rng))),
+        _ => mk(ExprKind::Rename(name(rng), name(rng))),
+    }
+}
+
+fn expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return leaf(rng);
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..10u8) {
+        0 => mk(ExprKind::Lam(name(rng), Box::new(expr(rng, d)))),
+        1 => mk(ExprKind::App(
+            Box::new(expr(rng, d)),
+            Box::new(expr(rng, d)),
+        )),
+        2 => mk(ExprKind::Let {
+            name: name(rng),
+            bound: Box::new(expr(rng, d)),
+            body: Box::new(expr(rng, d)),
+        }),
+        3 => mk(ExprKind::If(
+            Box::new(expr(rng, d)),
+            Box::new(expr(rng, d)),
+            Box::new(expr(rng, d)),
+        )),
+        4 => mk(ExprKind::Update(name(rng), Box::new(expr(rng, d)))),
+        5 => mk(ExprKind::Concat(
+            Box::new(expr(rng, d)),
+            Box::new(expr(rng, d)),
+        )),
+        6 => mk(ExprKind::SymConcat(
+            Box::new(expr(rng, d)),
+            Box::new(expr(rng, d)),
+        )),
+        7 => mk(ExprKind::When {
+            field: name(rng),
+            subject: name(rng),
+            then_branch: Box::new(expr(rng, d)),
+            else_branch: Box::new(expr(rng, d)),
+        }),
+        8 => {
+            let n = rng.gen_range(0..3usize);
+            mk(ExprKind::List((0..n).map(|_| expr(rng, d)).collect()))
+        }
+        _ => {
+            let op = match rng.gen_range(0..8u8) {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::Eq,
+                4 => BinOp::Lt,
+                5 => BinOp::Le,
+                6 => BinOp::And,
+                _ => BinOp::Or,
+            };
+            mk(ExprKind::BinOp(
+                op,
+                Box::new(expr(rng, d)),
+                Box::new(expr(rng, d)),
+            ))
+        }
+    }
 }
 
 /// Structural equality modulo spans.
@@ -117,7 +131,11 @@ fn strip(e: &mut Expr) {
             strip(b);
             strip(c);
         }
-        ExprKind::When { then_branch, else_branch, .. } => {
+        ExprKind::When {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             strip(then_branch);
             strip(else_branch);
         }
@@ -125,34 +143,41 @@ fn strip(e: &mut Expr) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn pretty_then_parse_is_identity(e in expr()) {
+#[test]
+fn pretty_then_parse_is_identity() {
+    let mut rng = SplitMix64::seed_from_u64(0x1A51);
+    for _ in 0..cases(512) {
+        let e = expr(&mut rng, 4);
         let printed = pretty_expr(&e);
         let reparsed = parse_expr(&printed)
             .unwrap_or_else(|d| panic!("unparseable output: {d}\n---\n{printed}"));
-        prop_assert_eq!(
+        assert_eq!(
             normalize(&reparsed),
             normalize(&e),
-            "round trip changed the tree:\n{}",
-            printed
+            "round trip changed the tree:\n{printed}"
         );
     }
+}
 
-    /// Printing is deterministic.
-    #[test]
-    fn printing_is_deterministic(e in expr()) {
-        prop_assert_eq!(pretty_expr(&e), pretty_expr(&e));
+/// Printing is deterministic.
+#[test]
+fn printing_is_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0x1A52);
+    for _ in 0..cases(512) {
+        let e = expr(&mut rng, 4);
+        assert_eq!(pretty_expr(&e), pretty_expr(&e));
     }
+}
 
-    /// Free variables are preserved by the round trip.
-    #[test]
-    fn free_vars_preserved(e in expr()) {
+/// Free variables are preserved by the round trip.
+#[test]
+fn free_vars_preserved() {
+    let mut rng = SplitMix64::seed_from_u64(0x1A53);
+    for _ in 0..cases(512) {
+        let e = expr(&mut rng, 4);
         let printed = pretty_expr(&e);
         if let Ok(reparsed) = parse_expr(&printed) {
-            prop_assert_eq!(reparsed.free_vars(), e.free_vars());
+            assert_eq!(reparsed.free_vars(), e.free_vars());
         }
     }
 }

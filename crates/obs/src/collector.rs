@@ -1,0 +1,418 @@
+//! The global, feature-light event and metrics collector.
+//!
+//! Every instrumentation point in the workspace funnels through the
+//! process-wide [`Collector`]. When collection is disabled — the
+//! default — each call is one relaxed atomic load and an immediate
+//! return, so the inference hot path pays essentially nothing. When
+//! enabled (programmatically, via `--trace`, or via the
+//! [`TRACE_ENV`]/`ROWPOLY_TRACE` environment variable) spans and
+//! metrics accumulate behind a mutex until [`snapshot`]/[`reset`]
+//! drains them into exporters.
+//!
+//! [`Collector`] is also an ordinary value: tests build private
+//! instances so golden tests never race the global one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+
+/// Environment variable naming the Chrome trace output path. When set,
+/// sessions enable the global collector and write a trace on completion.
+pub const TRACE_ENV: &str = "ROWPOLY_TRACE";
+
+/// Whether a [`SpanEvent`] opens or closes a span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    Begin,
+    End,
+}
+
+/// One recorded span edge. Timestamps are nanoseconds since the
+/// collector's epoch and are non-decreasing in recording order.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    pub name: String,
+    /// Small dense thread number (0 for the first thread seen).
+    pub tid: u32,
+    pub ts_ns: u64,
+    pub kind: EventKind,
+}
+
+#[derive(Default)]
+struct Inner {
+    events: Vec<SpanEvent>,
+    metrics: MetricsRegistry,
+    /// Dense renumbering of OS thread ids for stable trace output.
+    threads: HashMap<ThreadId, u32>,
+    /// Per-thread stack of open span names, so `End` events always
+    /// balance and carry the right name.
+    open: HashMap<u32, Vec<String>>,
+}
+
+/// An immutable copy of everything collected so far.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub events: Vec<SpanEvent>,
+    pub metrics: MetricsRegistry,
+}
+
+/// Thread-safe span and metrics sink. See the module docs.
+pub struct Collector {
+    enabled: AtomicBool,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::new(false)
+    }
+}
+
+impl Collector {
+    pub fn new(enabled: bool) -> Collector {
+        Collector {
+            enabled: AtomicBool::new(enabled),
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The one-atomic-load fast path guarding every instrumentation
+    /// point.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Collection never holds the lock across user code, so a
+        // poisoned mutex only means a panic mid-record; the data is
+        // still structurally sound (at worst one unbalanced span, which
+        // exporters tolerate by closing open spans at snapshot time).
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Opens a span. Balanced by [`Collector::end_span`] on the same
+    /// thread.
+    pub fn begin_span(&self, name: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        // Timestamp under the lock so append order equals time order.
+        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+        let tid = thread_number(&mut inner);
+        inner.open.entry(tid).or_default().push(name.to_string());
+        inner.events.push(SpanEvent {
+            name: name.to_string(),
+            tid,
+            ts_ns,
+            kind: EventKind::Begin,
+        });
+    }
+
+    /// Closes the innermost open span on this thread. A stray call with
+    /// no open span is ignored (this happens when collection was
+    /// enabled between a guard's construction and drop).
+    pub fn end_span(&self) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+        let tid = thread_number(&mut inner);
+        let Some(name) = inner.open.get_mut(&tid).and_then(Vec::pop) else {
+            return;
+        };
+        inner.events.push(SpanEvent {
+            name,
+            tid,
+            ts_ns,
+            kind: EventKind::End,
+        });
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().metrics.add(name, n);
+    }
+
+    /// Raises maximum `name` to at least `value`.
+    pub fn counter_max(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().metrics.raise_max(name, value);
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn hist_record(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().metrics.record(name, value);
+    }
+
+    /// Folds a privately accumulated registry in (counters add, maxima
+    /// max, histograms merge). Lets hot loops batch locally and pay the
+    /// lock once.
+    pub fn merge_metrics(&self, other: &MetricsRegistry) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().metrics.merge(other);
+    }
+
+    /// Copies out everything collected so far, closing any still-open
+    /// spans at the current instant so exports are always balanced.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut events = inner.events.clone();
+        let mut open: Vec<(u32, Vec<String>)> = inner
+            .open
+            .iter()
+            .map(|(&tid, stack)| (tid, stack.clone()))
+            .collect();
+        open.sort_by_key(|&(tid, _)| tid);
+        for (tid, stack) in &mut open {
+            while let Some(name) = stack.pop() {
+                events.push(SpanEvent {
+                    name,
+                    tid: *tid,
+                    ts_ns,
+                    kind: EventKind::End,
+                });
+            }
+        }
+        Snapshot {
+            events,
+            metrics: inner.metrics.clone(),
+        }
+    }
+
+    /// Clears all collected events and metrics (the enabled flag is
+    /// untouched).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.events.clear();
+        inner.metrics = MetricsRegistry::new();
+        inner.threads.clear();
+        inner.open.clear();
+    }
+}
+
+fn thread_number(inner: &mut Inner) -> u32 {
+    let id = std::thread::current().id();
+    let next = inner.threads.len() as u32;
+    *inner.threads.entry(id).or_insert(next)
+}
+
+/// The process-wide collector used by the free functions below and all
+/// workspace instrumentation.
+pub fn collector() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(Collector::default)
+}
+
+/// Fast global enabled check.
+#[inline]
+pub fn enabled() -> bool {
+    collector().is_enabled()
+}
+
+/// Enables global collection.
+pub fn enable() {
+    collector().set_enabled(true);
+}
+
+/// Disables global collection (already-collected data is kept).
+pub fn disable() {
+    collector().set_enabled(false);
+}
+
+/// Clears the global collector's data.
+pub fn reset() {
+    collector().reset();
+}
+
+/// Snapshots the global collector.
+pub fn snapshot() -> Snapshot {
+    collector().snapshot()
+}
+
+/// Reads [`TRACE_ENV`] once per process; if it names a path, enables
+/// the global collector and returns the path. Sessions call this on
+/// startup and export to the returned path when they finish.
+pub fn init_from_env() -> Option<&'static str> {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    PATH.get_or_init(|| match std::env::var(TRACE_ENV) {
+        Ok(path) if !path.is_empty() => {
+            enable();
+            Some(path)
+        }
+        _ => None,
+    })
+    .as_deref()
+}
+
+/// RAII guard closing a span on drop. Inert (no work on drop) when
+/// collection was disabled at construction time.
+#[must_use = "a span guard closes its span when dropped"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            collector().end_span();
+        }
+    }
+}
+
+/// Opens a span on the global collector. The name conversion only
+/// happens when collection is enabled, so passing `&'static str` from
+/// hot paths costs one atomic load when disabled.
+pub fn span(name: &str) -> SpanGuard {
+    let c = collector();
+    if !c.is_enabled() {
+        return SpanGuard { active: false };
+    }
+    c.begin_span(name);
+    SpanGuard { active: true }
+}
+
+/// Like [`span`], but the name is computed lazily — use this when the
+/// name needs a `format!` (e.g. per-definition spans).
+pub fn span_lazy(name: impl FnOnce() -> String) -> SpanGuard {
+    let c = collector();
+    if !c.is_enabled() {
+        return SpanGuard { active: false };
+    }
+    c.begin_span(&name());
+    SpanGuard { active: true }
+}
+
+/// Adds to a global counter.
+#[inline]
+pub fn counter_add(name: &str, n: u64) {
+    collector().counter_add(name, n);
+}
+
+/// Raises a global maximum.
+#[inline]
+pub fn counter_max(name: &str, value: u64) {
+    collector().counter_max(name, value);
+}
+
+/// Records into a global histogram.
+#[inline]
+pub fn hist_record(name: &str, value: u64) {
+    collector().hist_record(name, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::new(false);
+        c.begin_span("x");
+        c.counter_add("n", 5);
+        c.end_span();
+        let snap = c.snapshot();
+        assert!(snap.events.is_empty());
+        assert!(snap.metrics.is_empty());
+    }
+
+    #[test]
+    fn spans_balance_and_timestamps_are_monotone() {
+        let c = Collector::new(true);
+        c.begin_span("outer");
+        c.begin_span("inner");
+        c.end_span();
+        c.end_span();
+        let snap = c.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert!(snap.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let kinds: Vec<EventKind> = snap.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Begin,
+                EventKind::Begin,
+                EventKind::End,
+                EventKind::End
+            ]
+        );
+        // End events carry the matching (innermost-first) names.
+        assert_eq!(snap.events[2].name, "inner");
+        assert_eq!(snap.events[3].name, "outer");
+    }
+
+    #[test]
+    fn snapshot_closes_open_spans() {
+        let c = Collector::new(true);
+        c.begin_span("left-open");
+        let snap = c.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[1].kind, EventKind::End);
+        assert_eq!(snap.events[1].name, "left-open");
+        // The collector itself still considers the span open.
+        c.end_span();
+        assert_eq!(c.snapshot().events.len(), 2);
+    }
+
+    #[test]
+    fn counters_merge_across_threads() {
+        let c = std::sync::Arc::new(Collector::new(true));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.counter_add("hits", 1);
+                }
+                c.counter_max("peak", 17);
+                c.hist_record("sizes", 3);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.metrics.counter("hits"), 8000);
+        assert_eq!(snap.metrics.maximum("peak"), 17);
+        assert_eq!(snap.metrics.histogram("sizes").unwrap().count(), 8);
+    }
+
+    #[test]
+    fn thread_numbers_are_dense() {
+        let c = Collector::new(true);
+        c.begin_span("main-thread");
+        std::thread::scope(|s| {
+            s.spawn(|| c.begin_span("worker")).join().unwrap();
+        });
+        c.end_span();
+        let snap = c.snapshot();
+        let tids: Vec<u32> = snap.events.iter().map(|e| e.tid).collect();
+        assert!(tids.contains(&0) && tids.contains(&1));
+    }
+}

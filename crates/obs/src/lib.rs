@@ -1,0 +1,54 @@
+//! Zero-dependency observability layer for the rowpoly workspace.
+//!
+//! The paper's empirical story (Section 6, Fig. 9) is about *where time
+//! goes* inside row-polymorphic inference: unification, substitution
+//! application, stale-flag projection, and satisfiability checks. This
+//! crate provides the plumbing to answer that question at any
+//! granularity without pulling in a single external crate:
+//!
+//! - [`span`] / [`span_lazy`]: hierarchical RAII spans with monotonic
+//!   timestamps, collected thread-safely into the global [`Collector`].
+//! - [`metrics::MetricsRegistry`]: named counters, maxima, and log-scale
+//!   histograms (unify calls, SAT checks per class, β clause growth,
+//!   projection resolutions, env-meet version-tag hits/misses, ...).
+//! - [`chrome`]: Chrome trace-event export (`chrome://tracing`,
+//!   Perfetto) written to the path named by `ROWPOLY_TRACE` or a CLI
+//!   flag.
+//! - [`report`]: human text and JSON reports over a [`Snapshot`].
+//! - [`phase::PhaseClock`]: exclusive (self-time) attribution of wall
+//!   time to the four paper phases, so nested phases are never
+//!   double-counted.
+//! - [`rng::SplitMix64`]: a seeded PRNG so generators and property
+//!   tests need no `rand` dependency.
+//! - [`json`]: a minimal JSON value type with an encoder and a strict
+//!   parser, shared by the exporters and their golden tests.
+//!
+//! When collection is disabled (the default) every instrumentation
+//! point costs one relaxed atomic load.
+
+pub mod chrome;
+pub mod collector;
+pub mod json;
+pub mod metrics;
+pub mod phase;
+pub mod report;
+pub mod rng;
+
+pub use collector::{
+    collector, counter_add, counter_max, disable, enable, enabled, hist_record, init_from_env,
+    reset, snapshot, span, span_lazy, Collector, EventKind, Snapshot, SpanEvent, SpanGuard,
+    TRACE_ENV,
+};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use phase::{Phase, PhaseClock};
+
+/// Number of property-test cases to run for a given default; the
+/// non-default `exhaustive` feature multiplies sampling effort the way
+/// the old `proptest` dependency's case count used to.
+pub fn cases(default_cases: usize) -> usize {
+    if cfg!(feature = "exhaustive") {
+        default_cases * 8
+    } else {
+        default_cases
+    }
+}

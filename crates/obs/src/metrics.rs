@@ -1,0 +1,330 @@
+//! Named counters, maxima, and log-scale histograms.
+//!
+//! Metric names are dotted paths (`flow.unify.calls`,
+//! `sat.checks.twosat`, `beta.clauses.live`); see
+//! `docs/OBSERVABILITY.md` for the full naming scheme. Registries are
+//! plain values — the global [`crate::Collector`] owns one behind its
+//! mutex, engines may keep private ones, and [`MetricsRegistry::merge`]
+//! combines them (counters add, maxima max, histograms merge
+//! bucket-wise), which is also how per-thread registries fold together.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. 65 buckets cover the full `u64` range, so clause
+/// counts and nanosecond durations share one shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `1 + floor(log2(v))`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of samples in bucket `i` (see [`bucket_index`]).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Non-empty buckets as `(lower_bound_inclusive, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+            .collect()
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Int(self.count as i64)),
+            ("sum", Json::Int(self.sum as i64)),
+            (
+                "min",
+                self.min().map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            (
+                "max",
+                self.max().map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, n)| Json::Arr(vec![Json::Int(lo as i64), Json::Int(n as i64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A registry of named counters, maxima, and histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    maxima: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Raises the maximum `name` to at least `value`.
+    pub fn raise_max(&mut self, name: &str, value: u64) {
+        match self.maxima.get_mut(name) {
+            Some(m) => *m = (*m).max(value),
+            None => {
+                self.maxima.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn record(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn maximum(&self, name: &str) -> u64 {
+        self.maxima.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    pub fn maxima(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.maxima.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.maxima.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, maxima take the max,
+    /// histograms merge bucket-wise. Associative and commutative, so
+    /// per-thread registries can fold in any order.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &n) in &other.counters {
+            self.add(name, n);
+        }
+        for (name, &v) in &other.maxima {
+            self.raise_max(name, v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Int(v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "maxima",
+                Json::Obj(
+                    self.maxima
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Int(v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::default();
+        assert_eq!(h.min(), None);
+        for v in [0u64, 1, 3, 8, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1020);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.bucket(0), 1); // the single 0
+        assert_eq!(h.bucket(4), 2); // both 8s in [8,16)
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 1), (8, 2), (512, 1)]
+        );
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 5, 700] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn registry_merge_semantics() {
+        let mut a = MetricsRegistry::new();
+        a.add("calls", 3);
+        a.raise_max("peak", 10);
+        a.record("sizes", 4);
+        let mut b = MetricsRegistry::new();
+        b.add("calls", 2);
+        b.add("other", 1);
+        b.raise_max("peak", 7);
+        b.record("sizes", 100);
+        a.merge(&b);
+        assert_eq!(a.counter("calls"), 5);
+        assert_eq!(a.counter("other"), 1);
+        assert_eq!(a.maximum("peak"), 10);
+        assert_eq!(a.histogram("sizes").unwrap().count(), 2);
+    }
+}

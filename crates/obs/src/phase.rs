@@ -1,0 +1,189 @@
+//! Exclusive-time attribution of wall time to the four paper phases.
+//!
+//! Fig. 9 of the paper splits inference time into unification,
+//! substitution application, stale-flag projection, and SAT checking.
+//! Those phases nest in the implementation — `applyS` projects flags
+//! out of β mid-flight, SAT checks run inside definition finishing — so
+//! naive `Instant::now()` bracketing double-counts: a nanosecond spent
+//! projecting inside `applyS` lands in both buckets and the bucket sum
+//! exceeds wall time.
+//!
+//! [`PhaseClock`] fixes this with a stack: entering a phase first
+//! charges the elapsed time to whatever phase was running, then pushes;
+//! exiting charges the popped phase and resumes its parent. Every
+//! nanosecond between the first `enter` and the last `exit` is charged
+//! to exactly one bucket, so bucket sums can never exceed wall time.
+
+use std::time::{Duration, Instant};
+
+/// The four measured phases of Fig. 9.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Syntactic unification (`mgu`).
+    Unify,
+    /// Substitution application and flow transport (`applyS`).
+    ApplyS,
+    /// Stale-flag projection / β compaction.
+    Project,
+    /// Satisfiability checks of β.
+    Sat,
+}
+
+/// All phases, in report order.
+pub const PHASES: [Phase; 4] = [Phase::Unify, Phase::ApplyS, Phase::Project, Phase::Sat];
+
+impl Phase {
+    /// Stable lowercase name used in spans, metrics, and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Unify => "unify",
+            Phase::ApplyS => "applys",
+            Phase::Project => "project",
+            Phase::Sat => "sat",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Unify => 0,
+            Phase::ApplyS => 1,
+            Phase::Project => 2,
+            Phase::Sat => 3,
+        }
+    }
+}
+
+/// Accumulates exclusive (self) time per phase. Not thread-safe by
+/// design: inference is single-threaded per engine, and keeping the
+/// clock local avoids any synchronisation on the hot path.
+#[derive(Clone, Debug)]
+pub struct PhaseClock {
+    epoch: Instant,
+    stack: Vec<Phase>,
+    /// Timestamp at which the current top of stack resumed accruing.
+    last_ns: u64,
+    totals_ns: [u64; 4],
+}
+
+impl Default for PhaseClock {
+    fn default() -> PhaseClock {
+        PhaseClock::new()
+    }
+}
+
+impl PhaseClock {
+    pub fn new() -> PhaseClock {
+        PhaseClock {
+            epoch: Instant::now(),
+            stack: Vec::with_capacity(4),
+            last_ns: 0,
+            totals_ns: [0; 4],
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Enters `phase`, suspending whichever phase was running.
+    pub fn enter(&mut self, phase: Phase) {
+        let now = self.now_ns();
+        self.enter_at(phase, now);
+    }
+
+    /// Exits the innermost phase, resuming its parent.
+    pub fn exit(&mut self) {
+        let now = self.now_ns();
+        self.exit_at(now);
+    }
+
+    /// Testable core of [`PhaseClock::enter`]: timestamps are injected.
+    pub fn enter_at(&mut self, phase: Phase, now_ns: u64) {
+        if let Some(&running) = self.stack.last() {
+            self.totals_ns[running.index()] += now_ns.saturating_sub(self.last_ns);
+        }
+        self.stack.push(phase);
+        self.last_ns = now_ns;
+    }
+
+    /// Testable core of [`PhaseClock::exit`].
+    pub fn exit_at(&mut self, now_ns: u64) {
+        let finished = self.stack.pop().expect("PhaseClock::exit without enter");
+        self.totals_ns[finished.index()] += now_ns.saturating_sub(self.last_ns);
+        self.last_ns = now_ns;
+    }
+
+    /// Exclusive time accrued to `phase` so far.
+    pub fn total(&self, phase: Phase) -> Duration {
+        Duration::from_nanos(self.totals_ns[phase.index()])
+    }
+
+    /// Depth of currently open phases (0 when idle).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Sum of all buckets; by construction ≤ wall time of the enclosing
+    /// region.
+    pub fn total_all(&self) -> Duration {
+        Duration::from_nanos(self.totals_ns.iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_phase_is_not_double_counted() {
+        // applyS runs 10..50, with a projection 20..40 nested inside:
+        // applyS must be charged 20ns exclusive, project 20ns, and the
+        // sum must equal the 40ns the region actually spanned.
+        let mut clock = PhaseClock::new();
+        clock.enter_at(Phase::ApplyS, 10);
+        clock.enter_at(Phase::Project, 20);
+        clock.exit_at(40);
+        clock.exit_at(50);
+        assert_eq!(clock.total(Phase::ApplyS), Duration::from_nanos(20));
+        assert_eq!(clock.total(Phase::Project), Duration::from_nanos(20));
+        assert_eq!(clock.total_all(), Duration::from_nanos(40));
+    }
+
+    #[test]
+    fn sequential_phases_accrue_independently() {
+        let mut clock = PhaseClock::new();
+        clock.enter_at(Phase::Unify, 0);
+        clock.exit_at(5);
+        clock.enter_at(Phase::Sat, 100);
+        clock.exit_at(107);
+        // The idle 5..100 gap belongs to no phase.
+        assert_eq!(clock.total(Phase::Unify), Duration::from_nanos(5));
+        assert_eq!(clock.total(Phase::Sat), Duration::from_nanos(7));
+        assert_eq!(clock.total_all(), Duration::from_nanos(12));
+    }
+
+    #[test]
+    fn reentrant_same_phase_still_sums_to_span() {
+        let mut clock = PhaseClock::new();
+        clock.enter_at(Phase::Project, 0);
+        clock.enter_at(Phase::Project, 10);
+        clock.exit_at(30);
+        clock.exit_at(35);
+        assert_eq!(clock.total(Phase::Project), Duration::from_nanos(35));
+    }
+
+    #[test]
+    fn wall_clock_bracketing_is_monotone() {
+        let mut clock = PhaseClock::new();
+        let wall = Instant::now();
+        clock.enter(Phase::Unify);
+        clock.enter(Phase::Project);
+        std::thread::sleep(Duration::from_millis(2));
+        clock.exit();
+        clock.exit();
+        let wall = wall.elapsed();
+        assert!(clock.total_all() <= wall + Duration::from_micros(200));
+        assert!(clock.total(Phase::Project) >= Duration::from_millis(1));
+        assert_eq!(clock.depth(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Seeded pseudo-random numbers without a `rand` dependency.
+//!
+//! The workload generators and property tests previously leaned on
+//! `rand::rngs::StdRng`; the build environment has no crates.io access,
+//! so this module supplies the three operations they actually used —
+//! construction from a `u64` seed, `gen_range` over half-open integer
+//! ranges, and `gen_bool` — on top of SplitMix64 (Steele, Lea &
+//! Flood 2014). SplitMix64 passes BigCrush at this output width and its
+//! whole state is the seed, which keeps generated programs reproducible
+//! from a single printed number.
+
+use std::ops::Range;
+
+/// SplitMix64 generator. Deterministic per seed; not cryptographic.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Builds a generator from a seed, mirroring the `SeedableRng`
+    /// constructor the generators were written against.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)` via Lemire's multiply-shift
+    /// rejection method (unbiased).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = mul_wide(x, bound);
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform draw from a half-open range, for any primitive integer
+    /// width the generators use (`0..64i64`, `0..4u8`, `0..fields.len()`).
+    pub fn gen_range<T: RangeDraw>(&mut self, range: Range<T>) -> T {
+        T::draw(self, range)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 uniform mantissa bits, the same construction rand uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Fisher–Yates shuffle, occasionally handy in tests.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+fn mul_wide(a: u64, b: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+/// Integer types drawable from a half-open range.
+pub trait RangeDraw: Copy {
+    fn draw(rng: &mut SplitMix64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_range_draw_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeDraw for $t {
+            fn draw(rng: &mut SplitMix64, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_draw_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_draw_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl RangeDraw for $t {
+            fn draw(rng: &mut SplitMix64, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as $u).wrapping_sub(range.start as $u) as u64;
+                range.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_draw_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Reference outputs for seed 1234567 from the SplitMix64
+        // definition in Vigna's published C code.
+        let mut rng = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_endpoints() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..400 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..5 drawn: {seen:?}");
+        for _ in 0..400 {
+            let v = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&v));
+        }
+        for _ in 0..100 {
+            assert!((10..11u8).contains(&rng.gen_range(10u8..11)));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, (0..20).collect::<Vec<_>>());
+    }
+}

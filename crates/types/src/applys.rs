@@ -116,7 +116,10 @@ pub fn apply_subst_flow(
             "applyS on a skeleton judgement"
         );
         let width = vecs[0].len();
-        debug_assert!(vecs.iter().all(|v| v.len() == width), "copies share a shape");
+        debug_assert!(
+            vecs.iter().all(|v| v.len() == width),
+            "copies share a shape"
+        );
         for j in 0..width {
             let column: Vec<Lit> = vecs.iter().map(|v| v[j]).collect();
             beta.expand(sources, &column);
@@ -125,12 +128,7 @@ pub fn apply_subst_flow(
     replaced
 }
 
-fn walk(
-    t: &mut Ty,
-    subst: &Subst,
-    flags: &mut FlagAlloc,
-    occ: &mut Vec<(Var, Flag, Vec<Lit>)>,
-) {
+fn walk(t: &mut Ty, subst: &Subst, flags: &mut FlagAlloc, occ: &mut Vec<(Var, Flag, Vec<Lit>)>) {
     match t {
         Ty::Var(v, f) => {
             if let Some(binding) = subst.ty_binding(*v) {
@@ -154,7 +152,7 @@ fn walk(
                     let copy = decorate_row(suffix, flags);
                     occ.push((v, f, row_suffix_lits(&copy)));
                     row.fields.extend(copy.fields);
-                    row.fields.sort_by(|a, b| a.name.cmp(&b.name));
+                    row.fields.sort_by_key(|f| f.name);
                     debug_assert!(
                         row.fields.windows(2).all(|w| w[0].name != w[1].name),
                         "row splice produced duplicate fields"
@@ -184,8 +182,7 @@ pub fn instantiate(
     flags: &mut FlagAlloc,
     beta: &mut Cnf,
 ) -> Ty {
-    let renaming: Vec<(Var, Var)> =
-        scheme.vars.iter().map(|&v| (v, vars.fresh())).collect();
+    let renaming: Vec<(Var, Var)> = scheme.vars.iter().map(|&v| (v, vars.fresh())).collect();
     let subst = Subst::renaming(renaming);
     // Rename quantified variables on the skeleton (flags preserved
     // positionally by re-decorating below).
@@ -196,9 +193,12 @@ pub fn instantiate(
     // `Ty::flags` (Definition 1 order), exactly like the old ones.
     let old: Vec<Flag> = scheme.ty.flags();
     let instance = renamed.map_flags(&mut |_| flags.fresh());
-    let fresh_flags: Vec<Lit> =
-        instance.flags().into_iter().map(Lit::pos).collect();
-    debug_assert_eq!(old.len(), fresh_flags.len(), "renaming preserves flag count");
+    let fresh_flags: Vec<Lit> = instance.flags().into_iter().map(Lit::pos).collect();
+    debug_assert_eq!(
+        old.len(),
+        fresh_flags.len(),
+        "renaming preserves flag count"
+    );
     if !old.is_empty() {
         beta.expand(&old, &fresh_flags);
     }
@@ -254,9 +254,10 @@ fn apply_renaming(t: &Ty, subst: &Subst) -> Ty {
             let tail = match row.tail {
                 RowTail::Closed => RowTail::Closed,
                 RowTail::Var(v, f) => match subst.row_binding(v) {
-                    Some(Row { fields, tail: RowTail::Var(w, _) }) if fields.is_empty() => {
-                        RowTail::Var(*w, f)
-                    }
+                    Some(Row {
+                        fields,
+                        tail: RowTail::Var(w, _),
+                    }) if fields.is_empty() => RowTail::Var(*w, f),
                     Some(other) => unreachable!("renaming bound row to {other:?}"),
                     None => RowTail::Var(v, f),
                 },
@@ -300,7 +301,14 @@ mod tests {
         subst.bind_ty(a, &Ty::fun(Ty::svar(b), Ty::svar(b)));
         let mut env = TyEnv::new();
         let replaced = apply_subst_flow(&subst, &mut kappa, &mut env, &mut beta, &mut flags);
-        beta.project_out(&replaced.kappa.iter().chain(&replaced.env).copied().collect());
+        beta.project_out(
+            &replaced
+                .kappa
+                .iter()
+                .chain(&replaced.env)
+                .copied()
+                .collect(),
+        );
 
         // Shape: (b.f1→b.f2) → (b.f3→b.f4).
         let (f1, f2, f3, f4) = match &kappa {
@@ -342,10 +350,7 @@ mod tests {
         let f1 = flags.fresh();
         let f2 = flags.fresh();
         let f3 = flags.fresh();
-        let mut kappa = Ty::fun(
-            Ty::var(a, f1),
-            Ty::fun(Ty::var(a, f2), Ty::var(a, f3)),
-        );
+        let mut kappa = Ty::fun(Ty::var(a, f1), Ty::fun(Ty::var(a, f2), Ty::var(a, f3)));
         let mut beta = Cnf::top();
         beta.imply(Lit::pos(f3), Lit::pos(f1));
         beta.imply(Lit::pos(f3), Lit::pos(f2));
@@ -361,7 +366,14 @@ mod tests {
         subst.bind_ty(a, &record);
         let mut env = TyEnv::new();
         let replaced = apply_subst_flow(&subst, &mut kappa, &mut env, &mut beta, &mut flags);
-        beta.project_out(&replaced.kappa.iter().chain(&replaced.env).copied().collect());
+        beta.project_out(
+            &replaced
+                .kappa
+                .iter()
+                .chain(&replaced.env)
+                .copied()
+                .collect(),
+        );
 
         // Collect the three copies' flag triples (f_field, f_tail, f_b).
         let copies: Vec<Vec<Flag>> = match &kappa {
@@ -374,9 +386,9 @@ mod tests {
         assert!(copies.iter().all(|c| c.len() == 3));
         // Per column j: copy3[j] → copy1[j] and copy3[j] → copy2[j].
         let mut expect = Cnf::top();
-        for j in 0..3 {
-            expect.imply(Lit::pos(copies[2][j]), Lit::pos(copies[0][j]));
-            expect.imply(Lit::pos(copies[2][j]), Lit::pos(copies[1][j]));
+        for ((&c0, &c1), &c2) in copies[0].iter().zip(&copies[1]).zip(&copies[2]) {
+            expect.imply(Lit::pos(c2), Lit::pos(c0));
+            expect.imply(Lit::pos(c2), Lit::pos(c1));
         }
         assert!(beta.equivalent(&expect), "got {beta:?}");
     }
@@ -397,7 +409,11 @@ mod tests {
         let x = Symbol::intern("x");
         let mk = |field_flag: Flag, tail_flag: Flag| {
             Ty::record(
-                vec![crate::ty::FieldEntry { name: x, flag: field_flag, ty: Ty::Int }],
+                vec![crate::ty::FieldEntry {
+                    name: x,
+                    flag: field_flag,
+                    ty: Ty::Int,
+                }],
                 RowTail::Var(r, tail_flag),
             )
         };
@@ -416,7 +432,14 @@ mod tests {
         subst.bind_row(r, &suffix);
         let mut env = TyEnv::new();
         let replaced = apply_subst_flow(&subst, &mut kappa, &mut env, &mut beta, &mut flags);
-        beta.project_out(&replaced.kappa.iter().chain(&replaced.env).copied().collect());
+        beta.project_out(
+            &replaced
+                .kappa
+                .iter()
+                .chain(&replaced.env)
+                .copied()
+                .collect(),
+        );
 
         // Each record now has fields {x, y} and tail s; the flow f2→f1
         // is replicated for the y-column and the tail-column.

@@ -37,7 +37,11 @@ pub struct Scheme {
 impl Scheme {
     /// A scheme from quantified variables and a body (no stored flow).
     pub fn new(vars: Vec<Var>, ty: Ty) -> Scheme {
-        Scheme { vars, ty, flow: rowpoly_boolfun::Cnf::top() }
+        Scheme {
+            vars,
+            ty,
+            flow: rowpoly_boolfun::Cnf::top(),
+        }
     }
 
     /// A scheme quantifying nothing.
@@ -196,7 +200,11 @@ impl TyEnv {
 
     /// Number of bindings (local + non-shadowed global).
     pub fn len(&self) -> usize {
-        let shadowed = self.local.keys().filter(|k| self.global.map.contains_key(k)).count();
+        let shadowed = self
+            .local
+            .keys()
+            .filter(|k| self.global.map.contains_key(k))
+            .count();
         self.local.len() + self.global.map.len() - shadowed
     }
 
@@ -245,7 +253,9 @@ impl TyEnv {
     /// Mutable iteration over the local layer (bumps the version).
     pub fn iter_local_mut(&mut self) -> impl Iterator<Item = (Symbol, &mut Binding)> {
         self.version = next_version();
-        Rc::make_mut(&mut self.local).iter_mut().map(|(s, b)| (*s, b))
+        Rc::make_mut(&mut self.local)
+            .iter_mut()
+            .map(|(s, b)| (*s, b))
     }
 
     /// Promotes a global binding into the local layer (so it can be
@@ -370,27 +380,19 @@ impl<'a> Iterator for MergedIter<'a> {
     type Item = (Symbol, &'a Binding);
 
     fn next(&mut self) -> Option<(Symbol, &'a Binding)> {
-        loop {
-            match (self.local.peek(), self.global.peek()) {
-                (Some((ls, _)), Some((gs, _))) => {
-                    return match ls.cmp(gs) {
-                        std::cmp::Ordering::Less => {
-                            self.local.next().map(|(s, b)| (*s, b))
-                        }
-                        std::cmp::Ordering::Greater => {
-                            self.global.next().map(|(s, b)| (*s, b))
-                        }
-                        std::cmp::Ordering::Equal => {
-                            // Local shadows global.
-                            self.global.next();
-                            self.local.next().map(|(s, b)| (*s, b))
-                        }
-                    };
+        match (self.local.peek(), self.global.peek()) {
+            (Some((ls, _)), Some((gs, _))) => match ls.cmp(gs) {
+                std::cmp::Ordering::Less => self.local.next().map(|(s, b)| (*s, b)),
+                std::cmp::Ordering::Greater => self.global.next().map(|(s, b)| (*s, b)),
+                std::cmp::Ordering::Equal => {
+                    // Local shadows global.
+                    self.global.next();
+                    self.local.next().map(|(s, b)| (*s, b))
                 }
-                (Some(_), None) => return self.local.next().map(|(s, b)| (*s, b)),
-                (None, Some(_)) => return self.global.next().map(|(s, b)| (*s, b)),
-                (None, None) => return None,
-            }
+            },
+            (Some(_), None) => self.local.next().map(|(s, b)| (*s, b)),
+            (None, Some(_)) => self.global.next().map(|(s, b)| (*s, b)),
+            (None, None) => None,
         }
     }
 }
@@ -437,7 +439,10 @@ mod tests {
         assert!(env.same(&snapshot));
         env.insert(sym("y"), Binding::Mono(Ty::Str));
         assert!(!env.same(&snapshot));
-        assert!(snapshot.get(sym("y")).is_none(), "copy-on-write isolates the clone");
+        assert!(
+            snapshot.get(sym("y")).is_none(),
+            "copy-on-write isolates the clone"
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ struct Renderer {
 
 impl Renderer {
     fn new(show_flags: bool) -> Renderer {
-        Renderer { show_flags, vars: HashMap::new(), flags: HashMap::new() }
+        Renderer {
+            show_flags,
+            vars: HashMap::new(),
+            flags: HashMap::new(),
+        }
     }
 
     fn var_name(&mut self, v: Var) -> String {
@@ -97,7 +101,10 @@ impl Renderer {
 
     fn flag_name(&mut self, f: Flag) -> String {
         let n = self.flags.len() + 1;
-        self.flags.entry(f).or_insert_with(|| format!("f{n}")).clone()
+        self.flags
+            .entry(f)
+            .or_insert_with(|| format!("f{n}"))
+            .clone()
     }
 
     fn ty(&mut self, t: &Ty, atom: bool, out: &mut String) {
@@ -200,7 +207,10 @@ mod tests {
 
     #[test]
     fn skeleton_rendering() {
-        let t = Ty::fun(Ty::svar(Var(3)), Ty::fun(Ty::svar(Var(9)), Ty::svar(Var(3))));
+        let t = Ty::fun(
+            Ty::svar(Var(3)),
+            Ty::fun(Ty::svar(Var(9)), Ty::svar(Var(3))),
+        );
         assert_eq!(render_ty(&t, false), "a -> b -> a");
     }
 
@@ -213,7 +223,11 @@ mod tests {
     #[test]
     fn record_with_flags() {
         let t = Ty::record(
-            vec![FieldEntry { name: Symbol::intern("foo"), flag: Flag(10), ty: Ty::Int }],
+            vec![FieldEntry {
+                name: Symbol::intern("foo"),
+                flag: Flag(10),
+                ty: Ty::Int,
+            }],
             RowTail::Var(Var(0), Flag(11)),
         );
         assert_eq!(render_ty(&t, true), "{foo.f1 : Int, a.f2}");

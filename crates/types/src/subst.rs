@@ -91,7 +91,10 @@ impl Subst {
             s.ty.insert(from, Ty::svar(to));
             s.row.insert(
                 from,
-                Row { fields: Vec::new(), tail: RowTail::Var(to, crate::ty::NO_FLAG) },
+                Row {
+                    fields: Vec::new(),
+                    tail: RowTail::Var(to, crate::ty::NO_FLAG),
+                },
             );
         }
         s
@@ -108,7 +111,10 @@ impl Subst {
     pub fn bind_ty(&mut self, v: Var, t: &Ty) {
         let t = self.apply(t);
         debug_assert!(!t.mentions_var(v), "occurs-check violation binding {v:?}");
-        let single = Subst { ty: HashMap::from([(v, t.clone())]), row: HashMap::new() };
+        let single = Subst {
+            ty: HashMap::from([(v, t.clone())]),
+            row: HashMap::new(),
+        };
         for rhs in self.ty.values_mut() {
             *rhs = single.apply(rhs);
         }
@@ -126,7 +132,10 @@ impl Subst {
             !Ty::Record(row.clone()).mentions_var(v),
             "occurs-check violation binding row {v:?}"
         );
-        let single = Subst { ty: HashMap::new(), row: HashMap::from([(v, row.clone())]) };
+        let single = Subst {
+            ty: HashMap::new(),
+            row: HashMap::from([(v, row.clone())]),
+        };
         for rhs in self.ty.values_mut() {
             *rhs = single.apply(rhs);
         }
@@ -160,7 +169,11 @@ impl Subst {
         let mut fields: Vec<FieldEntry> = row
             .fields
             .iter()
-            .map(|f| FieldEntry { name: f.name, flag: f.flag, ty: self.apply(&f.ty) })
+            .map(|f| FieldEntry {
+                name: f.name,
+                flag: f.flag,
+                ty: self.apply(&f.ty),
+            })
             .collect();
         let tail = match row.tail {
             RowTail::Closed => RowTail::Closed,
@@ -179,7 +192,7 @@ impl Subst {
                 }
             },
         };
-        fields.sort_by(|a, b| a.name.cmp(&b.name));
+        fields.sort_by_key(|f| f.name);
         Row { fields, tail }
     }
 
@@ -222,7 +235,11 @@ mod tests {
     use rowpoly_lang::Symbol;
 
     fn field(name: &str, ty: Ty) -> FieldEntry {
-        FieldEntry { name: Symbol::intern(name), flag: NO_FLAG, ty }
+        FieldEntry {
+            name: Symbol::intern(name),
+            flag: NO_FLAG,
+            ty,
+        }
     }
 
     #[test]
@@ -251,7 +268,10 @@ mod tests {
         let mut s = Subst::new();
         s.bind_row(
             Var(0),
-            &Row { fields: vec![field("a", Ty::Str)], tail: RowTail::Var(Var(1), NO_FLAG) },
+            &Row {
+                fields: vec![field("a", Ty::Str)],
+                tail: RowTail::Var(Var(1), NO_FLAG),
+            },
         );
         let t = Ty::record(vec![field("z", Ty::Int)], RowTail::Var(Var(0), NO_FLAG));
         match s.apply(&t) {
@@ -271,9 +291,18 @@ mod tests {
         let mut s = Subst::new();
         s.bind_row(
             Var(0),
-            &Row { fields: vec![field("a", Ty::Int)], tail: RowTail::Var(Var(1), NO_FLAG) },
+            &Row {
+                fields: vec![field("a", Ty::Int)],
+                tail: RowTail::Var(Var(1), NO_FLAG),
+            },
         );
-        s.bind_row(Var(1), &Row { fields: vec![field("b", Ty::Int)], tail: RowTail::Closed });
+        s.bind_row(
+            Var(1),
+            &Row {
+                fields: vec![field("b", Ty::Int)],
+                tail: RowTail::Closed,
+            },
+        );
         let t = Ty::record(vec![], RowTail::Var(Var(0), NO_FLAG));
         match s.apply(&t) {
             Ty::Record(row) => {

@@ -42,7 +42,10 @@ impl VarAlloc {
     /// Returns a fresh variable.
     pub fn fresh(&mut self) -> Var {
         let v = Var(self.next);
-        self.next = self.next.checked_add(1).expect("type-variable space exhausted");
+        self.next = self
+            .next
+            .checked_add(1)
+            .expect("type-variable space exhausted");
         v
     }
 
@@ -133,7 +136,7 @@ impl Ty {
     ///
     /// Panics if two fields share a name.
     pub fn record(mut fields: Vec<FieldEntry>, tail: RowTail) -> Ty {
-        fields.sort_by(|a, b| a.name.cmp(&b.name));
+        fields.sort_by_key(|f| f.name);
         assert!(
             fields.windows(2).all(|w| w[0].name != w[1].name),
             "record with duplicate field"
@@ -289,8 +292,7 @@ impl Ty {
             Ty::List(t) => t.is_monotype(),
             Ty::Fun(a, b) => a.is_monotype() && b.is_monotype(),
             Ty::Record(row) => {
-                matches!(row.tail, RowTail::Closed)
-                    && row.fields.iter().all(|f| f.ty.is_monotype())
+                matches!(row.tail, RowTail::Closed) && row.fields.iter().all(|f| f.ty.is_monotype())
             }
         }
     }
@@ -312,7 +314,11 @@ mod tests {
     use rowpoly_lang::Symbol;
 
     fn field(name: &str, flag: u32, ty: Ty) -> FieldEntry {
-        FieldEntry { name: Symbol::intern(name), flag: Flag(flag), ty }
+        FieldEntry {
+            name: Symbol::intern(name),
+            flag: Flag(flag),
+            ty,
+        }
     }
 
     #[test]

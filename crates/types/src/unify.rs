@@ -194,7 +194,11 @@ fn unify_rows(
     }
     let strip_fields = |fs: &[FieldEntry]| -> Vec<FieldEntry> {
         fs.iter()
-            .map(|f| FieldEntry { name: f.name, flag: NO_FLAG, ty: f.ty.strip() })
+            .map(|f| FieldEntry {
+                name: f.name,
+                flag: NO_FLAG,
+                ty: f.ty.strip(),
+            })
             .collect()
     };
     match (r1.tail.clone(), r2.tail.clone()) {
@@ -207,7 +211,10 @@ fn unify_rows(
                         fields: vec![f.clone()],
                         tail: RowTail::Var(a, NO_FLAG),
                     }),
-                    right: Ty::Record(Row { fields: Vec::new(), tail: RowTail::Var(a, NO_FLAG) }),
+                    right: Ty::Record(Row {
+                        fields: Vec::new(),
+                        tail: RowTail::Var(a, NO_FLAG),
+                    }),
                 });
             }
         }
@@ -215,17 +222,27 @@ fn unify_rows(
             // a absorbs r2's extra fields, b absorbs r1's, sharing a fresh
             // common tail c.
             let c = vars.fresh();
-            let suffix_a =
-                Row { fields: strip_fields(&only2), tail: RowTail::Var(c, NO_FLAG) };
-            let suffix_b =
-                Row { fields: strip_fields(&only1), tail: RowTail::Var(c, NO_FLAG) };
+            let suffix_a = Row {
+                fields: strip_fields(&only2),
+                tail: RowTail::Var(c, NO_FLAG),
+            };
+            let suffix_b = Row {
+                fields: strip_fields(&only1),
+                tail: RowTail::Var(c, NO_FLAG),
+            };
             check_lacks(a, &suffix_a.fields, lacks)?;
             check_lacks(b, &suffix_b.fields, lacks)?;
             if Ty::Record(suffix_a.clone()).mentions_var(a) {
-                return Err(UnifyError::Occurs { var: a, ty: Ty::Record(suffix_a) });
+                return Err(UnifyError::Occurs {
+                    var: a,
+                    ty: Ty::Record(suffix_a),
+                });
             }
             if Ty::Record(suffix_b.clone()).mentions_var(b) {
-                return Err(UnifyError::Occurs { var: b, ty: Ty::Record(suffix_b) });
+                return Err(UnifyError::Occurs {
+                    var: b,
+                    ty: Ty::Record(suffix_b),
+                });
             }
             // The common tail inherits both variables' constraints plus
             // every field now known on either side.
@@ -255,10 +272,16 @@ fn unify_rows(
                     }),
                 });
             }
-            let suffix = Row { fields: strip_fields(&only2), tail: RowTail::Closed };
+            let suffix = Row {
+                fields: strip_fields(&only2),
+                tail: RowTail::Closed,
+            };
             check_lacks(a, &suffix.fields, lacks)?;
             if Ty::Record(suffix.clone()).mentions_var(a) {
-                return Err(UnifyError::Occurs { var: a, ty: Ty::Record(suffix) });
+                return Err(UnifyError::Occurs {
+                    var: a,
+                    ty: Ty::Record(suffix),
+                });
             }
             subst.bind_row(a, &suffix);
         }
@@ -272,10 +295,16 @@ fn unify_rows(
                     }),
                 });
             }
-            let suffix = Row { fields: strip_fields(&only1), tail: RowTail::Closed };
+            let suffix = Row {
+                fields: strip_fields(&only1),
+                tail: RowTail::Closed,
+            };
             check_lacks(b, &suffix.fields, lacks)?;
             if Ty::Record(suffix.clone()).mentions_var(b) {
-                return Err(UnifyError::Occurs { var: b, ty: Ty::Record(suffix) });
+                return Err(UnifyError::Occurs {
+                    var: b,
+                    ty: Ty::Record(suffix),
+                });
             }
             subst.bind_row(b, &suffix);
         }
@@ -309,7 +338,11 @@ mod tests {
     use rowpoly_lang::Symbol;
 
     fn field(name: &str, ty: Ty) -> FieldEntry {
-        FieldEntry { name: Symbol::intern(name), flag: NO_FLAG, ty }
+        FieldEntry {
+            name: Symbol::intern(name),
+            flag: NO_FLAG,
+            ty,
+        }
     }
 
     fn rec(fields: Vec<FieldEntry>, tail: RowTail) -> Ty {
@@ -418,7 +451,10 @@ mod tests {
         let mut vars = VarAlloc::new();
         let r = vars.fresh();
         let open = rec(vec![field("x", Ty::Int)], RowTail::Var(r, NO_FLAG));
-        let closed = rec(vec![field("x", Ty::Int), field("y", Ty::Str)], RowTail::Closed);
+        let closed = rec(
+            vec![field("x", Ty::Int), field("y", Ty::Str)],
+            RowTail::Closed,
+        );
         let s = unify(&open, &closed, &mut vars).unwrap();
         assert_eq!(s.apply(&open), s.apply(&closed));
         match s.apply(&open) {
@@ -458,10 +494,7 @@ mod tests {
         let (a, b) = (vars.fresh(), vars.fresh());
         // Unify (a, a) with (Int, b): a ↦ Int, then b ↦ Int.
         let s = mgu(
-            vec![
-                (Ty::svar(a), Ty::Int),
-                (Ty::svar(a), Ty::svar(b)),
-            ],
+            vec![(Ty::svar(a), Ty::Int), (Ty::svar(a), Ty::svar(b))],
             &mut vars,
         )
         .unwrap();

@@ -92,7 +92,7 @@ impl UfUnifier {
                 None => break,
             }
         }
-        fields.sort_by(|a, b| a.name.cmp(&b.name));
+        fields.sort_by_key(|f| f.name);
         Row { fields, tail }
     }
 
@@ -171,7 +171,11 @@ impl UfUnifier {
         }
         let strip_fields = |fs: &[FieldEntry]| -> Vec<FieldEntry> {
             fs.iter()
-                .map(|f| FieldEntry { name: f.name, flag: NO_FLAG, ty: f.ty.strip() })
+                .map(|f| FieldEntry {
+                    name: f.name,
+                    flag: NO_FLAG,
+                    ty: f.ty.strip(),
+                })
                 .collect()
         };
         match (r1.tail.clone(), r2.tail.clone()) {
@@ -182,10 +186,14 @@ impl UfUnifier {
             }
             (RowTail::Var(a, _), RowTail::Var(b, _)) => {
                 let c = vars.fresh();
-                let suffix_a =
-                    Row { fields: strip_fields(&only2), tail: RowTail::Var(c, NO_FLAG) };
-                let suffix_b =
-                    Row { fields: strip_fields(&only1), tail: RowTail::Var(c, NO_FLAG) };
+                let suffix_a = Row {
+                    fields: strip_fields(&only2),
+                    tail: RowTail::Var(c, NO_FLAG),
+                };
+                let suffix_b = Row {
+                    fields: strip_fields(&only1),
+                    tail: RowTail::Var(c, NO_FLAG),
+                };
                 self.check_lacks(a, &suffix_a.fields)?;
                 self.check_lacks(b, &suffix_b.fields)?;
                 for (suffix, var) in [(&suffix_a, a), (&suffix_b, b)] {
@@ -218,10 +226,16 @@ impl UfUnifier {
                         }),
                     });
                 }
-                let suffix = Row { fields: strip_fields(&only2), tail: RowTail::Closed };
+                let suffix = Row {
+                    fields: strip_fields(&only2),
+                    tail: RowTail::Closed,
+                };
                 self.check_lacks(a, &suffix.fields)?;
                 if self.occurs_row(a, &suffix) {
-                    return Err(UnifyError::Occurs { var: a, ty: Ty::Record(suffix) });
+                    return Err(UnifyError::Occurs {
+                        var: a,
+                        ty: Ty::Record(suffix),
+                    });
                 }
                 self.row_bind.insert(a, suffix);
             }
@@ -235,10 +249,16 @@ impl UfUnifier {
                         }),
                     });
                 }
-                let suffix = Row { fields: strip_fields(&only1), tail: RowTail::Closed };
+                let suffix = Row {
+                    fields: strip_fields(&only1),
+                    tail: RowTail::Closed,
+                };
                 self.check_lacks(b, &suffix.fields)?;
                 if self.occurs_row(b, &suffix) {
-                    return Err(UnifyError::Occurs { var: b, ty: Ty::Record(suffix) });
+                    return Err(UnifyError::Occurs {
+                        var: b,
+                        ty: Ty::Record(suffix),
+                    });
                 }
                 self.row_bind.insert(b, suffix);
             }
@@ -294,9 +314,19 @@ impl UfUnifier {
             let fields = resolved
                 .fields
                 .iter()
-                .map(|f| FieldEntry { name: f.name, flag: f.flag, ty: self.deep_resolve(&f.ty) })
+                .map(|f| FieldEntry {
+                    name: f.name,
+                    flag: f.flag,
+                    ty: self.deep_resolve(&f.ty),
+                })
                 .collect();
-            row_out.insert(v, Row { fields, tail: resolved.tail });
+            row_out.insert(
+                v,
+                Row {
+                    fields,
+                    tail: resolved.tail,
+                },
+            );
         }
         Ok(Subst::from_resolved_parts(ty_out, row_out))
     }
@@ -308,9 +338,10 @@ impl UfUnifier {
             Ty::Int => Ty::Int,
             Ty::Str => Ty::Str,
             Ty::List(inner) => Ty::List(Box::new(self.deep_resolve(inner))),
-            Ty::Fun(a, b) => {
-                Ty::Fun(Box::new(self.deep_resolve(a)), Box::new(self.deep_resolve(b)))
-            }
+            Ty::Fun(a, b) => Ty::Fun(
+                Box::new(self.deep_resolve(a)),
+                Box::new(self.deep_resolve(b)),
+            ),
             Ty::Record(row) => {
                 let row = self.resolve_row(row);
                 let fields = row
@@ -322,7 +353,10 @@ impl UfUnifier {
                         ty: self.deep_resolve(&fe.ty),
                     })
                     .collect();
-                Ty::Record(Row { fields, tail: row.tail })
+                Ty::Record(Row {
+                    fields,
+                    tail: row.tail,
+                })
             }
         }
     }
@@ -335,7 +369,11 @@ mod tests {
     use rowpoly_lang::Symbol;
 
     fn field(name: &str, ty: Ty) -> FieldEntry {
-        FieldEntry { name: Symbol::intern(name), flag: NO_FLAG, ty }
+        FieldEntry {
+            name: Symbol::intern(name),
+            flag: NO_FLAG,
+            ty,
+        }
     }
 
     /// Both backends agree on the paper's §4.2 example.
@@ -398,8 +436,7 @@ mod tests {
         let u = s.apply(&tx);
         match u {
             Ty::Record(row) => {
-                let names: Vec<&str> =
-                    row.fields.iter().map(|f| f.name.as_str()).collect();
+                let names: Vec<&str> = row.fields.iter().map(|f| f.name.as_str()).collect();
                 assert_eq!(names, vec!["x", "y", "z"]);
             }
             other => panic!("expected record, got {other:?}"),
@@ -419,7 +456,13 @@ mod tests {
         let other = Ty::record(vec![field("d", Ty::Str)], RowTail::Var(q, NO_FLAG));
         // bare ~ other forces r to absorb d:Str; but with_d already pins
         // d:Int next to r.
-        let result = mgu_uf([(bare, other), (with_d, Ty::record(vec![], RowTail::Var(q, NO_FLAG)))], &mut vars);
+        let result = mgu_uf(
+            [
+                (bare, other),
+                (with_d, Ty::record(vec![], RowTail::Var(q, NO_FLAG))),
+            ],
+            &mut vars,
+        );
         // Either a row clash or a type mismatch is a correct rejection;
         // accepting with duplicate fields would be the bug.
         assert!(result.is_err(), "must not build a duplicated row");
@@ -429,7 +472,8 @@ mod tests {
     /// existing scenario battery.
     #[test]
     fn agrees_with_subst_backend_on_scenarios() {
-        let scenarios: Vec<Box<dyn Fn(&mut VarAlloc) -> (Ty, Ty)>> = vec![
+        type Scenario = Box<dyn Fn(&mut VarAlloc) -> (Ty, Ty)>;
+        let scenarios: Vec<Scenario> = vec![
             Box::new(|v| (Ty::svar(v.fresh()), Ty::Int)),
             Box::new(|v| {
                 let a = v.fresh();

@@ -30,7 +30,10 @@ fn main() {
     println!("...\n");
 
     for (label, track) in [("w/o fields", false), ("w. fields", true)] {
-        let opts = Options { track_fields: track, ..Options::default() };
+        let opts = Options {
+            track_fields: track,
+            ..Options::default()
+        };
         let start = Instant::now();
         let report = Session::new(opts)
             .infer_program(&program)

@@ -5,8 +5,9 @@
 //! ```
 //!
 //! Enter an expression to see its inferred type (with `:flags` to toggle
-//! flag display) and its value; enter `def name … = …` to extend the
-//! session's definitions.
+//! flag display), the satisfiability class of its flow (in brackets —
+//! which solver its clauses need), and its value; enter `def name … = …`
+//! to extend the session's definitions.
 
 use std::io::{BufRead, Write};
 
@@ -40,7 +41,7 @@ fn main() {
             ":env" => match session.infer_program(&program) {
                 Ok(report) => {
                     for d in &report.defs {
-                        println!("  {} : {}", d.name, d.render(show_flags));
+                        println!("  {} : {}  [{}]", d.name, d.render(show_flags), d.sat_class);
                     }
                 }
                 Err(e) => println!("environment is inconsistent: {e}"),
@@ -52,7 +53,7 @@ fn main() {
                     match session.infer_program(&candidate) {
                         Ok(report) => {
                             let d = report.defs.last().expect("just added");
-                            println!("{} : {}", d.name, d.render(show_flags));
+                            println!("{} : {}  [{}]", d.name, d.render(show_flags), d.sat_class);
                             program = candidate;
                         }
                         Err(e) => print!("{}", e.to_diag().render(input)),
@@ -73,7 +74,7 @@ fn main() {
                     match session.infer_program(&candidate) {
                         Ok(report) => {
                             let d = report.defs.last().expect("it");
-                            println!("it : {}", d.render(show_flags));
+                            println!("it : {}  [{}]", d.render(show_flags), d.sat_class);
                             match eval_program(&candidate, 1_000_000) {
                                 Ok(v) => println!("   = {v}"),
                                 Err(e) => println!("   (does not evaluate: {e})"),

@@ -41,7 +41,10 @@ fn main() {
     println!("program A: f {{}}            (safe — foo is only read after being added)");
     println!("program B: #foo (f {{}})     (unsafe — the else-path returns {{}})");
     println!();
-    println!("{:<28} {:>10} {:>10}", "inference", "program A", "program B");
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "inference", "program A", "program B"
+    );
 
     let verdict = |ok: bool| if ok { "accepts" } else { "rejects" };
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local verification: what CI runs, in the order CI runs it.
+# Zero network required — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> fig9 smoke (--quick --phases --json)"
+out=$(cargo run --release -p rowpoly-bench --bin fig9 -- --quick --phases --json)
+case "$out" in
+  '{'*'}') echo "    JSON output OK (${#out} bytes)" ;;
+  *) echo "    fig9 --json did not emit a JSON object" >&2; exit 1 ;;
+esac
+
+echo "==> all checks passed"

@@ -18,7 +18,9 @@
 //!   Section 5 extensions), the flow-free Fig. 2 configuration, the
 //!   Rémy `Pre`/`Abs` baseline, and the SMT(unification) extension;
 //! * [`eval`] — the concrete semantics (interpreter + path exploration);
-//! * [`gen`] — decoder-spec workload generators for the evaluation.
+//! * [`gen`] — decoder-spec workload generators for the evaluation;
+//! * [`obs`] — zero-dependency tracing/metrics with Chrome-trace export
+//!   (see `docs/OBSERVABILITY.md`).
 //!
 //! # Quickstart
 //!
@@ -41,4 +43,5 @@ pub use rowpoly_core as core;
 pub use rowpoly_eval as eval;
 pub use rowpoly_gen as gen;
 pub use rowpoly_lang as lang;
+pub use rowpoly_obs as obs;
 pub use rowpoly_types as types;

@@ -34,9 +34,7 @@ fn spurious_flow_between_uses_of_a_functional_argument() {
     let src = r"def g proj xs ys = #foo (proj xs) + #bar (proj ys)
 def id x = x";
     // Both fields present: accepted.
-    let both = format!(
-        "{src}\ndef use = g id {{foo = 1, bar = 2}} {{foo = 1, bar = 2}}"
-    );
+    let both = format!("{src}\ndef use = g id {{foo = 1, bar = 2}} {{foo = 1, bar = 2}}");
     assert!(flow().infer_source(&both).is_ok());
     // Only the respectively-selected field present: the optimal collecting
     // semantics would accept, the inference rejects (documented
@@ -54,7 +52,10 @@ def id x = x";
 fn let_bound_functions_are_use_independent() {
     let src = r"def id x = x
 def use = #foo (id {foo = 1}) + #bar (id {bar = 2})";
-    assert!(flow().infer_source(src).is_ok(), "independent instantiations");
+    assert!(
+        flow().infer_source(src).is_ok(),
+        "independent instantiations"
+    );
 }
 
 /// Under Observation 1's conditions, annotations cannot rescue a rejected

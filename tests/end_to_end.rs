@@ -10,7 +10,11 @@ use rowpoly::lang::{parse_program, pretty_program};
 /// in every configuration.
 #[test]
 fn decoder_workloads_roundtrip_and_check() {
-    let params = GenParams { groups: 2, with_sem: true, ..GenParams::default() };
+    let params = GenParams {
+        groups: 2,
+        with_sem: true,
+        ..GenParams::default()
+    };
     let program = generate(&params);
     let src = pretty_program(&program);
     let reparsed = parse_program(&src).expect("generated source parses");
@@ -31,7 +35,9 @@ fn decoder_workloads_roundtrip_and_check() {
 #[test]
 fn flow_accepts_subset_of_skeleton_inference() {
     let (program, _) = generate_with_lines(300, false, 9);
-    let with = Session::default().infer_program(&program).expect("w. fields");
+    let with = Session::default()
+        .infer_program(&program)
+        .expect("w. fields");
     let without = hm::session().infer_program(&program).expect("w/o fields");
     for (a, b) in with.defs.iter().zip(&without.defs) {
         assert_eq!(
@@ -94,10 +100,15 @@ fn perdef_compaction_reproduces_the_section_6_bug() {
 fn unifier_backends_agree_on_programs() {
     use rowpoly::core::Unifier;
     let (program, _) = generate_with_lines(300, true, 13);
-    let subst = Session::default().infer_program(&program).expect("substitution backend");
-    let uf = Session::new(Options { unifier: Unifier::UnionFind, ..Options::default() })
+    let subst = Session::default()
         .infer_program(&program)
-        .expect("union-find backend");
+        .expect("substitution backend");
+    let uf = Session::new(Options {
+        unifier: Unifier::UnionFind,
+        ..Options::default()
+    })
+    .infer_program(&program)
+    .expect("union-find backend");
     for (a, b) in subst.defs.iter().zip(&uf.defs) {
         assert_eq!(a.render(false), b.render(false), "def {}", a.name);
     }
@@ -107,10 +118,15 @@ fn unifier_backends_agree_on_programs() {
 #[test]
 fn env_version_ablation_preserves_verdicts() {
     let (program, _) = generate_with_lines(300, false, 11);
-    let on = Session::default().infer_program(&program).expect("with versions");
-    let off = Session::new(Options { env_versions: false, ..Options::default() })
+    let on = Session::default()
         .infer_program(&program)
-        .expect("without versions");
+        .expect("with versions");
+    let off = Session::new(Options {
+        env_versions: false,
+        ..Options::default()
+    })
+    .infer_program(&program)
+    .expect("without versions");
     for (a, b) in on.defs.iter().zip(&off.defs) {
         assert_eq!(a.render(false), b.render(false));
     }
@@ -135,7 +151,11 @@ def main  = #acc (bump (bump mk))
 /// Generated decoder drivers actually run under the interpreter.
 #[test]
 fn generated_decoders_execute() {
-    let params = GenParams { groups: 1, decoders_per_group: 3, ..GenParams::default() };
+    let params = GenParams {
+        groups: 1,
+        decoders_per_group: 3,
+        ..GenParams::default()
+    };
     let program = generate(&params);
     Session::default().infer_program(&program).expect("checks");
     match eval_program(&program, 2_000_000) {

@@ -10,20 +10,30 @@ fn flow() -> Session {
 #[test]
 fn removal_makes_field_inaccessible() {
     assert!(flow().infer_source("def use = #a (%a {a = 1})").is_err());
-    assert!(flow().infer_source("def use = #b (%a {a = 1, b = 2})").is_ok());
+    assert!(flow()
+        .infer_source("def use = #b (%a {a = 1, b = 2})")
+        .is_ok());
     // Removing an absent field is fine.
     assert!(flow().infer_source("def use = %a {}").is_ok());
     // Re-adding after removal works.
-    assert!(flow().infer_source("def use = #a (@{a = 2} (%a {a = 1}))").is_ok());
+    assert!(flow()
+        .infer_source("def use = #a (@{a = 2} (%a {a = 1}))")
+        .is_ok());
 }
 
 #[test]
 fn renaming_moves_existence_and_content() {
-    assert!(flow().infer_source("def use = #b (^{a -> b} {a = 1}) + 1").is_ok());
+    assert!(flow()
+        .infer_source("def use = #b (^{a -> b} {a = 1}) + 1")
+        .is_ok());
     // The source is gone afterwards.
-    assert!(flow().infer_source("def use = #a (^{a -> b} {a = 1})").is_err());
+    assert!(flow()
+        .infer_source("def use = #a (^{a -> b} {a = 1})")
+        .is_err());
     // Renaming requires the target to be absent.
-    assert!(flow().infer_source("def use = ^{a -> b} {a = 1, b = 2}").is_err());
+    assert!(flow()
+        .infer_source("def use = ^{a -> b} {a = 1, b = 2}")
+        .is_err());
     // Renaming something absent yields an absent target.
     assert!(flow().infer_source("def use = #b (^{a -> b} {})").is_err());
 }
@@ -35,7 +45,9 @@ fn asymmetric_concat_unions_fields() {
     assert!(s.infer_source("def use = #b ({a = 1} @ {b = 2})").is_ok());
     assert!(s.infer_source("def use = #c ({a = 1} @ {b = 2})").is_err());
     // Overlap is allowed (right bias); the field types must unify.
-    assert!(s.infer_source("def use = #a ({a = 1} @ {a = 2}) + 1").is_ok());
+    assert!(s
+        .infer_source("def use = #a ({a = 1} @ {a = 2}) + 1")
+        .is_ok());
     assert!(s.infer_source(r#"def use = {a = 1} @ {a = "s"}"#).is_err());
 }
 
@@ -83,7 +95,10 @@ fn when_grants_the_field_in_the_then_branch() {
     let src = r"def read s = when foo in s then #foo s else 0
 def a = read {foo = 1}
 def b = read {}";
-    assert!(flow().infer_source(src).is_ok(), "when-guard licenses the select");
+    assert!(
+        flow().infer_source(src).is_ok(),
+        "when-guard licenses the select"
+    );
 }
 
 #[test]
@@ -124,7 +139,10 @@ def b = getdef {n = 7}";
 
 #[test]
 fn extensions_respect_track_fields_off() {
-    let opts = Options { track_fields: false, ..Options::default() };
+    let opts = Options {
+        track_fields: false,
+        ..Options::default()
+    };
     let s = Session::new(opts);
     // Without flags nothing about field existence is checked.
     assert!(s.infer_source("def use = #a (%a {a = 1})").is_ok());

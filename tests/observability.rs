@@ -1,0 +1,166 @@
+//! End-to-end observability: a real inference session drives the global
+//! collector, and the exporters produce well-formed artifacts.
+//!
+//! Everything here shares the process-wide collector, so the tests
+//! serialize on a mutex and reset collected state up front.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rowpoly::core::Session;
+use rowpoly::lang::parse_program;
+use rowpoly::obs;
+use rowpoly::obs::json::Json;
+
+static GLOBAL_COLLECTOR: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match GLOBAL_COLLECTOR.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn state_monad_source() -> String {
+    std::fs::read_to_string(format!(
+        "{}/programs/state_monad.rp",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("programs/state_monad.rp ships with the repository")
+}
+
+/// Runs the state-monad sample with global collection on and returns the
+/// snapshot of everything it recorded.
+fn traced_state_monad_snapshot() -> obs::Snapshot {
+    obs::reset();
+    obs::enable();
+    let program = parse_program(&state_monad_source()).expect("parses");
+    Session::default().infer_program(&program).expect("checks");
+    let snap = obs::snapshot();
+    obs::disable();
+    obs::reset();
+    snap
+}
+
+/// Golden test for the Chrome trace exporter over a real session: the
+/// document parses as JSON, opens with a metadata record, keeps
+/// timestamps monotone, and balances every `B` with an `E`.
+#[test]
+fn chrome_trace_of_session_is_well_formed() {
+    let _g = lock();
+    let snap = traced_state_monad_snapshot();
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("rowpoly-trace-test-{}.json", std::process::id()));
+    obs::chrome::write_chrome_trace(&snap, &path).expect("trace written");
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    std::fs::remove_file(&path).ok();
+
+    let doc = obs::json::parse(&text).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let ph = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap().to_string();
+    assert_eq!(ph(&events[0]), "M", "metadata record first");
+
+    // Duration events: monotone timestamps, balanced begin/end.
+    let mut last_ts = f64::MIN;
+    let mut depth: i64 = 0;
+    let mut names = std::collections::BTreeSet::new();
+    for e in events
+        .iter()
+        .filter(|e| matches!(ph(e).as_str(), "B" | "E"))
+    {
+        let ts = e.get("ts").and_then(Json::as_f64).expect("numeric ts");
+        assert!(ts >= last_ts, "timestamps must be non-decreasing");
+        last_ts = ts;
+        match ph(e).as_str() {
+            "B" => {
+                depth += 1;
+                names.insert(e.get("name").and_then(Json::as_str).unwrap().to_string());
+            }
+            _ => {
+                depth -= 1;
+                assert!(depth >= 0, "E without matching B");
+            }
+        }
+    }
+    assert_eq!(depth, 0, "every B balanced by an E");
+
+    // The session's structure is visible: the driver span, one span per
+    // definition, and all four paper phases.
+    assert!(names.contains("session"), "missing session span: {names:?}");
+    assert!(names.contains("def f") && names.contains("def main"));
+    for phase in ["unify", "applys", "project", "sat"] {
+        assert!(names.contains(phase), "missing {phase} span: {names:?}");
+    }
+}
+
+/// The text report over a session run names all four paper phases and
+/// the flushed structural counters.
+#[test]
+fn session_report_names_all_four_phases() {
+    let _g = lock();
+    let snap = traced_state_monad_snapshot();
+    let report = obs::report::text_report(&snap);
+    for phase in ["unify", "applys", "project", "sat"] {
+        assert!(report.contains(phase), "report lacks {phase}:\n{report}");
+    }
+    for counter in ["unify.calls", "applys.calls", "sat.checks"] {
+        assert!(
+            report.contains(counter),
+            "report lacks {counter}:\n{report}"
+        );
+    }
+
+    // And the JSON form round-trips through the strict parser.
+    let doc = obs::json::parse(&obs::report::json_report(&snap)).expect("valid JSON");
+    let spans = doc.get("spans").expect("spans object");
+    for phase in ["unify", "applys", "project", "sat"] {
+        let span = spans
+            .get(phase)
+            .unwrap_or_else(|| panic!("no {phase} span"));
+        assert!(span.get("count").and_then(Json::as_i64).unwrap() > 0);
+    }
+}
+
+/// Phase buckets are exclusive: their sum never exceeds the recorded
+/// wall time, even though projection runs nested inside `applyS` and
+/// SAT checks run inside definition finishing.
+#[test]
+fn phase_buckets_sum_to_at_most_wall() {
+    let _g = lock();
+    let program = parse_program(&state_monad_source()).expect("parses");
+    let start = Instant::now();
+    let report = Session::default().infer_program(&program).expect("checks");
+    let measured = start.elapsed();
+
+    let s = &report.stats;
+    let buckets = s.unify + s.applys + s.project + s.sat;
+    assert!(
+        buckets <= s.wall,
+        "exclusive buckets {buckets:?} exceed recorded wall {s:?}"
+    );
+    assert!(
+        s.wall <= measured,
+        "recorded wall longer than enclosing timer"
+    );
+    assert!(s.unify_calls > 0 && s.applys_calls > 0 && s.sat_calls > 0);
+}
+
+/// With collection disabled (the default), inference leaves no events or
+/// metrics behind.
+#[test]
+fn disabled_collection_records_nothing() {
+    let _g = lock();
+    obs::disable();
+    obs::reset();
+    let program = parse_program(&state_monad_source()).expect("parses");
+    Session::default().infer_program(&program).expect("checks");
+    let snap = obs::snapshot();
+    assert!(snap.events.is_empty(), "events recorded while disabled");
+    assert!(snap.metrics.is_empty(), "metrics recorded while disabled");
+}

@@ -63,6 +63,12 @@ fn fuzzer_covers_both_verdicts() {
             rejected += 1;
         }
     }
-    assert!(accepted > 10, "only {accepted} accepted programs in 200 seeds");
-    assert!(rejected > 10, "only {rejected} rejected programs in 200 seeds");
+    assert!(
+        accepted > 10,
+        "only {accepted} accepted programs in 200 seeds"
+    );
+    assert!(
+        rejected > 10,
+        "only {rejected} rejected programs in 200 seeds"
+    );
 }

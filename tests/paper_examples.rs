@@ -22,7 +22,10 @@ fn intro_f_is_typed() {
     let report = flow().infer_source(MOTIVATING).expect("f checks");
     // f : {FOO.fN : Int, a.fa} → {FOO.f'N : Int, a.f'a} — the same row
     // variable on both sides (only the flags differ), as in the paper.
-    assert_eq!(report.defs[0].render(false), "forall a . {foo : Int, a} -> {foo : Int, a}");
+    assert_eq!(
+        report.defs[0].render(false),
+        "forall a . {foo : Int, a} -> {foo : Int, a}"
+    );
     // The paper's flow for f is f'N → fN ∧ f'a → fa: output implies input.
     // Our stored flow must contain implications from output flags to input
     // flags (flag numbering: f1/f2 input field/tail, f3/f4 output).
@@ -37,17 +40,27 @@ fn intro_f_is_typed() {
 #[test]
 fn intro_call_with_empty_record_is_accepted_by_flow_inference() {
     let src = format!("{MOTIVATING}\ndef use = f {{}}");
-    let report = flow().infer_source(&src).expect("f {} is safe: no path reads foo");
-    assert!(report.defs[1].render(false).contains('{'), "result is a record");
+    let report = flow()
+        .infer_source(&src)
+        .expect("f {} is safe: no path reads foo");
+    assert!(
+        report.defs[1].render(false).contains('{'),
+        "result is a record"
+    );
 }
 
 #[test]
 fn intro_select_after_call_is_rejected() {
     // #foo (f {}) — the else-path returns {} to the outer selector.
     let src = format!("{MOTIVATING}\ndef use = #foo (f {{}})");
-    let err = flow().infer_source(&src).expect_err("the else-path has no foo");
+    let err = flow()
+        .infer_source(&src)
+        .expect_err("the else-path has no foo");
     let rendered = err.render(&src);
-    assert!(rendered.contains("foo"), "error mentions the field: {rendered}");
+    assert!(
+        rendered.contains("foo"),
+        "error mentions the field: {rendered}"
+    );
 }
 
 #[test]
@@ -95,7 +108,10 @@ fn example_2_identity_self_application() {
     assert_eq!(report.defs[1].render(false), "forall a . a -> a");
 
     let bad = "def id x = x\ndef id2 = id id\ndef use = #foo (id2 {})";
-    assert!(flow().infer_source(bad).is_err(), "flow f8→f7 of Ex. 2 survives");
+    assert!(
+        flow().infer_source(bad).is_err(),
+        "flow f8→f7 of Ex. 2 survives"
+    );
 }
 
 /// Section 2.4's `cond` function: λx.λy. if 0 then x else y, whose flow
@@ -112,7 +128,10 @@ def use = #n (cond {n = 1} {n = 2})";
     assert!(flow().infer_source(both).is_ok());
     let one = r"def cond x y = if 0 then x else y
 def use = #n (cond {n = 1} {})";
-    assert!(flow().infer_source(one).is_err(), "a field must come from both branches");
+    assert!(
+        flow().infer_source(one).is_err(),
+        "a field must come from both branches"
+    );
 }
 
 /// Although (REC-UPDATE) asserts the output flag (the field really is
@@ -138,7 +157,10 @@ fn update_replaces_field_type() {
 fn without_fields_configuration() {
     assert!(hm::infer_source("def use = #foo {}").is_ok());
     assert!(hm::infer_source(r#"def use = 1 + "s""#).is_err());
-    let opts = Options { track_fields: false, ..Options::default() };
+    let opts = Options {
+        track_fields: false,
+        ..Options::default()
+    };
     assert!(Session::new(opts).infer_source("def use = #foo {}").is_ok());
 }
 

@@ -18,7 +18,10 @@ fn state_monad_sample_checks_and_runs() {
     // runs end to end.
     let closed = src.replace("some_condition", "1");
     let program = parse_program(&closed).unwrap();
-    assert!(matches!(eval_program(&program, 100_000), Ok(Value::Int(42))));
+    assert!(matches!(
+        eval_program(&program, 100_000),
+        Ok(Value::Int(42))
+    ));
 }
 
 #[test]
@@ -27,10 +30,16 @@ fn attributes_sample_checks() {
     Session::default().infer_source(&src).expect("checks");
     let closed = src.replace("optimize", "1");
     let program = parse_program(&closed).unwrap();
-    assert!(matches!(eval_program(&program, 100_000), Ok(Value::Int(2014))));
+    assert!(matches!(
+        eval_program(&program, 100_000),
+        Ok(Value::Int(2014))
+    ));
     let closed_off = src.replace("optimize", "0");
     let program = parse_program(&closed_off).unwrap();
-    assert!(matches!(eval_program(&program, 100_000), Ok(Value::Int(-1))));
+    assert!(matches!(
+        eval_program(&program, 100_000),
+        Ok(Value::Int(-1))
+    ));
 }
 
 #[test]
@@ -38,13 +47,18 @@ fn merge_sample_checks_and_runs() {
     let src = load("merge.rp");
     Session::default().infer_source(&src).expect("checks");
     let program = parse_program(&src).unwrap();
-    assert!(matches!(eval_program(&program, 100_000), Ok(Value::Int(43))));
+    assert!(matches!(
+        eval_program(&program, 100_000),
+        Ok(Value::Int(43))
+    ));
 }
 
 #[test]
 fn bad_select_sample_is_rejected_with_explanation() {
     let src = load("bad_select.rp");
-    let err = Session::default().infer_source(&src).expect_err("ill-typed");
+    let err = Session::default()
+        .infer_source(&src)
+        .expect_err("ill-typed");
     let rendered = err.render(&src);
     assert!(rendered.contains("colour"), "{rendered}");
 }

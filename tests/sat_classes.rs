@@ -2,8 +2,8 @@
 //! classes, verified on the formulas whole programs actually generate,
 //! plus cross-solver agreement on those formulas.
 
-use rowpoly::boolfun::{classify, Cnf, Flag, Lit, SatClass};
 use rowpoly::boolfun::sat::{solve_with, Engine};
+use rowpoly::boolfun::{classify, Cnf, Flag, Lit, SatClass};
 use rowpoly::core::Session;
 
 fn class_of(src: &str) -> SatClass {
@@ -45,11 +45,12 @@ fn symmetric_concat_and_when_are_general() {
     // `when` exceeds the Horn fragment once its branches carry flags of
     // their own (record-typed results mix clause polarities).
     let when_int = class_of("def use s = when a in s then #a s else 0\ndef go = use {}");
-    assert!(when_int > SatClass::TwoSat, "guarded clauses leave 2-SAT: {when_int:?}");
+    assert!(
+        when_int > SatClass::TwoSat,
+        "guarded clauses leave 2-SAT: {when_int:?}"
+    );
     assert_eq!(
-        class_of(
-            "def pick s = when a in s then s else @{a = 9} s\ndef go = #a (pick {})"
-        ),
+        class_of("def pick s = when a in s then s else @{a = 9} s\ndef go = #a (pick {})"),
         SatClass::General
     );
 }
@@ -121,8 +122,14 @@ fn conflict_chain_connects_requirement_to_origin() {
     match b.solve() {
         rowpoly::boolfun::SatResult::Unsat(chain) => {
             let flags: Vec<Flag> = chain.iter().map(|l| l.flag()).collect();
-            assert!(flags.contains(&Flag(0)), "chain reaches the origin: {chain:?}");
-            assert!(flags.contains(&Flag(2)), "chain includes the demand: {chain:?}");
+            assert!(
+                flags.contains(&Flag(0)),
+                "chain reaches the origin: {chain:?}"
+            );
+            assert!(
+                flags.contains(&Flag(2)),
+                "chain includes the demand: {chain:?}"
+            );
         }
         other => panic!("expected unsat, got {other:?}"),
     }

@@ -23,9 +23,14 @@ fn representative_scheme_gallery() {
         ("def put v s = @{n = v} s", "*"),
         ("def swap r = ^{a -> b} r", "*"),
         ("def drop r = %tmp r", "*"),
-        ("def len l = if null l then 0 else 1 + len (tail l)", "forall a . [a] -> Int"),
-        ("def map2 f l = if null l then [] else cons (f (head l)) (map2 f (tail l))",
-         "forall a b . (a -> b) -> [a] -> [b]"),
+        (
+            "def len l = if null l then 0 else 1 + len (tail l)",
+            "forall a . [a] -> Int",
+        ),
+        (
+            "def map2 f l = if null l then [] else cons (f (head l)) (map2 f (tail l))",
+            "forall a b . (a -> b) -> [a] -> [b]",
+        ),
     ];
     for (src, expect) in cases {
         let all = types_of(src);

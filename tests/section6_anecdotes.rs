@@ -77,8 +77,11 @@ def h s = if c then @{a = 1} s else @{a = 2} s
 def use = #a (h {})
 ";
     let on = Session::default().infer_source(src);
-    let off = Session::new(Options { env_versions: false, ..Options::default() })
-        .infer_source(src);
+    let off = Session::new(Options {
+        env_versions: false,
+        ..Options::default()
+    })
+    .infer_source(src);
     assert_eq!(on.is_ok(), off.is_ok());
     let (on, off) = (on.unwrap(), off.unwrap());
     for (a, b) in on.defs.iter().zip(&off.defs) {

@@ -1,11 +1,12 @@
 //! Soundness: well-typed programs do not go wrong (Lemma 6), checked by
 //! running accepted programs concretely and through path exploration.
 
-use proptest::prelude::*;
 use rowpoly::core::Session;
 use rowpoly::eval::{eval, explore_paths, RuntimeError};
 use rowpoly::gen::{random_pipeline, FuzzParams};
 use rowpoly::lang::{parse_expr, pretty_expr};
+use rowpoly::obs::cases;
+use rowpoly::obs::rng::SplitMix64;
 
 /// Concrete evaluation of an accepted closed program never produces a
 /// field error (`Ω`).
@@ -40,31 +41,38 @@ fn accepted_closed_programs_run_clean() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Property form of Lemma 6 on random pipelines: acceptance implies no
-    /// path reaches a field error, and concrete evaluation (when the
-    /// oracle is irrelevant) returns a value.
-    #[test]
-    fn prop_accepted_pipelines_never_hit_field_errors(seed in 0u64..5_000) {
+/// Property form of Lemma 6 on random pipelines: acceptance implies no
+/// path reaches a field error, and concrete evaluation (when the
+/// oracle is irrelevant) returns a value.
+#[test]
+fn prop_accepted_pipelines_never_hit_field_errors() {
+    let mut rng = SplitMix64::seed_from_u64(0x50BD);
+    for _ in 0..cases(128) {
+        let seed = rng.gen_range(0u64..5_000);
         let expr = random_pipeline(seed, FuzzParams::default());
         if Session::default().infer_expr(&expr).is_ok() {
             let summary = explore_paths(&expr, 200_000, 4096);
-            prop_assert_eq!(
-                summary.field_errors, 0,
-                "seed {} unsound: {}", seed, pretty_expr(&expr)
+            assert_eq!(
+                summary.field_errors,
+                0,
+                "seed {} unsound: {}",
+                seed,
+                pretty_expr(&expr)
             );
         }
     }
+}
 
-    /// The inference verdict is deterministic.
-    #[test]
-    fn prop_inference_is_deterministic(seed in 0u64..1_000) {
+/// The inference verdict is deterministic.
+#[test]
+fn prop_inference_is_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0x50BE);
+    for _ in 0..cases(128) {
+        let seed = rng.gen_range(0u64..1_000);
         let expr = random_pipeline(seed, FuzzParams::default());
         let a = Session::default().infer_expr(&expr).is_ok();
         let b = Session::default().infer_expr(&expr).is_ok();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }
 

@@ -30,7 +30,11 @@ fn guarded_workloads_check_and_run() {
 fn decoder_workloads_stay_two_sat() {
     let (program, _) = generate_with_lines(400, true, 3);
     let report = Session::default().infer_program(&program).expect("checks");
-    assert!(report.sat_class <= SatClass::TwoSat, "got {:?}", report.sat_class);
+    assert!(
+        report.sat_class <= SatClass::TwoSat,
+        "got {:?}",
+        report.sat_class
+    );
 }
 
 #[test]
@@ -38,7 +42,10 @@ fn eager_checking_reports_the_access_site() {
     // With eager checking, the error is raised at the offending select's
     // application, not at the end of the definition.
     let src = "def b = #foo {}";
-    let opts = Options { check: CheckPolicy::Eager, ..Options::default() };
+    let opts = Options {
+        check: CheckPolicy::Eager,
+        ..Options::default()
+    };
     let err = Session::new(opts).infer_source(src).expect_err("rejected");
     let rendered = err.render(src);
     assert!(rendered.contains("foo"), "{rendered}");
@@ -47,7 +54,10 @@ fn eager_checking_reports_the_access_site() {
 #[test]
 fn final_checking_still_rejects() {
     let src = "def a = #foo {}\ndef b = 1";
-    let opts = Options { check: CheckPolicy::Final, ..Options::default() };
+    let opts = Options {
+        check: CheckPolicy::Final,
+        ..Options::default()
+    };
     assert!(Session::new(opts).infer_source(src).is_err());
 }
 
@@ -55,7 +65,10 @@ fn final_checking_still_rejects() {
 fn letrec_iteration_bound_reports_divergence() {
     // A recursion whose type grows every iteration (f x = f 1 x builds
     // Int -> Int -> …) must stop at the bound, not loop forever.
-    let opts = Options { max_letrec_iters: 4, ..Options::default() };
+    let opts = Options {
+        max_letrec_iters: 4,
+        ..Options::default()
+    };
     let src = "def f x = f";
     // f = \x . f : the fixpoint alternates shapes; whatever the outcome,
     // inference must terminate. (Occurs check or divergence are both
@@ -80,8 +93,9 @@ fn deep_pipelines_check_on_a_big_stack() {
             }
             src.push_str("{}");
             src.push_str(&")".repeat(121));
-            let report =
-                Session::default().infer_source(&src).expect("long chain checks");
+            let report = Session::default()
+                .infer_source(&src)
+                .expect("long chain checks");
             assert_eq!(report.defs[0].render(false), "Int");
         })
         .expect("spawn")
