@@ -1,0 +1,263 @@
+//! Lossless JSON encoding of closed schemes for the on-disk cache.
+//!
+//! The cache stores the *result* of checking a definition group — each
+//! member's closed scheme and SAT class — and replays it on a hit. A
+//! replayed report must render byte-identically to a fresh one, so the
+//! codec round-trips every structural detail: variable numbers, flag
+//! numbers (including `NO_FLAG`), field order, and CNF clauses. The
+//! decoder is total: any malformed document becomes an `Err`, which the
+//! cache treats as a miss, never a crash.
+
+use rowpoly_boolfun::{Clause, Cnf, Flag, Lit, SatClass};
+use rowpoly_lang::Symbol;
+use rowpoly_obs::json::Json;
+use rowpoly_types::{FieldEntry, Row, RowTail, Scheme, Ty, Var};
+
+/// Encodes a scheme.
+pub fn scheme_to_json(s: &Scheme) -> Json {
+    Json::obj(vec![
+        (
+            "vars",
+            Json::Arr(s.vars.iter().map(|v| Json::Int(v.0 as i64)).collect()),
+        ),
+        ("ty", ty_to_json(&s.ty)),
+        ("flow", cnf_to_json(&s.flow)),
+    ])
+}
+
+/// Decodes a scheme; any structural mismatch is an error.
+pub fn scheme_from_json(j: &Json) -> Result<Scheme, String> {
+    let vars = j
+        .get("vars")
+        .and_then(Json::as_arr)
+        .ok_or("scheme: missing vars")?
+        .iter()
+        .map(|v| Ok(Var(u32_from(v, "var")?)))
+        .collect::<Result<Vec<Var>, String>>()?;
+    let ty = ty_from_json(j.get("ty").ok_or("scheme: missing ty")?)?;
+    let mut flow = cnf_from_json(j.get("flow").ok_or("scheme: missing flow")?)?;
+    // Cached schemes are written normalized (closing a scheme
+    // normalizes its flow), so this is a no-op re-sort that restores
+    // the `normalized` invariant on the decoded value.
+    flow.normalize();
+    let mut scheme = Scheme::new(vars, ty);
+    scheme.flow = flow;
+    Ok(scheme)
+}
+
+/// Encodes a SAT class by name.
+pub fn sat_class_to_json(c: SatClass) -> Json {
+    Json::Str(c.name().to_string())
+}
+
+/// Decodes a SAT class from its name.
+pub fn sat_class_from_json(j: &Json) -> Result<SatClass, String> {
+    let name = j.as_str().ok_or("class: not a string")?;
+    for c in [
+        SatClass::Trivial,
+        SatClass::Unsat,
+        SatClass::TwoSat,
+        SatClass::Horn,
+        SatClass::DualHorn,
+        SatClass::General,
+    ] {
+        if c.name() == name {
+            return Ok(c);
+        }
+    }
+    Err(format!("class: unknown name {name:?}"))
+}
+
+fn ty_to_json(ty: &Ty) -> Json {
+    match ty {
+        Ty::Var(v, f) => Json::obj(vec![
+            ("var", Json::Int(v.0 as i64)),
+            ("flag", Json::Int(f.0 as i64)),
+        ]),
+        Ty::Int => Json::Str("Int".to_string()),
+        Ty::Str => Json::Str("Str".to_string()),
+        Ty::List(t) => Json::obj(vec![("list", ty_to_json(t))]),
+        Ty::Fun(a, b) => Json::obj(vec![("fun", Json::Arr(vec![ty_to_json(a), ty_to_json(b)]))]),
+        Ty::Record(row) => {
+            let fields = row
+                .fields
+                .iter()
+                .map(|e| {
+                    Json::Arr(vec![
+                        Json::Str(e.name.to_string()),
+                        Json::Int(e.flag.0 as i64),
+                        ty_to_json(&e.ty),
+                    ])
+                })
+                .collect();
+            let tail = match row.tail {
+                RowTail::Var(v, f) => Json::obj(vec![
+                    ("var", Json::Int(v.0 as i64)),
+                    ("flag", Json::Int(f.0 as i64)),
+                ]),
+                RowTail::Closed => Json::Str("closed".to_string()),
+            };
+            Json::obj(vec![("fields", Json::Arr(fields)), ("tail", tail)])
+        }
+    }
+}
+
+fn ty_from_json(j: &Json) -> Result<Ty, String> {
+    match j {
+        Json::Str(s) if s == "Int" => Ok(Ty::Int),
+        Json::Str(s) if s == "Str" => Ok(Ty::Str),
+        Json::Obj(_) => {
+            if let Some(t) = j.get("list") {
+                return Ok(Ty::List(Box::new(ty_from_json(t)?)));
+            }
+            if let Some(pair) = j.get("fun").and_then(Json::as_arr) {
+                if pair.len() != 2 {
+                    return Err("ty: fun arity".to_string());
+                }
+                return Ok(Ty::Fun(
+                    Box::new(ty_from_json(&pair[0])?),
+                    Box::new(ty_from_json(&pair[1])?),
+                ));
+            }
+            if let Some(fields) = j.get("fields").and_then(Json::as_arr) {
+                let mut entries = Vec::with_capacity(fields.len());
+                for f in fields {
+                    let parts = f.as_arr().ok_or("ty: field not a triple")?;
+                    if parts.len() != 3 {
+                        return Err("ty: field arity".to_string());
+                    }
+                    let name = parts[0].as_str().ok_or("ty: field name")?;
+                    entries.push(FieldEntry {
+                        name: Symbol::intern(name),
+                        flag: Flag(u32_from(&parts[1], "field flag")?),
+                        ty: ty_from_json(&parts[2])?,
+                    });
+                }
+                let tail = match j.get("tail").ok_or("ty: missing tail")? {
+                    Json::Str(s) if s == "closed" => RowTail::Closed,
+                    t => RowTail::Var(
+                        Var(u32_from(t.get("var").ok_or("ty: tail var")?, "tail var")?),
+                        Flag(u32_from(
+                            t.get("flag").ok_or("ty: tail flag")?,
+                            "tail flag",
+                        )?),
+                    ),
+                };
+                return Ok(Ty::Record(Row {
+                    fields: entries,
+                    tail,
+                }));
+            }
+            if let (Some(v), Some(f)) = (j.get("var"), j.get("flag")) {
+                return Ok(Ty::Var(
+                    Var(u32_from(v, "var")?),
+                    Flag(u32_from(f, "flag")?),
+                ));
+            }
+            Err("ty: unrecognised object".to_string())
+        }
+        other => Err(format!("ty: unrecognised {other:?}")),
+    }
+}
+
+fn cnf_to_json(cnf: &Cnf) -> Json {
+    // A literal is a signed flag index: +(f+1) positive, -(f+1) negated.
+    let clauses = cnf
+        .clauses()
+        .iter()
+        .map(|c| {
+            Json::Arr(
+                c.lits()
+                    .iter()
+                    .map(|l| {
+                        let mag = l.flag().0 as i64 + 1;
+                        Json::Int(if l.is_neg() { -mag } else { mag })
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::Arr(clauses)
+}
+
+fn cnf_from_json(j: &Json) -> Result<Cnf, String> {
+    let mut cnf = Cnf::top();
+    for clause in j.as_arr().ok_or("cnf: not an array")? {
+        let mut lits = Vec::new();
+        for lit in clause.as_arr().ok_or("cnf: clause not an array")? {
+            let n = lit.as_i64().ok_or("cnf: literal not an int")?;
+            if n == 0 {
+                return Err("cnf: zero literal".to_string());
+            }
+            let flag = Flag(u32::try_from(n.unsigned_abs() - 1).map_err(|_| "cnf: flag range")?);
+            lits.push(if n < 0 {
+                Lit::neg(flag)
+            } else {
+                Lit::pos(flag)
+            });
+        }
+        if let Some(c) = Clause::new(lits) {
+            cnf.add_clause(c); // `None` is a tautology: dropped, as normalisation would
+        }
+    }
+    Ok(cnf)
+}
+
+fn u32_from(j: &Json, what: &str) -> Result<u32, String> {
+    let n = j.as_i64().ok_or_else(|| format!("{what}: not an int"))?;
+    u32::try_from(n).map_err(|_| format!("{what}: out of range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpoly_core::Session;
+
+    #[test]
+    fn roundtrips_inferred_schemes() {
+        let src = "def mk r = @{foo = 1} r\ndef sel r = #foo (mk r)\ndef f x = x + 1";
+        let report = Session::default().infer_source(src).expect("checks");
+        for d in &report.defs {
+            let mut original = d.scheme.clone();
+            original.flow.normalize();
+            let json = scheme_to_json(&original);
+            let text = json.render();
+            let parsed = rowpoly_obs::json::parse(&text).expect("parses");
+            let back = scheme_from_json(&parsed).expect("decodes");
+            assert_eq!(back, original, "scheme for {} changed", d.name);
+            assert_eq!(
+                rowpoly_types::render_scheme(&back, true),
+                rowpoly_types::render_scheme(&original, true)
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrips_sat_classes() {
+        for c in [
+            SatClass::Trivial,
+            SatClass::Unsat,
+            SatClass::TwoSat,
+            SatClass::Horn,
+            SatClass::DualHorn,
+            SatClass::General,
+        ] {
+            let back = sat_class_from_json(&sat_class_to_json(c)).expect("decodes");
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_errors_not_panics() {
+        for bad in [
+            "{}",
+            "{\"vars\":[],\"ty\":\"Nope\",\"flow\":[]}",
+            "{\"vars\":[-1],\"ty\":\"Int\",\"flow\":[]}",
+            "{\"vars\":[],\"ty\":\"Int\",\"flow\":[[0]]}",
+            "{\"vars\":[],\"ty\":{\"fields\":[[1,2]],\"tail\":\"closed\"},\"flow\":[]}",
+        ] {
+            let doc = rowpoly_obs::json::parse(bad).expect("valid json");
+            assert!(scheme_from_json(&doc).is_err(), "accepted {bad}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-definition dependency graphs over parsed programs.
+//!
+//! The serial driver threads one environment through a file's
+//! definitions in source order, which serialises everything. Most of
+//! that order is incidental: a definition only *needs* the definitions
+//! it references. This module recovers the real structure:
+//!
+//! * A reference resolves to the **latest preceding** definition of
+//!   that name, mirroring the serial driver's environment overwrites.
+//!   Forward references (and anything else unresolved that is not a
+//!   list built-in) are *ambient*: the driver binds them to fresh
+//!   monomorphic types.
+//! * Definitions that share an ambient variable are correlated through
+//!   the shared monomorphic binding, so they are grouped into one unit
+//!   and checked serially inside it — splitting them could accept
+//!   programs the serial driver rejects.
+//! * Groups are closed to contiguous index intervals. This keeps every
+//!   dependency edge pointing at a strictly earlier interval, so the
+//!   group graph is acyclic by construction (a group can never need a
+//!   scheme produced after its own first member).
+//!
+//! The result is a DAG of [`Group`]s whose topological *waves* bound
+//! the parallelism available in the file.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rowpoly_lang::{Program, Symbol};
+
+/// Names bound by [`rowpoly_core`]'s built-in environment; references
+/// to them are neither dependencies nor ambient variables.
+const BUILTINS: [&str; 4] = ["null", "head", "tail", "cons"];
+
+/// One schedulable unit: a contiguous run of definitions checked
+/// serially in a single engine.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Indices into `program.defs`, ascending and contiguous.
+    pub def_indices: Vec<usize>,
+    /// For every out-of-group definition the group references: the
+    /// referenced name and the index of the definition it resolves to.
+    /// Sorted by name, one entry per name.
+    pub deps: BTreeMap<Symbol, usize>,
+    /// Groups (by index into [`ProgramGraph::groups`]) this group needs
+    /// schemes from. Strictly smaller indices.
+    pub dep_groups: Vec<usize>,
+    /// Topological level: 1 + the maximum wave of any dependency
+    /// (wave 0 for independent groups).
+    pub wave: usize,
+}
+
+/// The dependency structure of one parsed program.
+#[derive(Clone, Debug)]
+pub struct ProgramGraph {
+    /// Groups in ascending interval order (group `g`'s definitions all
+    /// precede group `g+1`'s).
+    pub groups: Vec<Group>,
+    /// For each definition index, the group that owns it.
+    pub group_of: Vec<usize>,
+    /// Number of topological waves (0 for an empty program).
+    pub waves: usize,
+}
+
+impl ProgramGraph {
+    /// Builds the graph for a parsed program.
+    pub fn build(program: &Program) -> ProgramGraph {
+        let n = program.defs.len();
+        let builtins: BTreeSet<Symbol> = BUILTINS.iter().map(|s| Symbol::intern(s)).collect();
+
+        // Resolve references and find each definition's ambient names.
+        let mut resolved: Vec<BTreeMap<Symbol, usize>> = Vec::with_capacity(n);
+        let mut ambient: Vec<BTreeSet<Symbol>> = Vec::with_capacity(n);
+        let mut latest: BTreeMap<Symbol, usize> = BTreeMap::new();
+        for (i, def) in program.defs.iter().enumerate() {
+            let mut deps = BTreeMap::new();
+            let mut amb = BTreeSet::new();
+            for name in def.body.free_vars() {
+                if name == def.name {
+                    // Self-recursion, handled by the fixpoint inside
+                    // `infer_def`; not a dependency edge.
+                    continue;
+                }
+                if let Some(&j) = latest.get(&name) {
+                    deps.insert(name, j);
+                } else if !builtins.contains(&name) {
+                    amb.insert(name);
+                }
+            }
+            resolved.push(deps);
+            ambient.push(amb);
+            latest.insert(def.name, i);
+        }
+
+        // Union definitions sharing an ambient name, then close each
+        // component to a contiguous interval (merging overlaps).
+        let mut uf = UnionFind::new(n);
+        let mut first_with: BTreeMap<Symbol, usize> = BTreeMap::new();
+        for (i, amb) in ambient.iter().enumerate() {
+            for &name in amb {
+                match first_with.get(&name) {
+                    Some(&j) => uf.union(i, j),
+                    None => {
+                        first_with.insert(name, i);
+                    }
+                }
+            }
+        }
+        let mut span_of: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+        for i in 0..n {
+            let root = uf.find(i);
+            let entry = span_of.entry(root).or_insert((i, i));
+            entry.0 = entry.0.min(i);
+            entry.1 = entry.1.max(i);
+        }
+        let mut intervals: Vec<(usize, usize)> = span_of.values().copied().collect();
+        intervals.sort_unstable();
+        let mut merged: Vec<(usize, usize)> = Vec::new();
+        for (lo, hi) in intervals {
+            match merged.last_mut() {
+                Some((_, phi)) if lo <= *phi => *phi = (*phi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        // Intervals cover singletons too, so `merged` partitions 0..n.
+
+        let mut group_of = vec![0usize; n];
+        let mut groups: Vec<Group> = Vec::with_capacity(merged.len());
+        for (g, &(lo, hi)) in merged.iter().enumerate() {
+            for slot in &mut group_of[lo..=hi] {
+                *slot = g;
+            }
+            groups.push(Group {
+                def_indices: (lo..=hi).collect(),
+                deps: BTreeMap::new(),
+                dep_groups: Vec::new(),
+                wave: 0,
+            });
+        }
+
+        // Lift definition dependencies to group edges; in-group
+        // references are satisfied by the group's serial environment.
+        for (g, group) in groups.iter_mut().enumerate() {
+            let mut dep_groups: BTreeSet<usize> = BTreeSet::new();
+            let lo = group.def_indices[0];
+            for &i in &group.def_indices {
+                for (&name, &j) in &resolved[i] {
+                    if j >= lo {
+                        continue;
+                    }
+                    group.deps.insert(name, j);
+                    dep_groups.insert(group_of[j]);
+                }
+            }
+            debug_assert!(dep_groups.iter().all(|&d| d < g));
+            group.dep_groups = dep_groups.into_iter().collect();
+        }
+
+        // Waves: groups are already in topological (interval) order.
+        let mut waves = 0usize;
+        for g in 0..groups.len() {
+            let wave = groups[g]
+                .dep_groups
+                .iter()
+                .map(|&d| groups[d].wave + 1)
+                .max()
+                .unwrap_or(0);
+            groups[g].wave = wave;
+            waves = waves.max(wave + 1);
+        }
+
+        ProgramGraph {
+            groups,
+            group_of,
+            waves,
+        }
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpoly_lang::parse_program;
+
+    fn graph(src: &str) -> ProgramGraph {
+        ProgramGraph::build(&parse_program(src).expect("parses"))
+    }
+
+    #[test]
+    fn independent_defs_get_singleton_groups_in_one_wave() {
+        let g = graph("def a = 1\ndef b = 2\ndef c = 3");
+        assert_eq!(g.groups.len(), 3);
+        assert_eq!(g.waves, 1);
+        assert!(g.groups.iter().all(|gr| gr.dep_groups.is_empty()));
+    }
+
+    #[test]
+    fn references_create_backward_edges_and_waves() {
+        let g = graph("def a = 1\ndef b = a + 1\ndef c = b + a");
+        assert_eq!(g.groups.len(), 3);
+        assert_eq!(g.groups[1].dep_groups, vec![0]);
+        assert_eq!(g.groups[2].dep_groups, vec![0, 1]);
+        assert_eq!(g.waves, 3);
+    }
+
+    #[test]
+    fn shadowing_resolves_to_latest_preceding() {
+        let g = graph("def a = 1\ndef a = \"s\"\ndef use = a");
+        let dep = *g.groups[2].deps.values().next().expect("one dep");
+        assert_eq!(dep, 1);
+    }
+
+    #[test]
+    fn shared_ambient_variable_merges_the_interval() {
+        // `a` and `c` share the ambient `mystery`; `b` sits between
+        // them, so the whole interval [0, 2] becomes one group.
+        let g = graph("def a = mystery\ndef b = 2\ndef c = mystery\ndef d = 4");
+        assert_eq!(g.groups.len(), 2);
+        assert_eq!(g.groups[0].def_indices, vec![0, 1, 2]);
+        assert_eq!(g.groups[1].def_indices, vec![3]);
+    }
+
+    #[test]
+    fn builtins_and_self_recursion_are_not_ambient() {
+        let g = graph("def f xs = if null xs then 0 else f (tail xs)\ndef g2 = 1");
+        assert_eq!(g.groups.len(), 2);
+        assert!(g.groups[0].deps.is_empty());
+    }
+}

@@ -1,0 +1,791 @@
+//! `rowpoly-batch`: parallel multi-file checking with an incremental,
+//! content-addressed inference cache.
+//!
+//! The serial [`rowpoly_core::Session`] checks one file on one thread.
+//! This crate scales the same inference to many files and many cores:
+//!
+//! * [`graph`] slices each file into definition groups with explicit
+//!   dependency edges (topological waves bound the parallelism);
+//! * [`pool`] drains the resulting DAG on a std-only work-stealing
+//!   thread pool;
+//! * [`cache`] keys each group by the content that determines its
+//!   outcome — pretty-printed source, options, and the closed schemes
+//!   of its dependencies — and persists results across runs;
+//! * [`rowpoly_core::DefJob`] (the per-group unit of work) honours a
+//!   per-definition SAT step budget, so one pathological definition
+//!   degrades to a `timeout` verdict while the rest of the batch
+//!   completes.
+//!
+//! Output is deterministic by construction: every group runs in a
+//! fresh engine whose flag numbering depends only on the group's
+//! inputs, and the report orders files by path and definitions by
+//! source position. `--jobs 1` and `--jobs 8` produce byte-identical
+//! text; scheduling artefacts (steals, cache hits, wall time) surface
+//! only in the machine-readable stats.
+//!
+//! # Example
+//!
+//! ```
+//! use rowpoly_batch::{check_sources, BatchOptions, FileInput};
+//!
+//! let files = vec![FileInput {
+//!     path: "demo.rp".to_string(),
+//!     source: "def inc x = x + 1\ndef use = inc 41".to_string(),
+//! }];
+//! let report = check_sources(files, &BatchOptions::in_memory(2));
+//! assert!(report.ok());
+//! assert!(report.render().contains("use : Int"));
+//! ```
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use rowpoly_boolfun::SatClass;
+use rowpoly_core::{DefJob, DefVerdict, Options};
+use rowpoly_lang::{parse_program, pretty_def, Program};
+use rowpoly_obs as obs;
+use rowpoly_obs::json::Json;
+
+pub mod cache;
+pub mod codec;
+pub mod graph;
+pub mod pool;
+
+use cache::{Cache, CachedDef};
+use graph::ProgramGraph;
+
+/// Batch configuration.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// Inference options shared by every definition group (carries the
+    /// SAT step budget and the cancellation flag, if any).
+    pub opts: Options,
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Whether to read and write the persistent cache.
+    pub use_cache: bool,
+    /// Directory holding `cache.json`.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            opts: Options::default(),
+            jobs: 0,
+            use_cache: true,
+            cache_dir: cache::default_dir(),
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Options for `jobs` workers with the persistent cache disabled —
+    /// the right setup for tests and one-shot in-memory checking.
+    pub fn in_memory(jobs: usize) -> BatchOptions {
+        BatchOptions {
+            jobs,
+            use_cache: false,
+            ..BatchOptions::default()
+        }
+    }
+}
+
+/// One source file to check.
+#[derive(Clone, Debug)]
+pub struct FileInput {
+    /// Display path (diagnostics are reported against it).
+    pub path: String,
+    /// File contents.
+    pub source: String,
+}
+
+/// The verdict for one definition, pre-rendered for display.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Checked; `scheme` is the rendered closed scheme.
+    Ok {
+        /// Rendered scheme (no flags).
+        scheme: String,
+        /// SAT class of the definition's closed flow.
+        sat_class: SatClass,
+    },
+    /// Rejected by inference.
+    Error {
+        /// One-line message.
+        message: String,
+        /// Full diagnostic rendered against the file's source.
+        diagnostic: String,
+    },
+    /// The SAT budget ran out (or the run was cancelled) — not a
+    /// typing verdict.
+    Timeout {
+        /// One-line message.
+        message: String,
+    },
+    /// Not attempted because `after` (an earlier group member or a
+    /// failed dependency) stopped.
+    Skipped {
+        /// The definition whose failure shadowed this one.
+        after: String,
+    },
+}
+
+impl Verdict {
+    fn word(&self) -> &'static str {
+        match self {
+            Verdict::Ok { .. } => "ok",
+            Verdict::Error { .. } => "error",
+            Verdict::Timeout { .. } => "timeout",
+            Verdict::Skipped { .. } => "skipped",
+        }
+    }
+}
+
+/// The outcome for one definition.
+#[derive(Clone, Debug)]
+pub struct DefResult {
+    /// Definition name.
+    pub name: String,
+    /// What happened.
+    pub verdict: Verdict,
+}
+
+/// The outcome for one file.
+#[derive(Clone, Debug)]
+pub struct FileReport {
+    /// Display path, as given in the input.
+    pub path: String,
+    /// Per-definition results in source order, or the rendered parse
+    /// diagnostic.
+    pub defs: Result<Vec<DefResult>, String>,
+}
+
+impl FileReport {
+    /// Whether every definition checked.
+    pub fn ok(&self) -> bool {
+        match &self.defs {
+            Ok(defs) => defs.iter().all(|d| matches!(d.verdict, Verdict::Ok { .. })),
+            Err(_) => false,
+        }
+    }
+}
+
+/// Aggregate batch statistics. Everything here except the counts is
+/// scheduling-dependent and deliberately kept out of the text report.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Files submitted.
+    pub files: usize,
+    /// Definitions across parsed files.
+    pub defs: usize,
+    /// Definitions that checked.
+    pub ok: usize,
+    /// Definitions rejected.
+    pub errors: usize,
+    /// Definitions whose SAT budget ran out.
+    pub timeouts: usize,
+    /// Definitions shadowed by an earlier failure.
+    pub skipped: usize,
+    /// Files that failed to parse.
+    pub parse_errors: usize,
+    /// Definition groups replayed from the cache.
+    pub cache_hits: u64,
+    /// Definition groups inferred from scratch.
+    pub cache_misses: u64,
+    /// Jobs taken from another worker's queue.
+    pub steals: u64,
+    /// Deepest dependency chain (in groups) over all files.
+    pub waves: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+/// The result of checking a batch.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-file reports, sorted by path.
+    pub files: Vec<FileReport>,
+    /// Aggregate statistics.
+    pub stats: BatchStats,
+}
+
+impl BatchReport {
+    /// Whether every file parsed and every definition checked.
+    pub fn ok(&self) -> bool {
+        self.files.iter().all(FileReport::ok)
+    }
+
+    /// Renders the deterministic text report: one line per definition,
+    /// files sorted by path, definitions in source order, followed by a
+    /// summary of the verdict counts. Contains no timing, scheduling,
+    /// or cache information, so it is byte-identical across `--jobs`
+    /// settings and cache states.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for file in &self.files {
+            match &file.defs {
+                Err(diag) => {
+                    out.push_str(&format!("{}: parse error\n", file.path));
+                    for line in diag.lines() {
+                        out.push_str(&format!("  {line}\n"));
+                    }
+                }
+                Ok(defs) => {
+                    for d in defs {
+                        match &d.verdict {
+                            Verdict::Ok { scheme, .. } => {
+                                out.push_str(&format!("{}: {} : {}\n", file.path, d.name, scheme));
+                            }
+                            Verdict::Error { diagnostic, .. } => {
+                                out.push_str(&format!("{}: {}: error\n", file.path, d.name));
+                                for line in diagnostic.lines() {
+                                    out.push_str(&format!("  {line}\n"));
+                                }
+                            }
+                            Verdict::Timeout { message } => {
+                                out.push_str(&format!(
+                                    "{}: {}: timeout: {}\n",
+                                    file.path, d.name, message
+                                ));
+                            }
+                            Verdict::Skipped { after } => {
+                                out.push_str(&format!(
+                                    "{}: {}: skipped (after `{}`)\n",
+                                    file.path, d.name, after
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let s = &self.stats;
+        out.push_str(&format!(
+            "batch: {} files, {} definitions: {} ok, {} errors, {} timeouts, {} skipped{}\n",
+            s.files,
+            s.defs,
+            s.ok,
+            s.errors,
+            s.timeouts,
+            s.skipped,
+            if s.parse_errors > 0 {
+                format!(", {} parse errors", s.parse_errors)
+            } else {
+                String::new()
+            }
+        ));
+        out
+    }
+
+    /// The machine-readable report, including the scheduling-dependent
+    /// statistics the text report omits.
+    pub fn to_json(&self) -> Json {
+        let files = self
+            .files
+            .iter()
+            .map(|f| {
+                let mut members = vec![("path", Json::Str(f.path.clone()))];
+                match &f.defs {
+                    Err(diag) => members.push(("parse_error", Json::Str(diag.clone()))),
+                    Ok(defs) => members.push((
+                        "defs",
+                        Json::Arr(
+                            defs.iter()
+                                .map(|d| {
+                                    let mut m = vec![
+                                        ("name", Json::Str(d.name.clone())),
+                                        ("status", Json::Str(d.verdict.word().to_string())),
+                                    ];
+                                    match &d.verdict {
+                                        Verdict::Ok { scheme, sat_class } => {
+                                            m.push(("scheme", Json::Str(scheme.clone())));
+                                            m.push((
+                                                "class",
+                                                Json::Str(sat_class.name().to_string()),
+                                            ));
+                                        }
+                                        Verdict::Error { message, .. }
+                                        | Verdict::Timeout { message } => {
+                                            m.push(("message", Json::Str(message.clone())));
+                                        }
+                                        Verdict::Skipped { after } => {
+                                            m.push(("after", Json::Str(after.clone())));
+                                        }
+                                    }
+                                    Json::obj(m)
+                                })
+                                .collect(),
+                        ),
+                    )),
+                }
+                Json::obj(members)
+            })
+            .collect();
+        let s = &self.stats;
+        Json::obj(vec![
+            ("files", Json::Arr(files)),
+            (
+                "stats",
+                Json::obj(vec![
+                    ("files", Json::Int(s.files as i64)),
+                    ("defs", Json::Int(s.defs as i64)),
+                    ("ok", Json::Int(s.ok as i64)),
+                    ("errors", Json::Int(s.errors as i64)),
+                    ("timeouts", Json::Int(s.timeouts as i64)),
+                    ("skipped", Json::Int(s.skipped as i64)),
+                    ("parse_errors", Json::Int(s.parse_errors as i64)),
+                    ("cache_hits", Json::Int(s.cache_hits as i64)),
+                    ("cache_misses", Json::Int(s.cache_misses as i64)),
+                    ("steals", Json::Int(s.steals as i64)),
+                    ("waves", Json::Int(s.waves as i64)),
+                    ("workers", Json::Int(s.workers as i64)),
+                    ("wall_ms", Json::Float(s.wall.as_secs_f64() * 1e3)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A parsed file awaiting scheduling.
+struct ParsedFile {
+    path: String,
+    source: String,
+    program: Arc<Program>,
+    graph: ProgramGraph,
+    /// Index of this file's first job in the global job list.
+    job_base: usize,
+}
+
+/// One group's outcome, published for dependent jobs.
+struct GroupResult {
+    /// `(def index, verdict)` per member, in group order.
+    items: Vec<(usize, DefVerdict)>,
+}
+
+/// Checks a batch of in-memory sources. This is the whole engine; the
+/// CLI's `check` command is a thin wrapper that reads files into
+/// [`FileInput`]s and renders the result.
+pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> BatchReport {
+    let wall_start = Instant::now();
+    let trace_path = obs::init_from_env();
+    inputs.sort_by(|a, b| a.path.cmp(&b.path));
+    inputs.dedup_by(|a, b| a.path == b.path);
+
+    let threads = if options.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        options.jobs
+    };
+
+    // Parse every file and lay the groups out in one global job list.
+    let mut parsed: Vec<Result<ParsedFile, (String, String)>> = Vec::new();
+    let mut n_jobs = 0usize;
+    for input in inputs {
+        match parse_program(&input.source) {
+            Err(diag) => {
+                parsed.push(Err((input.path, diag.render(&input.source))));
+            }
+            Ok(program) => {
+                let graph = ProgramGraph::build(&program);
+                let job_base = n_jobs;
+                n_jobs += graph.groups.len();
+                parsed.push(Ok(ParsedFile {
+                    path: input.path,
+                    source: input.source,
+                    program: Arc::new(program),
+                    graph,
+                    job_base,
+                }));
+            }
+        }
+    }
+
+    let jobs: Vec<(usize, usize)> = parsed
+        .iter()
+        .enumerate()
+        .filter_map(|(f, p)| p.as_ref().ok().map(|pf| (f, pf)))
+        .flat_map(|(f, pf)| (0..pf.graph.groups.len()).map(move |g| (f, g)))
+        .collect();
+    let deps: Vec<Vec<usize>> = jobs
+        .iter()
+        .map(|&(f, g)| {
+            let pf = parsed[f].as_ref().expect("jobs index parsed files");
+            pf.graph.groups[g]
+                .dep_groups
+                .iter()
+                .map(|&d| pf.job_base + d)
+                .collect()
+        })
+        .collect();
+
+    let cache = Mutex::new(if options.use_cache {
+        Some(Cache::load(&options.cache_dir))
+    } else {
+        None
+    });
+    let fingerprint = options_fingerprint(&options.opts);
+    let results: Vec<OnceLock<GroupResult>> = (0..n_jobs).map(|_| OnceLock::new()).collect();
+
+    let (_, pool_stats) = pool::run_graph(n_jobs, &deps, threads, |j| {
+        let (f, g) = jobs[j];
+        let pf = parsed[f].as_ref().expect("jobs index parsed files");
+        let result = run_group(pf, g, &results, &cache, &fingerprint, options);
+        assert!(results[j].set(result).is_ok(), "job ran twice");
+    });
+
+    if let Some(cache) = cache.lock().unwrap().as_ref() {
+        if let Err(e) = cache.save(&options.cache_dir) {
+            eprintln!(
+                "rowpoly: warning: could not save cache to {}: {e}",
+                options.cache_dir.display()
+            );
+        }
+    }
+
+    let report = assemble(parsed, &results, &cache, pool_stats, threads, wall_start);
+    flush_batch_metrics(&report.stats);
+    if let Some(path) = trace_path {
+        let snap = obs::snapshot();
+        if let Err(e) = obs::chrome::write_chrome_trace(&snap, std::path::Path::new(path)) {
+            eprintln!(
+                "rowpoly: failed to write {TRACE}={path}: {e}",
+                TRACE = obs::TRACE_ENV
+            );
+        }
+    }
+    report
+}
+
+/// Runs (or replays) one definition group.
+fn run_group(
+    pf: &ParsedFile,
+    g: usize,
+    results: &[OnceLock<GroupResult>],
+    cache: &Mutex<Option<Cache>>,
+    fingerprint: &str,
+    options: &BatchOptions,
+) -> GroupResult {
+    let group = &pf.graph.groups[g];
+
+    // Collect dependency schemes from already-finished groups. The
+    // pool guarantees they completed; a failed dependency poisons this
+    // group into `Skipped`.
+    let mut dep_schemes = Vec::with_capacity(group.deps.len());
+    for (&name, &def_idx) in &group.deps {
+        let dep_job = pf.job_base + pf.graph.group_of[def_idx];
+        let dep_result = results[dep_job].get().expect("dependency not finished");
+        let verdict = dep_result
+            .items
+            .iter()
+            .find(|(i, _)| *i == def_idx)
+            .map(|(_, v)| v)
+            .expect("dependency definition missing from its group");
+        match verdict {
+            DefVerdict::Ok(report) => dep_schemes.push((name, report.scheme.clone())),
+            _ => {
+                let items = group
+                    .def_indices
+                    .iter()
+                    .map(|&i| (i, DefVerdict::Skipped { after: name }))
+                    .collect();
+                return GroupResult { items };
+            }
+        }
+    }
+
+    // Content-addressed lookup: options + pretty-printed group source +
+    // dependency schemes.
+    let group_source: String = group
+        .def_indices
+        .iter()
+        .map(|&i| pretty_def(&pf.program.defs[i]))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let key = Cache::key(fingerprint, &group_source, &dep_schemes);
+    if let Some(cache) = cache.lock().unwrap().as_mut() {
+        if let Some(cached) = cache.lookup(key) {
+            if let Some(items) = replay(group, &cached, pf) {
+                obs::counter_add("batch.cache.hits", 1);
+                return GroupResult { items };
+            }
+            // Undecodable or mismatched entry: fall through and re-run.
+        }
+        obs::counter_add("batch.cache.misses", 1);
+    }
+
+    let outcome = DefJob {
+        opts: options.opts.clone(),
+        program: pf.program.clone(),
+        def_indices: group.def_indices.clone(),
+        deps: dep_schemes,
+    }
+    .run();
+
+    if outcome.all_ok() {
+        if let Some(cache) = cache.lock().unwrap().as_mut() {
+            let defs = outcome
+                .items
+                .iter()
+                .map(|(_, v)| {
+                    let report = v.report().expect("all_ok");
+                    CachedDef {
+                        name: report.name,
+                        scheme: report.scheme.clone(),
+                        sat_class: report.sat_class,
+                    }
+                })
+                .collect();
+            cache.insert(key, defs);
+        }
+    }
+    GroupResult {
+        items: outcome.items,
+    }
+}
+
+/// Rebuilds a group's verdicts from a cache entry. Returns `None` when
+/// the entry does not line up with the program (hash collision or a
+/// stale decode) — the caller then re-infers.
+fn replay(
+    group: &graph::Group,
+    cached: &[CachedDef],
+    pf: &ParsedFile,
+) -> Option<Vec<(usize, DefVerdict)>> {
+    if cached.len() != group.def_indices.len() {
+        return None;
+    }
+    let mut items = Vec::with_capacity(cached.len());
+    for (&i, c) in group.def_indices.iter().zip(cached) {
+        if pf.program.defs[i].name != c.name {
+            return None;
+        }
+        items.push((
+            i,
+            DefVerdict::Ok(rowpoly_core::DefReport {
+                name: c.name,
+                scheme: c.scheme.clone(),
+                sat_class: c.sat_class,
+            }),
+        ));
+    }
+    Some(items)
+}
+
+/// Sews the per-group results back into per-file, source-ordered
+/// reports and tallies the statistics.
+fn assemble(
+    parsed: Vec<Result<ParsedFile, (String, String)>>,
+    results: &[OnceLock<GroupResult>],
+    cache: &Mutex<Option<Cache>>,
+    pool_stats: pool::PoolStats,
+    workers: usize,
+    wall_start: Instant,
+) -> BatchReport {
+    let mut stats = BatchStats {
+        files: parsed.len(),
+        steals: pool_stats.steals,
+        workers,
+        ..BatchStats::default()
+    };
+    if let Some(cache) = cache.lock().unwrap().as_ref() {
+        stats.cache_hits = cache.hits;
+        stats.cache_misses = cache.misses;
+    }
+
+    let mut files = Vec::with_capacity(parsed.len());
+    for entry in parsed {
+        match entry {
+            Err((path, diag)) => {
+                stats.parse_errors += 1;
+                files.push(FileReport {
+                    path,
+                    defs: Err(diag),
+                });
+            }
+            Ok(pf) => {
+                stats.waves = stats.waves.max(pf.graph.waves);
+                obs::hist_record("batch.file.waves", pf.graph.waves as u64);
+                let mut defs = Vec::with_capacity(pf.program.defs.len());
+                for (i, def) in pf.program.defs.iter().enumerate() {
+                    let job = pf.job_base + pf.graph.group_of[i];
+                    let result = results[job].get().expect("group never ran");
+                    let verdict = result
+                        .items
+                        .iter()
+                        .find(|(idx, _)| *idx == i)
+                        .map(|(_, v)| v)
+                        .expect("definition missing from its group");
+                    stats.defs += 1;
+                    let rendered = match verdict {
+                        DefVerdict::Ok(report) => {
+                            stats.ok += 1;
+                            Verdict::Ok {
+                                scheme: report.render(false),
+                                sat_class: report.sat_class,
+                            }
+                        }
+                        DefVerdict::Error(e) => {
+                            stats.errors += 1;
+                            Verdict::Error {
+                                message: e.message(),
+                                diagnostic: e.to_diag().render(&pf.source),
+                            }
+                        }
+                        DefVerdict::Timeout(e) => {
+                            stats.timeouts += 1;
+                            obs::counter_add("batch.timeouts", 1);
+                            Verdict::Timeout {
+                                message: e.message(),
+                            }
+                        }
+                        DefVerdict::Skipped { after } => {
+                            stats.skipped += 1;
+                            Verdict::Skipped {
+                                after: after.to_string(),
+                            }
+                        }
+                    };
+                    defs.push(DefResult {
+                        name: def.name.to_string(),
+                        verdict: rendered,
+                    });
+                }
+                files.push(FileReport {
+                    path: pf.path,
+                    defs: Ok(defs),
+                });
+            }
+        }
+    }
+    stats.wall = wall_start.elapsed();
+    BatchReport { files, stats }
+}
+
+/// A stable digest of every option that can change schemes or
+/// verdicts; part of the cache key. The cancellation flag is excluded
+/// (it changes *whether* a result is produced, never which).
+fn options_fingerprint(opts: &Options) -> String {
+    format!(
+        "compaction={:?};check={:?};letrec={};track={};envv={};unifier={:?};budget={:?}",
+        opts.compaction,
+        opts.check,
+        opts.max_letrec_iters,
+        opts.track_fields,
+        opts.env_versions,
+        opts.unifier,
+        opts.sat_budget,
+    )
+}
+
+fn flush_batch_metrics(stats: &BatchStats) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter_add("batch.files", stats.files as u64);
+    obs::counter_add("batch.defs", stats.defs as u64);
+    obs::counter_add("batch.steals", stats.steals);
+    obs::counter_max("batch.waves.max", stats.waves as u64);
+    obs::counter_max("batch.workers", stats.workers as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, source: &str) -> FileInput {
+        FileInput {
+            path: path.to_string(),
+            source: source.to_string(),
+        }
+    }
+
+    #[test]
+    fn matches_serial_session_on_a_simple_program() {
+        let src = "def inc x = x + 1\ndef use = inc 41\ndef mk r = @{foo = 1} r";
+        let report = check_sources(vec![file("a.rp", src)], &BatchOptions::in_memory(2));
+        assert!(report.ok());
+        let serial = rowpoly_core::Session::default()
+            .infer_source(src)
+            .expect("serial checks");
+        let Ok(defs) = &report.files[0].defs else {
+            panic!("parse failed")
+        };
+        for (batch, serial) in defs.iter().zip(&serial.defs) {
+            let Verdict::Ok { scheme, .. } = &batch.verdict else {
+                panic!("{} failed in batch", batch.name)
+            };
+            assert_eq!(scheme, &serial.render(false), "scheme of {}", batch.name);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_and_independent_defs_still_check() {
+        let src = "def bad = #foo {}\ndef fine = 1";
+        let report = check_sources(vec![file("a.rp", src)], &BatchOptions::in_memory(2));
+        assert!(!report.ok());
+        let Ok(defs) = &report.files[0].defs else {
+            panic!("parse failed")
+        };
+        assert!(matches!(defs[0].verdict, Verdict::Error { .. }));
+        assert!(
+            matches!(defs[1].verdict, Verdict::Ok { .. }),
+            "independent definition should still check"
+        );
+        assert_eq!(report.stats.errors, 1);
+        assert_eq!(report.stats.ok, 1);
+    }
+
+    #[test]
+    fn failed_dependency_skips_dependents() {
+        let src = "def bad = #foo {}\ndef use = bad";
+        let report = check_sources(vec![file("a.rp", src)], &BatchOptions::in_memory(2));
+        let Ok(defs) = &report.files[0].defs else {
+            panic!("parse failed")
+        };
+        assert!(matches!(defs[0].verdict, Verdict::Error { .. }));
+        assert!(matches!(&defs[1].verdict, Verdict::Skipped { after } if after == "bad"));
+    }
+
+    #[test]
+    fn parse_errors_do_not_stop_other_files() {
+        let report = check_sources(
+            vec![file("b.rp", "def broken = ("), file("a.rp", "def x = 1")],
+            &BatchOptions::in_memory(2),
+        );
+        assert!(!report.ok());
+        assert_eq!(report.stats.parse_errors, 1);
+        // Files come back sorted by path.
+        assert_eq!(report.files[0].path, "a.rp");
+        assert!(report.files[0].ok());
+        assert!(report.files[1].defs.is_err());
+    }
+
+    #[test]
+    fn tiny_sat_budget_times_out_only_the_pathological_def() {
+        // Symmetric concatenation generates general CNF — the only
+        // class that reaches CDCL, where the budget applies. Aggressive
+        // compaction would project the general structure away before
+        // the check, so the pathological case needs the per-definition
+        // compaction ablation (where β genuinely blows up).
+        let src = "def hard = {a = 1} @@ {b = 2}\ndef easy = 1";
+        let mut options = BatchOptions::in_memory(2);
+        options.opts.compaction = rowpoly_core::Compaction::PerDef;
+        options.opts.sat_budget = Some(0);
+        let report = check_sources(vec![file("a.rp", src)], &options);
+        let Ok(defs) = &report.files[0].defs else {
+            panic!("parse failed")
+        };
+        assert!(
+            matches!(defs[0].verdict, Verdict::Timeout { .. }),
+            "expected timeout, got {:?}",
+            defs[0].verdict
+        );
+        assert!(matches!(defs[1].verdict, Verdict::Ok { .. }));
+        assert_eq!(report.stats.timeouts, 1);
+        assert!(report.render().contains("timeout"));
+    }
+}

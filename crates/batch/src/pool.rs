@@ -1,0 +1,252 @@
+//! A std-only work-stealing pool for dependency graphs of jobs.
+//!
+//! The batch engine needs to run a DAG of inference jobs on N OS
+//! threads with nothing but the standard library. Each worker owns a
+//! deque; finishing a job pushes the dependents it unblocked onto the
+//! finishing worker's own deque (they share the job's inputs, so
+//! locality is worth keeping), and idle workers steal from the front of
+//! their peers' deques. A seed queue ("injector") spreads the initially
+//! ready jobs.
+//!
+//! Everything is `Mutex` + `Condvar`; there are no lock-free tricks.
+//! The queues hold `usize` job ids and jobs are coarse (whole
+//! definition groups), so contention on the queue locks is noise
+//! compared to inference itself.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// What the pool observed while draining a graph.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Jobs taken from another worker's deque.
+    pub steals: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// Runs `jobs.len()` jobs respecting `deps` (for each job, the indices
+/// it must wait for) on `threads` workers. `run(i)` executes job `i`;
+/// results are collected in job order. Panics if `deps` contains a
+/// cycle (the pool would deadlock, so it asserts instead).
+pub fn run_graph<R, F>(
+    n_jobs: usize,
+    deps: &[Vec<usize>],
+    threads: usize,
+    run: F,
+) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert_eq!(deps.len(), n_jobs);
+    let threads = threads.max(1).min(n_jobs.max(1));
+
+    // Static shape: dependents and initial indegrees.
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_jobs];
+    let mut indegree_init: Vec<usize> = vec![0; n_jobs];
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            assert!(d < n_jobs, "dependency {d} out of range");
+            dependents[d].push(i);
+            indegree_init[i] += 1;
+        }
+    }
+
+    let shared = Shared {
+        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        indegree: indegree_init.into_iter().map(AtomicUsize::new).collect(),
+        remaining: AtomicUsize::new(n_jobs),
+        steals: AtomicU64::new(0),
+        wake: Mutex::new(0u64),
+        bell: Condvar::new(),
+    };
+
+    // Seed: round-robin the initially ready jobs across workers.
+    {
+        let mut next = 0usize;
+        for i in 0..n_jobs {
+            if shared.indegree[i].load(Ordering::Relaxed) == 0 {
+                shared.queues[next % threads].lock().unwrap().push_back(i);
+                next += 1;
+            }
+        }
+        assert!(
+            n_jobs == 0 || next > 0,
+            "dependency graph has no ready job (cycle)"
+        );
+    }
+
+    let results: Vec<Mutex<Option<R>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let shared = &shared;
+            let results = &results;
+            let dependents = &dependents;
+            let run = &run;
+            scope.spawn(move || worker(w, shared, dependents, results, run));
+        }
+    });
+
+    let executed: Vec<R> = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("graph drained but a job never ran (cycle in deps)")
+        })
+        .collect();
+    let stats = PoolStats {
+        steals: shared.steals.load(Ordering::Relaxed),
+        workers: threads,
+    };
+    (executed, stats)
+}
+
+struct Shared {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    indegree: Vec<AtomicUsize>,
+    remaining: AtomicUsize,
+    steals: AtomicU64,
+    /// Version counter under the condvar lock: bumped on every push so
+    /// sleepers can detect work that arrived between their scan and
+    /// their wait.
+    wake: Mutex<u64>,
+    bell: Condvar,
+}
+
+impl Shared {
+    fn push(&self, worker: usize, job: usize) {
+        self.queues[worker].lock().unwrap().push_back(job);
+        let mut version = self.wake.lock().unwrap();
+        *version += 1;
+        drop(version);
+        self.bell.notify_all();
+    }
+}
+
+fn worker<R, F>(
+    me: usize,
+    shared: &Shared,
+    dependents: &[Vec<usize>],
+    results: &[Mutex<Option<R>>],
+    run: &F,
+) where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    loop {
+        if shared.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let seen = *shared.wake.lock().unwrap();
+        let job = pop_local(shared, me).or_else(|| steal(shared, me));
+        let Some(job) = job else {
+            if shared.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Sleep unless a push happened since we read `seen`.
+            let guard = shared.wake.lock().unwrap();
+            if *guard == seen {
+                // Timed wait: completion signals use notify_all too,
+                // but a bounded wait keeps shutdown robust.
+                let _ = shared
+                    .bell
+                    .wait_timeout(guard, std::time::Duration::from_millis(50))
+                    .unwrap();
+            }
+            continue;
+        };
+
+        let result = run(job);
+        *results[job].lock().unwrap() = Some(result);
+        for &d in &dependents[job] {
+            if shared.indegree[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                shared.push(me, d);
+            }
+        }
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last job: wake everyone so they observe remaining == 0.
+            let mut version = shared.wake.lock().unwrap();
+            *version += 1;
+            drop(version);
+            shared.bell.notify_all();
+        }
+    }
+}
+
+fn pop_local(shared: &Shared, me: usize) -> Option<usize> {
+    shared.queues[me].lock().unwrap().pop_back()
+}
+
+fn steal(shared: &Shared, me: usize) -> Option<usize> {
+    let n = shared.queues.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        if let Some(job) = shared.queues[victim].lock().unwrap().pop_front() {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_job_once_and_respects_dependencies() {
+        // Chain 0 -> 1 -> 2 plus independents; record finish order.
+        let deps = vec![vec![], vec![0], vec![1], vec![], vec![]];
+        let order = Mutex::new(Vec::new());
+        let (results, stats) = run_graph(5, &deps, 4, |i| {
+            order.lock().unwrap().push(i);
+            i * 10
+        });
+        assert_eq!(results, vec![0, 10, 20, 30, 40]);
+        assert_eq!(stats.workers, 4);
+        let order = order.into_inner().unwrap();
+        let pos = |x: usize| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(0) < pos(1) && pos(1) < pos(2));
+    }
+
+    #[test]
+    fn wide_graphs_use_parallel_workers() {
+        let n = 64;
+        let deps = vec![Vec::new(); n];
+        let live = AtomicU32::new(0);
+        let peak = AtomicU32::new(0);
+        let (_, stats) = run_graph(n, &deps, 4, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(stats.workers, 4);
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "no two jobs ever overlapped"
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let (results, _) = run_graph(0, &[], 8, |i: usize| i);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn single_thread_drains_the_whole_graph() {
+        let deps = vec![vec![], vec![], vec![0, 1]];
+        let order = Mutex::new(Vec::new());
+        let (_, stats) = run_graph(3, &deps, 1, |i| order.lock().unwrap().push(i));
+        let order = order.into_inner().unwrap();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[2], 2, "dependent ran before its inputs");
+        assert_eq!(stats.steals, 0);
+    }
+}

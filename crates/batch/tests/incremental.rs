@@ -1,0 +1,174 @@
+//! Cache-correctness and determinism tests for the batch engine.
+//!
+//! These exercise the persistent cache through the public
+//! `check_sources` entry point: warm runs must be byte-identical to
+//! cold ones, edits must invalidate exactly the definitions whose
+//! *consumed content* changed, and a damaged cache directory must be
+//! treated as empty, never as an error.
+
+use std::path::PathBuf;
+
+use rowpoly_batch::{cache, check_sources, BatchOptions, BatchReport, FileInput};
+
+/// A unique temp cache directory per test, cleaned up on drop.
+struct TempCache {
+    dir: PathBuf,
+}
+
+impl TempCache {
+    fn new(tag: &str) -> TempCache {
+        let dir =
+            std::env::temp_dir().join(format!("rowpoly-batch-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempCache { dir }
+    }
+
+    fn options(&self, jobs: usize) -> BatchOptions {
+        BatchOptions {
+            use_cache: true,
+            cache_dir: self.dir.clone(),
+            ..BatchOptions::in_memory(jobs)
+        }
+    }
+}
+
+impl Drop for TempCache {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn file(path: &str, source: &str) -> FileInput {
+    FileInput {
+        path: path.to_string(),
+        source: source.to_string(),
+    }
+}
+
+fn check(sources: &[(&str, &str)], options: &BatchOptions) -> BatchReport {
+    check_sources(sources.iter().map(|(p, s)| file(p, s)).collect(), options)
+}
+
+/// Every `.rp` file in the repository's `programs/` corpus.
+fn corpus() -> Vec<FileInput> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../programs");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&root)
+        .expect("programs/ exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rp"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus is empty");
+    files
+        .into_iter()
+        .map(|p| FileInput {
+            path: p.file_name().unwrap().to_string_lossy().into_owned(),
+            source: std::fs::read_to_string(&p).expect("readable program"),
+        })
+        .collect()
+}
+
+#[test]
+fn warm_run_is_byte_identical_and_hits() {
+    let tmp = TempCache::new("warm");
+    let sources = [
+        ("a.rp", "def inc x = x + 1\ndef two = inc 1"),
+        ("b.rp", "def tag r = @{t = 1} r\ndef use = #t (tag {})"),
+    ];
+    let cold = check(&sources, &tmp.options(2));
+    assert!(cold.ok());
+    assert_eq!(cold.stats.cache_hits, 0);
+
+    let warm = check(&sources, &tmp.options(2));
+    assert_eq!(warm.render(), cold.render());
+    assert!(warm.stats.cache_hits > 0, "second run never hit the cache");
+    assert_eq!(warm.stats.cache_misses, 0);
+}
+
+#[test]
+fn jobs_do_not_change_the_report() {
+    let sources = [
+        ("m.rp", "def f x = x + 1\ndef g = f 2\ndef bad = #nope {}"),
+        ("n.rp", "def h r = @{a = 1} r\ndef k = #a (h {})"),
+    ];
+    let serial = check(&sources, &BatchOptions::in_memory(1));
+    let parallel = check(&sources, &BatchOptions::in_memory(8));
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn editing_a_def_invalidates_only_its_consumers() {
+    let tmp = TempCache::new("edit");
+    // Three independent definitions plus one consumer of `base`.
+    let before = [(
+        "x.rp",
+        "def base = 1\ndef uses = base + 1\ndef alone = \"quiet\"",
+    )];
+    let cold = check(&before, &tmp.options(2));
+    assert!(cold.ok());
+
+    // Change `base`'s scheme (Int -> Str): `uses` must re-check (and
+    // now fail), while the untouched `alone` stays a cache hit.
+    let after = [(
+        "x.rp",
+        "def base = \"s\"\ndef uses = base + 1\ndef alone = \"quiet\"",
+    )];
+    let warm = check(&after, &tmp.options(2));
+    assert!(!warm.ok(), "uses `base + 1` should fail on a Str base");
+    assert!(
+        warm.stats.cache_hits >= 1,
+        "independent def was invalidated by an unrelated edit"
+    );
+    assert!(
+        warm.stats.cache_misses >= 2,
+        "edited def and consumer must miss"
+    );
+}
+
+#[test]
+fn unchanged_scheme_gives_dependents_early_cutoff() {
+    let tmp = TempCache::new("cutoff");
+    let before = [("y.rp", "def base = 1\ndef uses = base + 1")];
+    let cold = check(&before, &tmp.options(1));
+    assert!(cold.ok());
+
+    // `1 + 1` is a different body but the same closed scheme (Int), so
+    // the dependent's key — which hashes the *scheme*, not the source —
+    // is unchanged and it hits.
+    let after = [("y.rp", "def base = 1 + 1\ndef uses = base + 1")];
+    let warm = check(&after, &tmp.options(1));
+    assert!(warm.ok());
+    assert!(
+        warm.stats.cache_hits >= 1,
+        "dependent missed although its dependency's scheme is unchanged"
+    );
+}
+
+#[test]
+fn corrupted_cache_is_ignored_not_fatal() {
+    let tmp = TempCache::new("corrupt");
+    std::fs::create_dir_all(&tmp.dir).unwrap();
+    std::fs::write(tmp.dir.join(cache::CACHE_FILE), "{ not json ]").unwrap();
+
+    let sources = [("c.rp", "def v = 1")];
+    let report = check(&sources, &tmp.options(1));
+    assert!(report.ok());
+    assert_eq!(report.stats.cache_hits, 0);
+
+    // The damaged file was replaced by a valid one this run can hit.
+    let warm = check(&sources, &tmp.options(1));
+    assert!(warm.stats.cache_hits > 0);
+}
+
+#[test]
+fn no_cache_matches_cached_on_the_corpus() {
+    let tmp = TempCache::new("corpus");
+    let cached_opts = tmp.options(4);
+    let cold = check_sources(corpus(), &cached_opts);
+    let warm = check_sources(corpus(), &cached_opts);
+    let uncached = check_sources(corpus(), &BatchOptions::in_memory(4));
+
+    assert_eq!(cold.render(), uncached.render());
+    assert_eq!(warm.render(), uncached.render());
+    assert!(warm.stats.cache_hits > 0);
+}

@@ -1,0 +1,175 @@
+//! Benchmarks the batch checker: parallel speedup and cache effect.
+//!
+//! ```text
+//! batch [--quick] [--json] [--files N] [--lines N] [--jobs N] [--seed N]
+//! ```
+//!
+//! Generates `--files` decoder-specification files of roughly `--lines`
+//! lines each (the Fig. 9 generator, one seed per file) and checks the
+//! corpus four ways:
+//!
+//! * `serial`    — one worker, no cache: the baseline a plain loop over
+//!   `Session::infer_source` would cost;
+//! * `parallel`  — `--jobs` workers, no cache: work-stealing speedup;
+//! * `cold`      — `--jobs` workers, empty cache: parallel plus the
+//!   one-time cost of encoding and persisting every scheme;
+//! * `warm`      — `--jobs` workers, populated cache: the incremental
+//!   re-check cost when nothing changed.
+//!
+//! All four produce byte-identical reports (asserted). Absolute times
+//! depend on hardware; the shape to look for is `parallel` well under
+//! `serial`, and `warm` well under `cold`.
+
+use std::time::{Duration, Instant};
+
+use rowpoly_batch::{check_sources, BatchOptions, BatchReport, FileInput};
+use rowpoly_gen::generate_with_lines;
+use rowpoly_obs::json::Json;
+
+struct Run {
+    name: &'static str,
+    wall: Duration,
+    report: BatchReport,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let num = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let files = num("--files", if quick { 8 } else { 24 });
+    let lines = num("--lines", if quick { 150 } else { 600 });
+    let jobs = num("--jobs", 0);
+    let seed = num("--seed", 42) as u64;
+
+    let corpus: Vec<FileInput> = (0..files)
+        .map(|i| {
+            let (_, src) = generate_with_lines(lines, true, seed.wrapping_add(i as u64));
+            FileInput {
+                path: format!("gen/decoder_{i:03}.rp"),
+                source: src,
+            }
+        })
+        .collect();
+    let total_lines: usize = corpus.iter().map(|f| f.source.lines().count()).sum();
+
+    let cache_dir =
+        std::env::temp_dir().join(format!("rowpoly-bench-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cached = BatchOptions {
+        use_cache: true,
+        cache_dir: cache_dir.clone(),
+        ..BatchOptions::in_memory(jobs)
+    };
+
+    let measure = |name: &'static str, options: &BatchOptions| {
+        let start = Instant::now();
+        let report = check_sources(corpus.clone(), options);
+        let wall = start.elapsed();
+        assert!(report.ok(), "{name}: generated corpus failed to check");
+        Run { name, wall, report }
+    };
+
+    let runs = [
+        measure("serial", &BatchOptions::in_memory(1)),
+        measure("parallel", &BatchOptions::in_memory(jobs)),
+        measure("cold", &cached),
+        measure("warm", &cached),
+    ];
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    for r in &runs[1..] {
+        assert_eq!(
+            r.report.render(),
+            runs[0].report.render(),
+            "{} run rendered differently from serial",
+            r.name
+        );
+    }
+    let warm = &runs[3];
+    assert!(
+        warm.report.stats.cache_hits > 0,
+        "warm run never hit the cache"
+    );
+
+    if json {
+        println!(
+            "{}",
+            render_json(files, lines, total_lines, seed, quick, &runs).render()
+        );
+        return;
+    }
+
+    println!(
+        "Batch checking: {files} files, {total_lines} lines, {} defs",
+        runs[0].report.stats.defs
+    );
+    println!();
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "run", "wall", "workers", "steals", "hits", "misses"
+    );
+    for r in &runs {
+        let s = &r.report.stats;
+        println!(
+            "{:<10} {:>7.2}s {:>8} {:>8} {:>8} {:>8}",
+            r.name,
+            r.wall.as_secs_f64(),
+            s.workers,
+            s.steals,
+            s.cache_hits,
+            s.cache_misses
+        );
+    }
+    println!();
+    let speedup = runs[0].wall.as_secs_f64() / runs[1].wall.as_secs_f64().max(1e-9);
+    let cache_gain = runs[2].wall.as_secs_f64() / warm.wall.as_secs_f64().max(1e-9);
+    println!("parallel speedup {speedup:.2}x, warm-cache speedup over cold {cache_gain:.2}x");
+}
+
+fn run_json(r: &Run) -> Json {
+    let s = &r.report.stats;
+    Json::obj(vec![
+        ("wall_s", Json::Float(r.wall.as_secs_f64())),
+        ("workers", Json::Int(s.workers as i64)),
+        ("waves", Json::Int(s.waves as i64)),
+        ("steals", Json::Int(s.steals as i64)),
+        ("cache_hits", Json::Int(s.cache_hits as i64)),
+        ("cache_misses", Json::Int(s.cache_misses as i64)),
+    ])
+}
+
+fn render_json(
+    files: usize,
+    lines: usize,
+    total_lines: usize,
+    seed: u64,
+    quick: bool,
+    runs: &[Run; 4],
+) -> Json {
+    let serial = runs[0].wall.as_secs_f64();
+    let parallel = runs[1].wall.as_secs_f64();
+    let cold = runs[2].wall.as_secs_f64();
+    let warm = runs[3].wall.as_secs_f64();
+    Json::obj(vec![
+        ("bench", Json::Str("batch".to_string())),
+        ("seed", Json::Int(seed as i64)),
+        ("quick", Json::Bool(quick)),
+        ("files", Json::Int(files as i64)),
+        ("lines_per_file", Json::Int(lines as i64)),
+        ("total_lines", Json::Int(total_lines as i64)),
+        ("defs", Json::Int(runs[0].report.stats.defs as i64)),
+        ("serial", run_json(&runs[0])),
+        ("parallel", run_json(&runs[1])),
+        ("cold_cache", run_json(&runs[2])),
+        ("warm_cache", run_json(&runs[3])),
+        ("parallel_speedup", Json::Float(serial / parallel.max(1e-9))),
+        ("warm_over_cold", Json::Float(cold / warm.max(1e-9))),
+    ])
+}

@@ -229,6 +229,12 @@ impl Cnf {
         sat::solve(self)
     }
 
+    /// [`Self::solve`] under a [`sat::SatBudget`]; only general-CNF
+    /// formulas (CDCL) can stop early.
+    pub fn solve_budgeted(&self, budget: &sat::SatBudget) -> Result<SatResult, sat::BudgetStop> {
+        sat::solve_budgeted(self, budget)
+    }
+
     /// Whether `self ⊨ other` (every model of `self` satisfies `other`).
     ///
     /// Decided clause-by-clause: `self ⊨ c` iff `self ∧ ¬c` is

@@ -52,4 +52,4 @@ pub use classify::{classify, SatClass};
 pub use clause::Clause;
 pub use cnf::Cnf;
 pub use lit::{Flag, FlagAlloc, FlagSet, Lit};
-pub use sat::{solve, SatResult};
+pub use sat::{solve, solve_budgeted, BudgetStop, SatBudget, SatResult};

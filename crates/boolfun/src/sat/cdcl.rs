@@ -11,21 +11,37 @@ use std::collections::HashMap;
 
 use crate::cnf::Cnf;
 use crate::lit::Flag;
-use crate::sat::{Model, SatResult};
+use crate::sat::{BudgetStop, Model, SatBudget, SatResult};
 
 /// Decides satisfiability of an arbitrary CNF formula.
 pub fn solve(cnf: &Cnf) -> SatResult {
+    match solve_budgeted(cnf, &SatBudget::unlimited()) {
+        Ok(r) => r,
+        Err(stop) => unreachable!("unlimited budget stopped a solve: {stop}"),
+    }
+}
+
+/// [`solve`] under a [`SatBudget`]: the search loop charges one step
+/// per decision and per propagated literal, and stops with
+/// [`BudgetStop`] once the budget is exceeded or the cancellation flag
+/// is raised. Early stops report no sat/unsat verdict at all, so a
+/// caller can degrade to a "timeout" outcome without risking
+/// unsoundness.
+pub fn solve_budgeted(cnf: &Cnf, budget: &SatBudget) -> Result<SatResult, BudgetStop> {
     let dense = Dense::new(cnf);
     let mut solver = Solver::new(&dense);
-    let outcome = solver.run();
+    let outcome = solver.run(budget);
     if rowpoly_obs::enabled() {
         rowpoly_obs::counter_add("sat.cdcl.solves", 1);
         rowpoly_obs::counter_add("sat.cdcl.decisions", solver.search.decisions);
         rowpoly_obs::counter_add("sat.cdcl.propagations", solver.search.propagations);
         rowpoly_obs::counter_add("sat.cdcl.learned_clauses", solver.search.learned);
         rowpoly_obs::counter_add("sat.cdcl.restarts", solver.search.restarts);
+        if outcome.is_err() {
+            rowpoly_obs::counter_add("sat.cdcl.budget_stops", 1);
+        }
     }
-    match outcome {
+    match outcome? {
         Some(assign) => {
             let mut model = Model::new();
             for (i, &v) in assign.iter().enumerate() {
@@ -35,9 +51,9 @@ pub fn solve(cnf: &Cnf) -> SatResult {
             for f in cnf.flags() {
                 model.entry(f).or_insert(false);
             }
-            SatResult::Sat(model)
+            Ok(SatResult::Sat(model))
         }
-        None => SatResult::Unsat(Vec::new()),
+        None => Ok(SatResult::Unsat(Vec::new())),
     }
 }
 
@@ -393,19 +409,32 @@ impl Solver {
         best.map(|v| DLit::new(v, !self.phase[v]))
     }
 
-    fn run(&mut self) -> Option<Vec<Val>> {
+    /// Steps spent so far: decisions plus propagated literals.
+    fn steps(&self) -> u64 {
+        self.search.decisions + self.search.propagations
+    }
+
+    fn run(&mut self, budget: &SatBudget) -> Result<Option<Vec<Val>>, BudgetStop> {
         if self.unsat {
-            return None;
+            return Ok(None);
         }
         if self.propagate().is_some() {
-            return None;
+            return Ok(None);
         }
         let mut conflicts_since_restart = 0u64;
         let mut restart_count = 0u32;
         loop {
+            if let Some(max) = budget.max_steps {
+                if self.steps() > max {
+                    return Err(BudgetStop::Steps(self.steps()));
+                }
+            }
+            if budget.cancelled() {
+                return Err(BudgetStop::Cancelled);
+            }
             if let Some(conflict) = self.propagate() {
                 if self.trail_lim.is_empty() {
-                    return None;
+                    return Ok(None);
                 }
                 conflicts_since_restart += 1;
                 self.search.learned += 1;
@@ -416,7 +445,7 @@ impl Solver {
                 if clause.len() == 1 {
                     self.cancel_until(0);
                     if !self.enqueue(asserting, NO_REASON) {
-                        return None;
+                        return Ok(None);
                     }
                 } else {
                     let ci = self.clauses.len() as u32;
@@ -424,7 +453,7 @@ impl Solver {
                     self.watches[clause[1].negate().code()].push(ci);
                     self.clauses.push(clause);
                     if !self.enqueue(asserting, ci) {
-                        return None;
+                        return Ok(None);
                     }
                 }
             } else if conflicts_since_restart >= 64 * luby(restart_count) {
@@ -434,7 +463,7 @@ impl Solver {
                 self.cancel_until(0);
             } else {
                 match self.decide() {
-                    None => return Some(self.assign.clone()),
+                    None => return Ok(Some(self.assign.clone())),
                     Some(d) => {
                         self.search.decisions += 1;
                         self.trail_lim.push(self.trail.len());
@@ -578,6 +607,48 @@ mod tests {
                 assert!(check_model(&b, &m));
             }
         }
+    }
+
+    /// Pigeonhole PHP(3,2) needs real search, so a tiny step budget
+    /// stops it; an ample budget reaches the same verdict as the
+    /// unbudgeted solver.
+    #[test]
+    fn budget_stops_search_and_ample_budget_agrees() {
+        let v = |pigeon: u32, hole: u32| Flag(pigeon * 2 + hole);
+        let mut b = Cnf::top();
+        for pigeon in 0..3 {
+            b.add_lits(vec![Lit::pos(v(pigeon, 0)), Lit::pos(v(pigeon, 1))]);
+        }
+        for hole in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    b.add_lits(vec![Lit::neg(v(p1, hole)), Lit::neg(v(p2, hole))]);
+                }
+            }
+        }
+        match solve_budgeted(&b, &SatBudget::steps(0)) {
+            Err(BudgetStop::Steps(n)) => assert!(n > 0, "stop reports steps spent"),
+            other => panic!("budget 0 should stop the search, got {other:?}"),
+        }
+        match solve_budgeted(&b, &SatBudget::steps(1_000_000)) {
+            Ok(r) => assert!(!r.is_sat(), "PHP(3,2) is unsat"),
+            Err(stop) => panic!("ample budget stopped: {stop}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_flag_stops_search() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut b = Cnf::top();
+        b.add_lits(vec![p(0), p(1), p(2)]);
+        b.add_lits(vec![n(0), n(1)]);
+        let cancel = Arc::new(AtomicBool::new(true));
+        let budget = SatBudget {
+            max_steps: None,
+            cancel: Some(cancel),
+        };
+        assert_eq!(solve_budgeted(&b, &budget), Err(BudgetStop::Cancelled));
     }
 
     #[test]

@@ -18,10 +18,85 @@ pub mod horn;
 pub mod twosat;
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::classify::{classify, SatClass};
 use crate::cnf::Cnf;
 use crate::lit::{Flag, Lit};
+
+/// A cooperative resource budget for SAT search.
+///
+/// The linear solvers (2-SAT, Horn) terminate in time proportional to
+/// the formula, so only the CDCL engine — reached by symmetric
+/// concatenation and `when` conditionals — consults the budget: it
+/// counts *search steps* (decisions plus unit propagations) and stops
+/// early once `max_steps` is exceeded or `cancel` is raised. An early
+/// stop is reported as [`BudgetStop`], never as an unsound
+/// sat/unsat verdict.
+#[derive(Clone, Debug, Default)]
+pub struct SatBudget {
+    /// Maximum CDCL search steps per solve (`None` = unlimited).
+    pub max_steps: Option<u64>,
+    /// Cooperative cancellation: when another thread sets the flag the
+    /// solver stops at the next loop iteration.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl SatBudget {
+    /// A budget that never stops the solver.
+    pub fn unlimited() -> SatBudget {
+        SatBudget::default()
+    }
+
+    /// A pure step budget without a cancellation flag.
+    pub fn steps(max: u64) -> SatBudget {
+        SatBudget {
+            max_steps: Some(max),
+            cancel: None,
+        }
+    }
+
+    /// Whether this budget can ever stop a solve.
+    pub fn is_limited(&self) -> bool {
+        self.max_steps.is_some() || self.cancel.is_some()
+    }
+
+    /// Whether the cancellation flag has been raised.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Why a budgeted solve stopped before reaching a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetStop {
+    /// The step budget ran out after `steps` search steps.
+    Steps(u64),
+    /// The cancellation flag was raised.
+    Cancelled,
+}
+
+impl BudgetStop {
+    /// Steps spent before stopping (0 for a cancellation).
+    pub fn steps(self) -> u64 {
+        match self {
+            BudgetStop::Steps(n) => n,
+            BudgetStop::Cancelled => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for BudgetStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetStop::Steps(n) => write!(f, "SAT step budget exhausted after {n} steps"),
+            BudgetStop::Cancelled => write!(f, "SAT solve cancelled"),
+        }
+    }
+}
 
 /// A satisfying assignment over the flags mentioned by a formula.
 /// Unmentioned flags are unconstrained.
@@ -67,18 +142,27 @@ impl SatResult {
 /// Decides satisfiability of `cnf`, dispatching to the cheapest solver
 /// that is complete for its clause shape.
 pub fn solve(cnf: &Cnf) -> SatResult {
+    match solve_budgeted(cnf, &SatBudget::unlimited()) {
+        Ok(r) => r,
+        Err(stop) => unreachable!("unlimited budget stopped a solve: {stop}"),
+    }
+}
+
+/// [`solve`] under a [`SatBudget`]. Only the CDCL engine (general CNF)
+/// can stop early; the linear solvers always run to completion.
+pub fn solve_budgeted(cnf: &Cnf, budget: &SatBudget) -> Result<SatResult, BudgetStop> {
     let class = classify(cnf);
     if rowpoly_obs::enabled() {
         rowpoly_obs::counter_add(&format!("sat.dispatch.{}", class.name()), 1);
     }
-    match class {
+    Ok(match class {
         SatClass::Trivial => SatResult::Sat(Model::new()),
         SatClass::Unsat => SatResult::Unsat(Vec::new()),
         SatClass::TwoSat => twosat::solve(cnf),
         SatClass::Horn => horn::solve(cnf),
         SatClass::DualHorn => horn::solve_dual(cnf),
-        SatClass::General => cdcl::solve(cnf),
-    }
+        SatClass::General => cdcl::solve_budgeted(cnf, budget)?,
+    })
 }
 
 /// Solver selection for benchmarking individual engines.

@@ -76,6 +76,16 @@ pub struct Options {
     pub env_versions: bool,
     /// Unifier backend.
     pub unifier: Unifier,
+    /// CDCL step budget per SAT check (`None` = unlimited). With the
+    /// default per-definition [`CheckPolicy`] this bounds the search a
+    /// single definition may spend: only the general-CNF class — the
+    /// one symmetric concatenation `@@` and `when` generate — can blow
+    /// up, and exceeding the budget surfaces as
+    /// [`crate::TypeErrorKind::SatGaveUp`] instead of a hang.
+    pub sat_budget: Option<u64>,
+    /// Cooperative cancellation flag shared with a batch scheduler;
+    /// raising it stops the next CDCL solve.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for Options {
@@ -87,6 +97,8 @@ impl Default for Options {
             track_fields: true,
             env_versions: true,
             unifier: Unifier::Substitution,
+            sat_budget: None,
+            cancel: None,
         }
     }
 }

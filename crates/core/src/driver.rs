@@ -239,7 +239,7 @@ impl FlowInfer {
 /// Pushes a run's aggregate [`Stats`] into the global metrics registry
 /// (no-ops when collection is disabled). Counters accumulate across
 /// runs; maxima keep the largest run.
-fn flush_stats_metrics(stats: &Stats) {
+pub(crate) fn flush_stats_metrics(stats: &Stats) {
     if !obs::enabled() {
         return;
     }
@@ -277,7 +277,10 @@ fn bind_free_vars(engine: &mut FlowInfer, env: &mut TyEnv, program: &Program) {
 /// Only the primitives in `needed` are bound (and their flow clauses
 /// added), so programs that never touch lists keep β in the exact clause
 /// class their record operations generate.
-fn builtin_env(engine: &mut FlowInfer, needed: &std::collections::BTreeSet<Symbol>) -> TyEnv {
+pub(crate) fn builtin_env(
+    engine: &mut FlowInfer,
+    needed: &std::collections::BTreeSet<Symbol>,
+) -> TyEnv {
     let mut env = TyEnv::new();
     let flag = |e: &mut FlowInfer| e.fresh_flag_public();
 

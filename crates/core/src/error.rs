@@ -95,6 +95,14 @@ pub enum TypeErrorKind {
     /// A conditional-unification constraint set has no solution
     /// (SMT-with-unification-theory extension).
     NoConsistentInstantiation,
+    /// A budgeted SAT check gave up before reaching a verdict (the
+    /// step budget ran out, or the run was cancelled). Neither "well
+    /// typed" nor "ill typed" — batch drivers surface it as a
+    /// per-definition timeout.
+    SatGaveUp {
+        /// Search steps spent before stopping (0 for a cancellation).
+        steps: u64,
+    },
 }
 
 /// A located type error, optionally with explanation notes.
@@ -148,7 +156,19 @@ impl TypeError {
             TypeErrorKind::NoConsistentInstantiation => {
                 "no consistent typing for the conditional constraints".to_owned()
             }
+            TypeErrorKind::SatGaveUp { steps: 0 } => {
+                "satisfiability check was cancelled".to_owned()
+            }
+            TypeErrorKind::SatGaveUp { steps } => {
+                format!("satisfiability check gave up after {steps} steps (raise --sat-budget)")
+            }
         }
+    }
+
+    /// Whether this error is a budget/cancellation timeout rather than
+    /// a genuine typing verdict.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self.kind, TypeErrorKind::SatGaveUp { .. })
     }
 
     /// Converts to a renderable diagnostic.

@@ -392,10 +392,32 @@ impl FlowInfer {
         let class = self.note_class();
         let _span = obs::span(Phase::Sat.name());
         self.clock.enter(Phase::Sat);
-        let result = self.beta.solve();
+        let budget = rowpoly_boolfun::SatBudget {
+            max_steps: self.opts.sat_budget,
+            cancel: self.opts.cancel.clone(),
+        };
+        let result = if budget.is_limited() {
+            self.beta.solve_budgeted(&budget)
+        } else {
+            Ok(self.beta.solve())
+        };
         self.clock.exit();
         self.counts.sat_calls += 1;
         self.counts.note_sat_class(class);
+        let result = match result {
+            Ok(r) => r,
+            Err(stop) => {
+                if obs::enabled() {
+                    obs::counter_add("sat.budget_stops", 1);
+                }
+                return Err(TypeError::new(
+                    TypeErrorKind::SatGaveUp {
+                        steps: stop.steps(),
+                    },
+                    span,
+                ));
+            }
+        };
         match result {
             SatResult::Sat(_) => Ok(()),
             SatResult::Unsat(chain) => {

@@ -48,6 +48,8 @@ mod config;
 mod driver;
 mod error;
 mod flow;
+mod unit;
+
 pub mod hm;
 pub mod remy;
 pub mod smt;
@@ -56,3 +58,4 @@ pub use config::{CheckPolicy, Compaction, Options, Stats, Unifier, SAT_CLASSES, 
 pub use driver::{DefReport, ProgramReport, Session, SessionError};
 pub use error::{FlagOrigin, Provenance, TypeError, TypeErrorKind};
 pub use flow::{alpha_eq_skeleton, FlowInfer, Infer};
+pub use unit::{close_scheme, DefJob, DefVerdict, GroupOutcome};

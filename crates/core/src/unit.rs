@@ -1,0 +1,295 @@
+//! Per-definition inference as a reusable, `Send` unit of work.
+//!
+//! [`crate::Session`] threads one engine and one environment through a
+//! whole program, which is the paper's presentation but pins checking
+//! to a single thread. This module carves the same work into
+//! [`DefJob`]s — contiguous *groups* of top-level definitions that a
+//! scheduler (see the `rowpoly-batch` crate) can run concurrently:
+//!
+//! * Every job owns its engine, so flag/variable numbering — and hence
+//!   rendered schemes — depend only on the job's inputs, never on
+//!   scheduling order. This is what makes batch output deterministic.
+//! * A job receives the schemes of the definitions it depends on in
+//!   *closed* form ([`close_scheme`]): the stored flow is projected
+//!   onto the flags of the scheme's own type, so instantiation renames
+//!   every literal into the consuming engine and no clause can leak a
+//!   foreign engine's flag numbering.
+//! * Definitions that share an *ambient* free variable (one bound to a
+//!   fresh monomorphic type rather than to another definition) are
+//!   correlated through the environment in the serial driver, so they
+//!   must ride in the same group; the group runs its members serially
+//!   through one engine, exactly like [`crate::Session`].
+//!
+//! Closing a scheme is an interface projection: resolution-based flag
+//! elimination preserves satisfiability and every entailment over the
+//! remaining flags, so a dependent sees the full field-flow contract
+//! of the definition's type. What it drops are correlations between a
+//! definition's flow and engine-internal flags (list built-ins, other
+//! globals) — the price of checking definitions in isolation.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use rowpoly_boolfun::{classify, FlagSet};
+use rowpoly_lang::{Program, Symbol};
+use rowpoly_types::{import_scheme, Binding, Scheme, Ty};
+
+use crate::config::{CheckPolicy, Options, Stats};
+use crate::driver::{builtin_env, flush_stats_metrics, DefReport};
+use crate::error::TypeError;
+use crate::flow::FlowInfer;
+
+/// Closes a definition's published interface: projects the scheme's
+/// stored flow onto the flags of its own type. The result mentions no
+/// engine-internal flags, so it can be instantiated by any engine (and
+/// serialised to the batch cache).
+pub fn close_scheme(scheme: &mut Scheme) {
+    let keep: FlagSet = scheme.ty.flags().into_iter().collect();
+    scheme.flow.project_unless(|f| keep.contains(&f));
+    scheme.flow.normalize();
+}
+
+/// The outcome of one definition within a [`DefJob`] run.
+#[derive(Clone, Debug)]
+pub enum DefVerdict {
+    /// Inference succeeded. The report's scheme is *closed* (see
+    /// [`close_scheme`]), ready for dependent jobs.
+    Ok(DefReport),
+    /// Inference rejected the definition.
+    Error(TypeError),
+    /// A budgeted SAT check gave up — the step budget ran out or the
+    /// run was cancelled. Not a typing verdict.
+    Timeout(TypeError),
+    /// Not attempted: an earlier member of the same group stopped.
+    Skipped {
+        /// The group member whose failure shadowed this definition.
+        after: Symbol,
+    },
+}
+
+impl DefVerdict {
+    /// Whether the definition checked successfully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, DefVerdict::Ok(_))
+    }
+
+    /// The closed scheme, when the definition checked.
+    pub fn report(&self) -> Option<&DefReport> {
+        match self {
+            DefVerdict::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Result of running one [`DefJob`]: a verdict per group member (in
+/// group order, tagged with the member's index into `program.defs`)
+/// plus the engine's phase statistics.
+#[derive(Clone, Debug)]
+pub struct GroupOutcome {
+    /// `(index into program.defs, verdict)` per group member.
+    pub items: Vec<(usize, DefVerdict)>,
+    /// Phase statistics of the job's engine run.
+    pub stats: Stats,
+}
+
+impl GroupOutcome {
+    /// Whether every member checked successfully.
+    pub fn all_ok(&self) -> bool {
+        self.items.iter().all(|(_, v)| v.is_ok())
+    }
+}
+
+/// A `Send` unit of inference work: a contiguous group of top-level
+/// definitions checked in one fresh engine, given the closed schemes
+/// of the earlier definitions they reference.
+#[derive(Clone, Debug)]
+pub struct DefJob {
+    /// Inference options (shared across the batch; may carry a SAT
+    /// budget and a cancellation flag).
+    pub opts: Options,
+    /// The parsed program the group belongs to.
+    pub program: Arc<Program>,
+    /// Indices into `program.defs`, ascending and contiguous in
+    /// dependency order.
+    pub def_indices: Vec<usize>,
+    /// Closed schemes of out-of-group definitions the group references,
+    /// sorted by name so environment construction is deterministic.
+    pub deps: Vec<(Symbol, Scheme)>,
+}
+
+// A `DefJob` must stay shippable to worker threads; this fails to
+// compile if any field regresses to a thread-bound type.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<DefJob>();
+    assert_send::<GroupOutcome>();
+};
+
+impl DefJob {
+    /// Runs the group: builds the environment (built-ins, dependency
+    /// schemes, fresh monomorphic ambient variables), then infers each
+    /// member serially exactly like the whole-program driver. The first
+    /// error or timeout stops the group; later members are `Skipped`.
+    pub fn run(&self) -> GroupOutcome {
+        let _span = obs_span(self);
+        let mut engine = FlowInfer::new(self.opts.clone());
+        let group_names: BTreeSet<Symbol> = self
+            .def_indices
+            .iter()
+            .map(|&i| self.program.defs[i].name)
+            .collect();
+        let mut needed: BTreeSet<Symbol> = BTreeSet::new();
+        for &i in &self.def_indices {
+            needed.extend(self.program.defs[i].body.free_vars());
+        }
+        let mut env = builtin_env(&mut engine, &needed);
+        // Dependency schemes come from other engines; rename them into
+        // this engine's variable and flag spaces before binding (see
+        // `import_scheme` — foreign numbering would otherwise capture
+        // local constraints at instantiation).
+        for (name, scheme) in &self.deps {
+            let imported = import_scheme(scheme, &mut engine.vars, &mut engine.flags);
+            env.insert(*name, Binding::Poly(imported));
+        }
+        // Ambient free variables (neither built-in, dependency, nor a
+        // group member) get fresh monomorphic types, like the serial
+        // driver's treatment of open programs.
+        for &x in &needed {
+            if !env.contains(x) && !group_names.contains(&x) {
+                let v = engine.vars.fresh();
+                let f = engine.fresh_flag_public();
+                env.insert(x, Binding::Mono(Ty::Var(v, f)));
+            }
+        }
+        env.freeze();
+
+        let mut items: Vec<(usize, DefVerdict)> = Vec::with_capacity(self.def_indices.len());
+        let mut stopped_at: Option<Symbol> = None;
+        for &i in &self.def_indices {
+            let def = &self.program.defs[i];
+            if let Some(after) = stopped_at {
+                items.push((i, DefVerdict::Skipped { after }));
+                continue;
+            }
+            let step = (|| -> Result<DefReport, TypeError> {
+                let (mut scheme, env_after) =
+                    engine.infer_def(&env, def.name, &def.body, def.span)?;
+                if self.opts.check != CheckPolicy::Final {
+                    engine.check_sat(def.span, None)?;
+                }
+                engine.finish_def(&mut scheme, &env_after);
+                env = env_after;
+                // Group members see the scheme as the serial driver
+                // would; the published report carries the closed copy.
+                env.insert(def.name, Binding::Poly(scheme.clone()));
+                env.freeze();
+                close_scheme(&mut scheme);
+                let sat_class = classify(&scheme.flow);
+                Ok(DefReport {
+                    name: def.name,
+                    scheme,
+                    sat_class,
+                })
+            })();
+            match step {
+                Ok(report) => items.push((i, DefVerdict::Ok(report))),
+                Err(e) => {
+                    stopped_at = Some(def.name);
+                    let verdict = if e.is_timeout() {
+                        DefVerdict::Timeout(e)
+                    } else {
+                        DefVerdict::Error(e)
+                    };
+                    items.push((i, verdict));
+                }
+            }
+        }
+        let stats = engine.stats();
+        flush_stats_metrics(&stats);
+        GroupOutcome { items, stats }
+    }
+}
+
+fn obs_span(job: &DefJob) -> Option<rowpoly_obs::SpanGuard> {
+    if !rowpoly_obs::enabled() {
+        return None;
+    }
+    Some(rowpoly_obs::span_lazy(|| {
+        let names: Vec<String> = job
+            .def_indices
+            .iter()
+            .map(|&i| job.program.defs[i].name.to_string())
+            .collect();
+        format!("job {}", names.join("+"))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpoly_lang::parse_program;
+
+    fn job(program: &str, indices: Vec<usize>, deps: Vec<(Symbol, Scheme)>) -> DefJob {
+        DefJob {
+            opts: Options::default(),
+            program: Arc::new(parse_program(program).expect("parses")),
+            def_indices: indices,
+            deps,
+        }
+    }
+
+    #[test]
+    fn single_def_matches_session() {
+        let src = "def inc x = x + 1";
+        let out = job(src, vec![0], Vec::new()).run();
+        assert!(out.all_ok());
+        let report = out.items[0].1.report().expect("ok");
+        assert_eq!(report.render(false), "Int -> Int");
+    }
+
+    #[test]
+    fn dependency_scheme_feeds_the_group() {
+        let src = "def inc x = x + 1\ndef use = inc 41";
+        let program = Arc::new(parse_program(src).expect("parses"));
+        let first = DefJob {
+            opts: Options::default(),
+            program: program.clone(),
+            def_indices: vec![0],
+            deps: Vec::new(),
+        }
+        .run();
+        let inc = first.items[0].1.report().expect("ok").clone();
+        let second = DefJob {
+            opts: Options::default(),
+            program,
+            def_indices: vec![1],
+            deps: vec![(inc.name, inc.scheme.clone())],
+        }
+        .run();
+        let report = second.items[0].1.report().expect("ok");
+        assert_eq!(report.render(false), "Int");
+    }
+
+    #[test]
+    fn closed_scheme_mentions_only_its_own_flags() {
+        let src = "def mk = @{foo = 1} {}\ndef use = #foo mk";
+        let out = job(src, vec![0, 1], Vec::new()).run();
+        assert!(out.all_ok());
+        for (_, v) in &out.items {
+            let scheme = &v.report().expect("ok").scheme;
+            let own: FlagSet = scheme.ty.flags().into_iter().collect();
+            for f in scheme.flow.flags() {
+                assert!(own.contains(&f), "closed flow leaks flag {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_stops_after_first_error() {
+        let src = "def bad = #foo {}\ndef fine = 1";
+        let out = job(src, vec![0, 1], Vec::new()).run();
+        assert!(matches!(out.items[0].1, DefVerdict::Error(_)));
+        assert!(matches!(out.items[1].1, DefVerdict::Skipped { .. }));
+    }
+}

@@ -223,6 +223,63 @@ pub fn instantiate(
     instance
 }
 
+/// Renames a scheme produced by one engine into another engine's
+/// namespaces: every type variable (quantified or free) and every flag
+/// gets a fresh identity from the consuming allocators, with the stored
+/// flow renamed alongside. Without this, a foreign scheme's numbering
+/// collides with the consumer's — [`instantiate`] expands the working β
+/// over the scheme's ty flags, and a colliding flag would capture
+/// unrelated local constraints. Intended for *closed* schemes (flow over
+/// the ty's own flags); flow literals outside the ty are kept verbatim.
+pub fn import_scheme(scheme: &Scheme, vars: &mut VarAlloc, flags: &mut FlagAlloc) -> Scheme {
+    let mut var_map: Vec<(Var, Var)> = Vec::new();
+    for v in scheme
+        .ty
+        .vars()
+        .into_iter()
+        .chain(scheme.vars.iter().copied())
+    {
+        if !var_map.iter().any(|&(old, _)| old == v) {
+            var_map.push((v, vars.fresh()));
+        }
+    }
+    let subst = Subst::renaming(var_map.iter().copied());
+    let renamed = apply_renaming(&scheme.ty, &subst);
+
+    // Shared flags must stay shared: rename by identity, not position.
+    let mut flag_map: std::collections::HashMap<Flag, Flag> = std::collections::HashMap::new();
+    for f in scheme.ty.flags() {
+        flag_map.entry(f).or_insert_with(|| flags.fresh());
+    }
+    let ty = renamed.map_flags(&mut |f| if f == NO_FLAG { NO_FLAG } else { flag_map[&f] });
+
+    let mut flow = Cnf::top();
+    for c in scheme.flow.clauses() {
+        if let Some(copy) = c.rename(|l| match flag_map.get(&l.flag()) {
+            Some(&nf) => l.with_flag(nf),
+            None => l,
+        }) {
+            flow.add_clause(copy);
+        }
+    }
+    flow.normalize();
+
+    let quantified = scheme
+        .vars
+        .iter()
+        .map(|&v| {
+            var_map
+                .iter()
+                .find(|&&(old, _)| old == v)
+                .map(|&(_, new)| new)
+                .expect("every quantified variable was renamed")
+        })
+        .collect();
+    let mut out = Scheme::new(quantified, ty);
+    out.flow = flow;
+    out
+}
+
 /// Applies a pure-renaming substitution structurally (flags preserved;
 /// only variable names change). Unlike [`Subst::apply`] this keeps the
 /// flags of renamed occurrences, because instantiation refreshes them in a
@@ -470,6 +527,61 @@ mod tests {
         assert!(!beta.mentions(f2));
         assert_eq!(recs[0].field(x).expect("x kept").flag, fx);
         assert_eq!(recs[1].field(x).expect("x kept").flag, gx);
+    }
+
+    #[test]
+    fn import_scheme_renames_foreign_numbering() {
+        // Producing engine: ∀a . a.f0 → a.f1 with stored flow f1 → f0.
+        let mut pvars = VarAlloc::new();
+        let mut pflags = FlagAlloc::new();
+        let a = pvars.fresh();
+        let f0 = pflags.fresh();
+        let f1 = pflags.fresh();
+        let mut scheme = Scheme::new(vec![a], Ty::fun(Ty::var(a, f0), Ty::var(a, f1)));
+        scheme.flow.imply(Lit::pos(f1), Lit::pos(f0));
+
+        // Consuming engine that already allocated the same numbers and
+        // pinned a local fact on the colliding flag.
+        let mut cvars = VarAlloc::new();
+        let mut cflags = FlagAlloc::new();
+        let local_var = cvars.fresh();
+        let local_f0 = cflags.fresh();
+        let local_f1 = cflags.fresh();
+        let mut beta = Cnf::top();
+        beta.assert_lit(Lit::neg(local_f0));
+
+        let imported = import_scheme(&scheme, &mut cvars, &mut cflags);
+        for f in imported.ty.flags() {
+            assert!(f != local_f0 && f != local_f1, "imported flag collides");
+        }
+        assert!(
+            imported.vars.iter().all(|&v| v != local_var),
+            "imported variable collides"
+        );
+
+        // Instantiating the import copies its flow onto fresh flags
+        // without entangling the consumer's pinned local fact.
+        let inst = instantiate(&imported, &mut cvars, &mut cflags, &mut beta);
+        let (g0, g1) = match &inst {
+            Ty::Fun(i, o) => match (i.as_ref(), o.as_ref()) {
+                (Ty::Var(_, g0), Ty::Var(_, g1)) => (*g0, *g1),
+                other => panic!("expected vars, got {other:?}"),
+            },
+            other => panic!("expected function, got {other:?}"),
+        };
+        let mut q = beta.clone();
+        q.assert_lit(Lit::pos(g1));
+        q.assert_lit(Lit::neg(g0));
+        assert!(
+            !q.is_sat(),
+            "imported flow g1→g0 missing after instantiation"
+        );
+        let mut q = beta.clone();
+        q.assert_lit(Lit::pos(g1));
+        assert!(
+            q.is_sat(),
+            "local ¬f0 wrongly captured the imported instance"
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod ty;
 mod unify;
 mod unify_uf;
 
-pub use applys::{apply_subst_flow, compact_flow, instantiate, ReplacedFlags};
+pub use applys::{apply_subst_flow, compact_flow, import_scheme, instantiate, ReplacedFlags};
 pub use env::{generalize, Binding, Scheme, TyEnv};
 pub use flags::{flag_lits, row_suffix_lits};
 pub use pretty::{render_scheme, render_scheme_with_flow, render_ty};

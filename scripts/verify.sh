@@ -23,4 +23,21 @@ case "$out" in
   *) echo "    fig9 --json did not emit a JSON object" >&2; exit 1 ;;
 esac
 
+echo "==> batch smoke (parallel check + warm cache)"
+# programs/bad_select.rp is deliberately ill-typed, so `check programs/`
+# exits 1 by design — assert on the JSON report, not the exit code.
+batch_cache=$(mktemp -d)
+trap 'rm -rf "$batch_cache"' EXIT
+run1=$(cargo run --release --bin rowpoly -- check programs/ --jobs 2 --cache-dir "$batch_cache" --json) || true
+run2=$(cargo run --release --bin rowpoly -- check programs/ --jobs 2 --cache-dir "$batch_cache" --json) || true
+RUN1="$run1" RUN2="$run2" python3 - <<'PY'
+import json, os
+one = json.loads(os.environ['RUN1'])
+two = json.loads(os.environ['RUN2'])
+assert one['stats']['defs'] > 0, one
+assert one['stats']['errors'] == 1, one          # bad_select.rp only
+assert two['stats']['cache_hits'] > 0, two
+print(f"    {one['stats']['defs']} defs, warm run hit {two['stats']['cache_hits']} cached groups")
+PY
+
 echo "==> all checks passed"

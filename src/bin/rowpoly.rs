@@ -1,26 +1,180 @@
 //! Command-line front end: check, type and run record-calculus programs.
 //!
 //! ```text
-//! rowpoly check <file> [--no-fields] [--flags]   type-check a program
-//! rowpoly types <file> [--flags]                 print every definition's scheme
-//! rowpoly run   <file> [--fuel N]                type-check then evaluate `main`
-//! rowpoly compare <file>                         flow vs Rémy vs flow-free verdicts
+//! rowpoly check <dir|files...> [options]   batch type-check programs
+//!     --jobs N          worker threads (default: all cores)
+//!     --no-cache        disable the persistent inference cache
+//!     --cache-dir D     cache location (default .rowpoly-cache)
+//!     --sat-budget N    CDCL step budget per SAT check (timeout verdicts)
+//!     --compaction M    stale-flag projection: aggressive (default) | perdef
+//!     --no-fields       disable field tracking (Fig. 2 baseline)
+//!     --json            machine-readable report (includes cache/steal stats)
+//! rowpoly types <file> [--flags]           print every definition's scheme
+//! rowpoly run   <file> [--fuel N]          type-check then evaluate `main`
+//! rowpoly compare <file>                   flow vs Rémy vs flow-free verdicts
 //! ```
+//!
+//! `check` accepts any mix of `.rp` files and directories (a directory
+//! means its `*.rp` files, sorted); the exit code is non-zero iff any
+//! definition fails. Its text report is deterministic — byte-identical
+//! across `--jobs` settings and cache states.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rowpoly::core::{hm, remy::RemyInfer, Options, Session};
+use rowpoly::batch::{check_sources, BatchOptions, FileInput};
+use rowpoly::core::{hm, remy::RemyInfer, Compaction, Options, Session};
 use rowpoly::eval::eval_program;
 use rowpoly::lang::parse_program;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, file) = match (args.first(), args.get(1)) {
-        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
-        _ => {
-            eprintln!("usage: rowpoly <check|types|run|compare> <file> [options]");
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: rowpoly <check|types|run|compare> <paths...> [options]");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "types" | "run" | "compare" => cmd_single_file(cmd, &args[1..]),
+        other => {
+            eprintln!("unknown command `{other}`; use check, types, run or compare");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses `--opt value` from an argument list.
+fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Expands a path argument: a directory contributes its `*.rp` files in
+/// sorted order, anything else is taken as a file.
+fn expand(path: &str, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let p = Path::new(path);
+    if p.is_dir() {
+        let mut found = Vec::new();
+        let entries =
+            std::fs::read_dir(p).map_err(|e| format!("cannot read directory {path}: {e}"))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read directory {path}: {e}"))?;
+            let file = entry.path();
+            if file.extension().is_some_and(|ext| ext == "rp") {
+                found.push(file);
+            }
+        }
+        found.sort();
+        out.extend(found);
+        Ok(())
+    } else {
+        out.push(p.to_path_buf());
+        Ok(())
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    let value_opts = ["--jobs", "--cache-dir", "--sat-budget", "--compaction"];
+    while i < args.len() {
+        let a = &args[i];
+        if value_opts.contains(&a.as_str()) {
+            i += 2;
+            continue;
+        }
+        if a.starts_with("--") {
+            i += 1;
+            continue;
+        }
+        if let Err(e) = expand(a, &mut paths) {
+            eprintln!("error: {e}");
             return ExitCode::from(2);
         }
+        i += 1;
+    }
+    if paths.is_empty() {
+        eprintln!("usage: rowpoly check <dir|files...> [--jobs N] [--no-cache] [--json]");
+        return ExitCode::from(2);
+    }
+
+    let jobs: usize = match opt_value(args, "--jobs") {
+        None => 0,
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: --jobs expects a number, got `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let sat_budget: Option<u64> = match opt_value(args, "--sat-budget") {
+        None => None,
+        Some(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: --sat-budget expects a number, got `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let compaction = match opt_value(args, "--compaction") {
+        None | Some("aggressive") => Compaction::Aggressive,
+        Some("perdef") => Compaction::PerDef,
+        Some(other) => {
+            eprintln!("error: --compaction expects `aggressive` or `perdef`, got `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+
+    let options = BatchOptions {
+        opts: Options {
+            track_fields: !args.iter().any(|a| a == "--no-fields"),
+            sat_budget,
+            compaction,
+            ..Options::default()
+        },
+        jobs,
+        use_cache: !args.iter().any(|a| a == "--no-cache"),
+        cache_dir: opt_value(args, "--cache-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(rowpoly::batch::cache::default_dir),
+    };
+
+    let mut inputs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let display = path.display().to_string();
+        match std::fs::read_to_string(&path) {
+            Ok(source) => inputs.push(FileInput {
+                path: display,
+                source,
+            }),
+            Err(e) => {
+                eprintln!("error: cannot read {display}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = check_sources(inputs, &options);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json().render());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_single_file(cmd: &str, args: &[String]) -> ExitCode {
+    let Some(file) = args.first() else {
+        eprintln!("usage: rowpoly {cmd} <file> [options]");
+        return ExitCode::from(2);
     };
     let source = match std::fs::read_to_string(file) {
         Ok(s) => s,
@@ -31,10 +185,7 @@ fn main() -> ExitCode {
     };
     let show_flags = args.iter().any(|a| a == "--flags");
     let no_fields = args.iter().any(|a| a == "--no-fields");
-    let fuel: u64 = args
-        .iter()
-        .position(|a| a == "--fuel")
-        .and_then(|i| args.get(i + 1))
+    let fuel: u64 = opt_value(args, "--fuel")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000_000);
 
@@ -44,20 +195,6 @@ fn main() -> ExitCode {
     });
 
     match cmd {
-        "check" => match session.infer_source(&source) {
-            Ok(report) => {
-                println!(
-                    "ok: {} definitions, SAT class {:?}",
-                    report.defs.len(),
-                    report.sat_class
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprint!("{}", e.render(&source));
-                ExitCode::FAILURE
-            }
-        },
         "types" => match session.infer_source(&source) {
             Ok(report) => {
                 for d in &report.defs {
@@ -113,9 +250,6 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        other => {
-            eprintln!("unknown command `{other}`; use check, types, run or compare");
-            ExitCode::from(2)
-        }
+        _ => unreachable!("dispatched in main"),
     }
 }

@@ -17,6 +17,9 @@
 //! * [`core`] — the inference engines: the flow inference (Fig. 3 +
 //!   Section 5 extensions), the flow-free Fig. 2 configuration, the
 //!   Rémy `Pre`/`Abs` baseline, and the SMT(unification) extension;
+//! * [`batch`] — parallel multi-file checking on a work-stealing pool
+//!   with a persistent content-addressed inference cache
+//!   (see `docs/BATCH.md`);
 //! * [`eval`] — the concrete semantics (interpreter + path exploration);
 //! * [`gen`] — decoder-spec workload generators for the evaluation;
 //! * [`obs`] — zero-dependency tracing/metrics with Chrome-trace export
@@ -38,6 +41,7 @@
 //! # Ok::<(), rowpoly::core::SessionError>(())
 //! ```
 
+pub use rowpoly_batch as batch;
 pub use rowpoly_boolfun as boolfun;
 pub use rowpoly_core as core;
 pub use rowpoly_eval as eval;
