@@ -157,6 +157,14 @@ fn print_row(m: &Measurement, w: &rowpoly_gen::Workload, phases: bool, classes: 
             m.rep_with.sat_class,
             s1.peak_clauses
         );
+        println!(
+            "    projection: {} eliminated ({} fast path, {} fallback), {} resolvents, {} subsumed",
+            s1.project_resolutions,
+            s1.project_fastpath,
+            s1.project_fallback,
+            s1.project_resolvents,
+            s1.project_subsumed
+        );
     }
     if classes {
         let mut counts = std::collections::BTreeMap::new();
@@ -197,6 +205,13 @@ fn run_json(wall: Duration, report: &ProgramReport) -> Json {
             "project_resolutions",
             Json::Int(stats.project_resolutions as i64),
         ),
+        ("project_fastpath", Json::Int(stats.project_fastpath as i64)),
+        ("project_fallback", Json::Int(stats.project_fallback as i64)),
+        (
+            "project_resolvents",
+            Json::Int(stats.project_resolvents as i64),
+        ),
+        ("project_subsumed", Json::Int(stats.project_subsumed as i64)),
         ("env_meet_hits", Json::Int(stats.env_meet_hits as i64)),
         ("env_meet_misses", Json::Int(stats.env_meet_misses as i64)),
         ("sat_class", Json::Str(report.sat_class.name().to_string())),

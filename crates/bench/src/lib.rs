@@ -14,7 +14,8 @@ use std::time::{Duration, Instant};
 pub const DEFAULT_SAMPLES: usize = 10;
 
 /// Runs `f` through a warmup pass plus [`DEFAULT_SAMPLES`] timed
-/// samples and prints one summary line. Returns the median sample so
+/// samples and prints one summary line to stderr (keeping stdout clean
+/// for `--json` artifacts). Returns the median sample so
 /// callers (and tests) can assert on it. The closure's result is
 /// returned through `std::hint::black_box`, preventing the optimiser
 /// from deleting the measured work.
@@ -34,7 +35,7 @@ pub fn bench_with_samples<R>(name: &str, samples: usize, f: &mut impl FnMut() ->
     }
     times.sort_unstable();
     let median = times[times.len() / 2];
-    println!(
+    eprintln!(
         "{name:<44} median {:>12?}  min {:>12?}  max {:>12?}  ({samples} samples)",
         median,
         times[0],

@@ -16,7 +16,10 @@
 //!   type it is substituted with (with contra-variant polarity).
 //! * [`Cnf::project_out`] — existential quantifier elimination by
 //!   resolution, used to drop *stale* flags (Section 6 of the paper shows
-//!   this is required for the correctness of expansion).
+//!   this is required for the correctness of expansion). Runs on an
+//!   occurrence-indexed clause database with a binary-implication fast
+//!   path and inline, signature-filtered subsumption; each call reports
+//!   its work as a [`ProjectStats`].
 //! * [`sat`] — three from-scratch satisfiability solvers matching the
 //!   complexity classes the paper identifies: a linear-time 2-SAT solver
 //!   (select/update generate only two-variable Horn clauses), a linear-time
@@ -43,6 +46,7 @@
 mod classify;
 mod clause;
 mod cnf;
+mod db;
 mod expand;
 mod lit;
 mod project;
@@ -51,5 +55,6 @@ pub mod sat;
 pub use classify::{classify, SatClass};
 pub use clause::Clause;
 pub use cnf::Cnf;
+pub use db::ProjectStats;
 pub use lit::{Flag, FlagAlloc, FlagSet, Lit};
 pub use sat::{solve, solve_budgeted, BudgetStop, SatBudget, SatResult};

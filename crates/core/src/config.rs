@@ -1,6 +1,6 @@
 //! Inference configuration and phase statistics.
 
-use rowpoly_boolfun::SatClass;
+use rowpoly_boolfun::{ProjectStats, SatClass};
 use std::time::Duration;
 
 /// The number of [`SatClass`] variants (for per-class count arrays).
@@ -134,6 +134,16 @@ pub struct Stats {
     pub peak_clauses: usize,
     /// Number of flags eliminated by resolution (stale-flag projection).
     pub project_resolutions: usize,
+    /// Flag eliminations that took the binary-implication fast path
+    /// (all clauses touching the pivot were binary or unit).
+    pub project_fastpath: usize,
+    /// Flag eliminations that fell back to general Davis–Putnam
+    /// resolution (wide clauses from symmetric concat / `when`).
+    pub project_fallback: usize,
+    /// Non-tautological resolvents generated by projection.
+    pub project_resolvents: usize,
+    /// Clauses discarded by subsumption during projection.
+    pub project_subsumed: usize,
     /// Environment meets short-circuited by matching version tags
     /// (the Section 6 optimisation taking effect).
     pub env_meet_hits: usize,
@@ -155,6 +165,15 @@ impl Stats {
         self.sat_checks_by_class[class as usize]
     }
 
+    /// Folds one projection call's counters into the totals.
+    pub fn note_projection(&mut self, p: &ProjectStats) {
+        self.project_resolutions += p.eliminated;
+        self.project_fastpath += p.fastpath;
+        self.project_fallback += p.fallback;
+        self.project_resolvents += p.resolvents;
+        self.project_subsumed += p.subsumed;
+    }
+
     /// Adds another stats record into this one.
     pub fn merge(&mut self, other: &Stats) {
         self.unify += other.unify;
@@ -167,6 +186,10 @@ impl Stats {
         self.sat_calls += other.sat_calls;
         self.peak_clauses = self.peak_clauses.max(other.peak_clauses);
         self.project_resolutions += other.project_resolutions;
+        self.project_fastpath += other.project_fastpath;
+        self.project_fallback += other.project_fallback;
+        self.project_resolvents += other.project_resolvents;
+        self.project_subsumed += other.project_subsumed;
         self.env_meet_hits += other.env_meet_hits;
         self.env_meet_misses += other.env_meet_misses;
         for (mine, theirs) in self

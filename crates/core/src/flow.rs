@@ -24,7 +24,7 @@
 //! the clausal form of implication from the guard; this is what makes
 //! `when` require a general SAT solver.
 
-use rowpoly_boolfun::{Cnf, Flag, FlagAlloc, FlagSet, Lit, SatResult};
+use rowpoly_boolfun::{Cnf, Flag, FlagAlloc, FlagSet, Lit, ProjectStats, SatResult};
 use rowpoly_lang::{BinOp, Expr, ExprKind, FieldName, Span, Symbol};
 use rowpoly_obs as obs;
 use rowpoly_obs::{Phase, PhaseClock};
@@ -118,6 +118,12 @@ impl FlowInfer {
         self.opts.track_fields
     }
 
+    /// Folds projection work done outside the engine (e.g. closing a
+    /// scheme's published flow) into this engine's counters.
+    pub fn note_projection(&mut self, outcome: &ProjectStats) {
+        self.counts.note_projection(outcome);
+    }
+
     /// A fresh flag, or `NO_FLAG` when flows are disabled.
     fn flag(&mut self) -> Flag {
         if self.opts.track_fields {
@@ -168,15 +174,28 @@ impl FlowInfer {
         self.clock.enter(Phase::ApplyS);
         if self.opts.track_fields {
             let replaced = apply_subst_flow(subst, kappa, env, &mut self.beta, &mut self.flags);
-            if !replaced.kappa.is_empty() {
-                // Projecting the κ-exclusive flags is resolution work,
-                // not substitution application: charge it to the
-                // projection bucket even though it runs inside `applyS`.
+            if self.opts.compaction == Compaction::Aggressive {
+                // Both kinds of replaced occurrence flags join the
+                // pending pool and are projected in one batch by
+                // [`Self::compact`] at the end of the rule. The
+                // κ-exclusive flags *could* be projected right here (no
+                // sibling shares them), but each immediate call scans
+                // all of β to find a literal handful of clauses;
+                // batching them with the rule's other deaths costs one
+                // scan instead of several.
+                self.pending_dead.extend(replaced.kappa);
+            } else if !replaced.kappa.is_empty() {
+                // Without per-rule compaction there is no later batch to
+                // join, so the κ-exclusive flags are projected at once —
+                // resolution work, charged to the projection bucket even
+                // though it runs inside `applyS`.
                 let _span = obs::span(Phase::Project.name());
                 self.clock.enter(Phase::Project);
-                let dead: FlagSet = replaced.kappa.iter().copied().collect();
-                self.counts.project_resolutions += dead.len();
-                self.beta.project_out(&dead);
+                let mut dead = replaced.kappa;
+                dead.sort_unstable();
+                dead.dedup();
+                let outcome = self.beta.project_out_sorted(&dead);
+                self.counts.note_projection(&outcome);
                 self.clock.exit();
             }
             self.pending_dead.extend(replaced.env);
@@ -265,8 +284,16 @@ impl FlowInfer {
     /// implications (e.g. tying a field's existence to its record's tail).
     fn with_forked_beta<R>(&mut self, base: Cnf, body: impl FnOnce(&mut Self) -> R) -> (R, Cnf) {
         let saved = std::mem::replace(&mut self.beta, base);
+        // Snapshot the pending-dead pool: a flag projected from the fork's
+        // β during `body` may still occur in the saved β (or in a sibling
+        // fork that merges later), so it must be pending again once the
+        // forks are conjoined. Flags both allocated *and* projected inside
+        // `body` are genuinely gone — they postdate the saved β — and the
+        // union below correctly leaves them out.
+        let pool = self.pending_dead.clone();
         let r = body(self);
         let fork = std::mem::replace(&mut self.beta, saved);
+        self.pending_dead.extend(pool);
         (r, fork)
     }
 
@@ -301,26 +328,37 @@ impl FlowInfer {
         self.note_class();
         let _span = obs::span(Phase::Project.name());
         self.clock.enter(Phase::Project);
-        let mut keep: std::collections::HashSet<Flag> = ty.flags().into_iter().collect();
+        // The keep set lives for one membership sweep over the (small)
+        // pending pool: a sorted vector beats hashing every flag in.
+        let mut keep: Vec<Flag> = ty.flags();
         keep.extend(env.local_flags());
         for roots in &self.held {
             keep.extend(roots.iter().copied());
         }
+        keep.sort_unstable();
+        keep.dedup();
         let global = env.global_flags();
-        // Only flags β actually mentions need projecting. Entries stay in
-        // the pending pool until the per-definition cleanup: a sibling β
-        // fork may still hold clauses over a flag that was already
-        // projected from this fork, and the merge would re-introduce them.
-        let mentioned = self.beta.flags();
-        let dead: FlagSet = self
+        // Unmentioned flags cost the engine nothing (they never enter the
+        // clause database), so there is no need to materialise β's flag
+        // set here.
+        // Ascending because the pool iterates in order, so the slice is
+        // ready for `project_out_sorted` as-is.
+        let dead: Vec<Flag> = self
             .pending_dead
             .iter()
             .copied()
-            .filter(|f| mentioned.contains(f) && !keep.contains(f) && !global.contains(f))
+            .filter(|f| keep.binary_search(f).is_err() && !global.contains(f))
             .collect();
         if !dead.is_empty() {
-            self.counts.project_resolutions += dead.len();
-            self.beta.project_out(&dead);
+            let outcome = self.beta.project_out_sorted(&dead);
+            self.counts.note_projection(&outcome);
+            // Projected flags leave the pool: this fork's β no longer
+            // mentions them, so re-filtering them at every subsequent
+            // rule is pure overhead. [`Self::with_forked_beta`] restores
+            // them where a sibling β could still hold their clauses.
+            for f in &dead {
+                self.pending_dead.remove(f);
+            }
         }
         self.clock.exit();
     }
@@ -341,26 +379,26 @@ impl FlowInfer {
         self.note_class();
         let _span = obs::span(Phase::Project.name());
         self.clock.enter(Phase::Project);
-        let before = self.beta.flags().len();
         let scheme_flags: FlagSet = scheme.ty.flags().into_iter().collect();
         let locals: std::collections::HashSet<Flag> = env.local_flags().into_iter().collect();
-        {
+        let outcome = {
             let global = env.global_flags();
             self.beta.project_unless(|f| {
                 global.contains(&f) || locals.contains(&f) || scheme_flags.contains(&f)
-            });
-        }
+            })
+        };
+        self.counts.note_projection(&outcome);
         let (flow, rest) = self.beta.split_mentioning(&scheme_flags);
         // The working β keeps what the flow clauses say about *other*
         // (still-live) flags.
         let mut residue = flow.clone();
-        residue.project_unless(|f| !scheme_flags.contains(&f));
+        let outcome = residue.project_unless(|f| !scheme_flags.contains(&f));
+        self.counts.note_projection(&outcome);
         self.beta = rest;
         self.beta.and(&residue);
         self.beta.normalize();
         scheme.flow = flow;
         self.pending_dead.clear();
-        self.counts.project_resolutions += before.saturating_sub(self.beta.flags().len());
         self.clock.exit();
     }
 
@@ -373,13 +411,13 @@ impl FlowInfer {
         }
         let _span = obs::span(Phase::Project.name());
         self.clock.enter(Phase::Project);
-        let before = self.beta.flags().len();
         let locals: std::collections::HashSet<Flag> = env.local_flags().into_iter().collect();
         let global = env.global_flags();
-        self.beta
+        let outcome = self
+            .beta
             .project_unless(|f| global.contains(&f) || locals.contains(&f));
+        self.counts.note_projection(&outcome);
         self.pending_dead.clear();
-        self.counts.project_resolutions += before.saturating_sub(self.beta.flags().len());
         self.clock.exit();
     }
 

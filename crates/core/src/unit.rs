@@ -30,7 +30,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use rowpoly_boolfun::{classify, FlagSet};
+use rowpoly_boolfun::{classify, FlagSet, ProjectStats};
 use rowpoly_lang::{Program, Symbol};
 use rowpoly_types::{import_scheme, Binding, Scheme, Ty};
 
@@ -42,11 +42,13 @@ use crate::flow::FlowInfer;
 /// Closes a definition's published interface: projects the scheme's
 /// stored flow onto the flags of its own type. The result mentions no
 /// engine-internal flags, so it can be instantiated by any engine (and
-/// serialised to the batch cache).
-pub fn close_scheme(scheme: &mut Scheme) {
+/// serialised to the batch cache). Returns the elimination engine's
+/// work counters so callers can fold them into their phase stats.
+pub fn close_scheme(scheme: &mut Scheme) -> ProjectStats {
     let keep: FlagSet = scheme.ty.flags().into_iter().collect();
-    scheme.flow.project_unless(|f| keep.contains(&f));
+    let outcome = scheme.flow.project_unless(|f| keep.contains(&f));
     scheme.flow.normalize();
+    outcome
 }
 
 /// The outcome of one definition within a [`DefJob`] run.
@@ -184,7 +186,8 @@ impl DefJob {
                 // would; the published report carries the closed copy.
                 env.insert(def.name, Binding::Poly(scheme.clone()));
                 env.freeze();
-                close_scheme(&mut scheme);
+                let closed = close_scheme(&mut scheme);
+                engine.note_projection(&closed);
                 let sat_class = classify(&scheme.flow);
                 Ok(DefReport {
                     name: def.name,

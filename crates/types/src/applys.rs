@@ -15,7 +15,7 @@
 //!    position inside `τ` (Example 3);
 //! 4. existentially project the now-dead original flags out of β.
 
-use rowpoly_boolfun::{Cnf, Flag, FlagAlloc, Lit};
+use rowpoly_boolfun::{Cnf, Flag, FlagAlloc, Lit, ProjectStats};
 
 use crate::env::{Binding, Scheme, TyEnv};
 use crate::flags::{flag_lits, row_suffix_lits};
@@ -327,11 +327,12 @@ fn apply_renaming(t: &Ty, subst: &Subst) -> Ty {
 /// Projects β onto the flags that are still alive in the judgement
 /// (`env` plus `kappa`), removing stale flags. The paper's Section 6
 /// stresses that this must happen before expansions, or copies alias their
-/// originals through stale equivalences.
-pub fn compact_flow(beta: &mut Cnf, env: &TyEnv, kappa: &Ty) {
+/// originals through stale equivalences. Returns the elimination
+/// engine's work counters so callers can fold them into phase stats.
+pub fn compact_flow(beta: &mut Cnf, env: &TyEnv, kappa: &Ty) -> ProjectStats {
     let mut live = env.flags();
     live.extend(kappa.flags());
-    beta.project_onto(&live);
+    beta.project_onto(&live)
 }
 
 #[cfg(test)]

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Projection-regression smoke over fig9 --json reports.
+
+Guards the indexed projection engine (DESIGN.md #9) against
+regressions:
+
+* the `project` phase must stay a bounded share of with-fields wall
+  time, aggregated across workloads (per-workload quick-mode walls are
+  ~20 ms and too noisy to gate individually). Before the indexed
+  engine the share was ~0.52; it now measures ~0.33-0.39. The gate
+  takes the *minimum* ratio across the given reports — noise only ever
+  inflates the share, so the cleanest run is the honest one — and
+  fails above 0.45: comfortably over the clean measurement, reliably
+  under the old profile.
+* every fig9 workload is select/update-only (2-SAT class), so every
+  elimination must take the binary-implication fast path, and the
+  fast-path/fallback split must account for every elimination.
+
+Usage: check_projection.py <fig9-json-file>... (or - for stdin)
+"""
+
+import json
+import sys
+
+PROJECT_WALL_BUDGET = 0.45
+
+
+def ratio_of(doc):
+    total_wall = 0.0
+    total_project = 0.0
+    for w in doc["workloads"]:
+        wf = w["with_fields"]
+        name = w["name"]
+        fast = wf["project_fastpath"]
+        fallback = wf["project_fallback"]
+        assert fast > 0, f"{name}: no fast-path eliminations recorded"
+        assert fallback == 0, f"{name}: {fallback} fallback eliminations on a 2-SAT corpus"
+        assert fast + fallback == wf["project_resolutions"], (
+            f"{name}: fast {fast} + fallback {fallback} "
+            f"!= eliminations {wf['project_resolutions']}"
+        )
+        total_wall += wf["wall_s"]
+        total_project += wf["phases"]["project"]
+    return total_project / total_wall
+
+
+srcs = sys.argv[1:] or ["-"]
+ratios = [
+    ratio_of(json.load(sys.stdin if src == "-" else open(src))) for src in srcs
+]
+best = min(ratios)
+print(
+    f"    project/wall = {best:.3f} best of {[f'{r:.3f}' for r in ratios]} "
+    f"(budget {PROJECT_WALL_BUDGET})"
+)
+if best > PROJECT_WALL_BUDGET:
+    sys.exit(
+        f"projection regression: project/wall ratio {best:.3f} "
+        f"exceeds {PROJECT_WALL_BUDGET} in all {len(ratios)} run(s)"
+    )

@@ -23,6 +23,17 @@ case "$out" in
   *) echo "    fig9 --json did not emit a JSON object" >&2; exit 1 ;;
 esac
 
+echo "==> projection regression smoke (phase budget + fast-path accounting)"
+# Three quick runs; the gate takes the cleanest one (noise only ever
+# inflates the project share).
+proj_dir=$(mktemp -d)
+printf '%s' "$out" > "$proj_dir/fig9-1.json"
+for i in 2 3; do
+  cargo run --release -p rowpoly-bench --bin fig9 -- --quick --json > "$proj_dir/fig9-$i.json"
+done
+python3 scripts/check_projection.py "$proj_dir"/fig9-*.json
+rm -rf "$proj_dir"
+
 echo "==> batch smoke (parallel check + warm cache)"
 # programs/bad_select.rp is deliberately ill-typed, so `check programs/`
 # exits 1 by design — assert on the JSON report, not the exit code.

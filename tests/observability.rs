@@ -151,6 +151,31 @@ fn phase_buckets_sum_to_at_most_wall() {
     assert!(s.unify_calls > 0 && s.applys_calls > 0 && s.sat_calls > 0);
 }
 
+/// The projection engine reports its elimination work through the
+/// `project.*` counters, and on an ordinary record-heavy program every
+/// elimination stays on the binary-implication fast path.
+#[test]
+fn projection_engine_counters_are_recorded() {
+    let _g = lock();
+    let snap = traced_state_monad_snapshot();
+    let fastpath = snap.metrics.counter("project.elim.fastpath");
+    let fallback = snap.metrics.counter("project.elim.fallback");
+    assert!(
+        fastpath > 0,
+        "a record-heavy session must splice pivots on the fast path"
+    );
+    assert_eq!(
+        fastpath + fallback,
+        snap.metrics.counter("project.resolutions"),
+        "fast path + fallback must account for every elimination"
+    );
+    // The subsumption filter's bookkeeping is consistent: nothing is
+    // rejected by signature without having been checked.
+    assert!(
+        snap.metrics.counter("project.sig.pruned") <= snap.metrics.counter("project.sig.checks")
+    );
+}
+
 /// With collection disabled (the default), inference leaves no events or
 /// metrics behind.
 #[test]
