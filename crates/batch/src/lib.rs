@@ -67,6 +67,13 @@ pub struct BatchOptions {
     pub use_cache: bool,
     /// Directory holding `cache.json`.
     pub cache_dir: PathBuf,
+    /// Render error diagnostics with the proof-evidence summary
+    /// (minimal unsat core) appended.
+    pub explain: bool,
+    /// Emit a live progress line to stderr while the batch drains.
+    /// Only takes effect when stderr is a terminal, so piped and CI
+    /// runs stay clean regardless.
+    pub progress: bool,
 }
 
 impl Default for BatchOptions {
@@ -76,6 +83,8 @@ impl Default for BatchOptions {
             jobs: 0,
             use_cache: true,
             cache_dir: cache::default_dir(),
+            explain: false,
+            progress: false,
         }
     }
 }
@@ -117,6 +126,8 @@ pub enum Verdict {
         message: String,
         /// Full diagnostic rendered against the file's source.
         diagnostic: String,
+        /// Proof evidence (minimal unsat core) for β-conflict errors.
+        proof: Option<Box<rowpoly_core::ProofInfo>>,
     },
     /// The SAT budget ran out (or the run was cancelled) — not a
     /// typing verdict.
@@ -308,8 +319,47 @@ impl BatchReport {
                                                 Json::Str(sat_class.name().to_string()),
                                             ));
                                         }
-                                        Verdict::Error { message, .. }
-                                        | Verdict::Timeout { message } => {
+                                        Verdict::Error { message, proof, .. } => {
+                                            m.push(("message", Json::Str(message.clone())));
+                                            if let Some(p) = proof {
+                                                m.push((
+                                                    "proof",
+                                                    Json::obj(vec![
+                                                        (
+                                                            "class",
+                                                            Json::Str(p.sat_class.to_string()),
+                                                        ),
+                                                        (
+                                                            "beta_clauses",
+                                                            Json::Int(p.beta_clauses as i64),
+                                                        ),
+                                                        (
+                                                            "core",
+                                                            Json::Arr(
+                                                                p.core_clauses
+                                                                    .iter()
+                                                                    .map(|&i| Json::Int(i as i64))
+                                                                    .collect(),
+                                                            ),
+                                                        ),
+                                                        (
+                                                            "minimized_core",
+                                                            Json::Arr(
+                                                                p.minimized_core_clauses
+                                                                    .iter()
+                                                                    .map(|&i| Json::Int(i as i64))
+                                                                    .collect(),
+                                                            ),
+                                                        ),
+                                                        (
+                                                            "derivation_steps",
+                                                            Json::Int(p.derivation_steps as i64),
+                                                        ),
+                                                    ]),
+                                                ));
+                                            }
+                                        }
+                                        Verdict::Timeout { message } => {
                                             m.push(("message", Json::Str(message.clone())));
                                         }
                                         Verdict::Skipped { after } => {
@@ -347,6 +397,53 @@ impl BatchReport {
                 ]),
             ),
         ])
+    }
+}
+
+/// Live progress line for interactive runs: one `\r`-rewritten stderr
+/// line tracking drained definition groups, wave depth, and cache hits.
+/// Active only when requested *and* stderr is a terminal, so piped
+/// output, `--json` pipelines, and CI logs never see control
+/// characters.
+struct Progress {
+    total: usize,
+    waves: usize,
+    done: std::sync::atomic::AtomicUsize,
+    line: Mutex<()>,
+    active: bool,
+}
+
+impl Progress {
+    fn new(requested: bool, total: usize, waves: usize) -> Progress {
+        use std::io::IsTerminal;
+        Progress {
+            total,
+            waves,
+            done: std::sync::atomic::AtomicUsize::new(0),
+            line: Mutex::new(()),
+            active: requested && std::io::stderr().is_terminal(),
+        }
+    }
+
+    /// Called by a worker after each group finishes.
+    fn tick(&self, cache: &Mutex<Option<Cache>>) {
+        let done = self.done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if !self.active {
+            return;
+        }
+        let hits = cache.lock().unwrap().as_ref().map_or(0, |c| c.hits);
+        let _one_writer = self.line.lock().unwrap();
+        eprint!(
+            "\rchecking: {done}/{} groups | wave depth {} | {hits} cache hits",
+            self.total, self.waves
+        );
+    }
+
+    /// Clears the line so the report starts at column zero.
+    fn finish(&self) {
+        if self.active {
+            eprint!("\r{:68}\r", "");
+        }
     }
 }
 
@@ -430,12 +527,21 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
     let fingerprint = options_fingerprint(&options.opts);
     let results: Vec<OnceLock<GroupResult>> = (0..n_jobs).map(|_| OnceLock::new()).collect();
 
+    let max_waves = parsed
+        .iter()
+        .filter_map(|p| p.as_ref().ok())
+        .map(|pf| pf.graph.waves)
+        .max()
+        .unwrap_or(0);
+    let progress = Progress::new(options.progress, n_jobs, max_waves);
     let (_, pool_stats) = pool::run_graph(n_jobs, &deps, threads, |j| {
         let (f, g) = jobs[j];
         let pf = parsed[f].as_ref().expect("jobs index parsed files");
         let result = run_group(pf, g, &results, &cache, &fingerprint, options);
         assert!(results[j].set(result).is_ok(), "job ran twice");
+        progress.tick(&cache);
     });
+    progress.finish();
 
     if let Some(cache) = cache.lock().unwrap().as_ref() {
         if let Err(e) = cache.save(&options.cache_dir) {
@@ -446,7 +552,15 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
         }
     }
 
-    let report = assemble(parsed, &results, &cache, pool_stats, threads, wall_start);
+    let report = assemble(
+        parsed,
+        &results,
+        &cache,
+        pool_stats,
+        threads,
+        wall_start,
+        options.explain,
+    );
     flush_batch_metrics(&report.stats);
     if let Some(path) = trace_path {
         let snap = obs::snapshot();
@@ -577,6 +691,7 @@ fn replay(
 
 /// Sews the per-group results back into per-file, source-ordered
 /// reports and tallies the statistics.
+#[allow(clippy::too_many_arguments)]
 fn assemble(
     parsed: Vec<Result<ParsedFile, (String, String)>>,
     results: &[OnceLock<GroupResult>],
@@ -584,6 +699,7 @@ fn assemble(
     pool_stats: pool::PoolStats,
     workers: usize,
     wall_start: Instant,
+    explain: bool,
 ) -> BatchReport {
     let mut stats = BatchStats {
         files: parsed.len(),
@@ -630,9 +746,15 @@ fn assemble(
                         }
                         DefVerdict::Error(e) => {
                             stats.errors += 1;
+                            let diag = if explain {
+                                e.to_diag_explained()
+                            } else {
+                                e.to_diag()
+                            };
                             Verdict::Error {
                                 message: e.message(),
-                                diagnostic: e.to_diag().render(&pf.source),
+                                diagnostic: diag.render(&pf.source),
+                                proof: e.proof.clone(),
                             }
                         }
                         DefVerdict::Timeout(e) => {

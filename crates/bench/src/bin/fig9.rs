@@ -2,7 +2,8 @@
 //! workloads, with and without record-field tracking.
 //!
 //! ```text
-//! fig9 [--quick] [--phases] [--classes] [--json] [--trace PATH] [--seed N]
+//! fig9 [--quick] [--phases] [--classes] [--json] [--proof-overhead]
+//!      [--trace PATH] [--seed N]
 //! ```
 //!
 //! * `--quick`   — scale every workload down 8x (for smoke runs);
@@ -13,6 +14,12 @@
 //!   satisfiability class (Section 5's operation → solver mapping);
 //! * `--json`    — print a machine-readable report instead of the table
 //!   (this is what `BENCH_fig9.json` in the repository root is);
+//! * `--proof-overhead` — run the with-fields configuration a second
+//!   time with inline proof checking forced on (every SAT verdict
+//!   re-derived with a proof and replayed through `ProofChecker`) and
+//!   report the wall-time overhead; the acceptance bar is < 10%
+//!   checked and zero unchecked (checking is gated on one relaxed
+//!   atomic load);
 //! * `--trace PATH` — write a Chrome trace-event file of the whole run
 //!   (equivalent to setting `ROWPOLY_TRACE=PATH`);
 //! * `--seed N`  — workload generation seed (default 42).
@@ -36,6 +43,9 @@ struct Measurement {
     t_with: Duration,
     rep_without: ProgramReport,
     rep_with: ProgramReport,
+    /// Best-of-3 with-fields walls, proof checking (off, on)
+    /// (`--proof-overhead` only).
+    proof_walls: Option<(Duration, Duration)>,
 }
 
 fn main() {
@@ -44,6 +54,7 @@ fn main() {
     let phases = args.iter().any(|a| a == "--phases");
     let classes = args.iter().any(|a| a == "--classes");
     let json = args.iter().any(|a| a == "--json");
+    let proof_overhead = args.iter().any(|a| a == "--proof-overhead");
     let trace = args
         .iter()
         .position(|a| a == "--trace")
@@ -93,6 +104,20 @@ fn main() {
         };
         let (t_without, rep_without) = run(false);
         let (t_with, rep_with) = run(true);
+        let proof_walls = proof_overhead.then(|| {
+            // Same configuration, every verdict re-derived with a proof
+            // and replayed through the checker. Best-of-3 on both sides
+            // (the base runs keep checking off, gated on one relaxed
+            // atomic load): the workloads are sub-second, so a single
+            // pair would mostly measure scheduler noise.
+            let best = |checked: bool| {
+                rowpoly_boolfun::set_check_proofs(checked);
+                let t = (0..3).map(|_| run(true).0).min().expect("three runs");
+                rowpoly_boolfun::set_check_proofs(false);
+                t
+            };
+            (best(false), best(true))
+        });
 
         let m = Measurement {
             name: w.name,
@@ -102,6 +127,7 @@ fn main() {
             t_with,
             rep_without,
             rep_with,
+            proof_walls,
         };
         if !json {
             print_row(&m, &w, phases, classes);
@@ -164,6 +190,15 @@ fn print_row(m: &Measurement, w: &rowpoly_gen::Workload, phases: bool, classes: 
             s1.project_fallback,
             s1.project_resolvents,
             s1.project_subsumed
+        );
+    }
+    if let Some((tu, tc)) = m.proof_walls {
+        let overhead = tc.as_secs_f64() / tu.as_secs_f64().max(1e-9) - 1.0;
+        println!(
+            "    proof checking: {:>8.3}s checked vs {:>8.3}s unchecked ({:+.1}% wall, best of 3)",
+            tc.as_secs_f64(),
+            tu.as_secs_f64(),
+            overhead * 100.0
         );
     }
     if classes {
@@ -242,7 +277,7 @@ fn render_json(seed: u64, quick: bool, measurements: &[Measurement]) -> Json {
     let workloads: Vec<Json> = measurements
         .iter()
         .map(|m| {
-            Json::obj(vec![
+            let mut members = vec![
                 ("name", Json::Str(m.name.to_string())),
                 ("paper_lines", Json::Int(m.paper_lines as i64)),
                 ("lines", Json::Int(m.lines as i64)),
@@ -252,7 +287,21 @@ fn render_json(seed: u64, quick: bool, measurements: &[Measurement]) -> Json {
                     "ratio",
                     Json::Float(m.t_with.as_secs_f64() / m.t_without.as_secs_f64().max(1e-9)),
                 ),
-            ])
+            ];
+            if let Some((tu, tc)) = m.proof_walls {
+                members.push((
+                    "proof_check",
+                    Json::obj(vec![
+                        ("wall_s_unchecked", Json::Float(tu.as_secs_f64())),
+                        ("wall_s_checked", Json::Float(tc.as_secs_f64())),
+                        (
+                            "overhead",
+                            Json::Float(tc.as_secs_f64() / tu.as_secs_f64().max(1e-9) - 1.0),
+                        ),
+                    ]),
+                ));
+            }
+            Json::obj(members)
         })
         .collect();
     Json::obj(vec![

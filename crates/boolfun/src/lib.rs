@@ -50,6 +50,7 @@ mod db;
 mod expand;
 mod lit;
 mod project;
+pub mod proof;
 pub mod sat;
 
 pub use classify::{classify, SatClass};
@@ -57,4 +58,10 @@ pub use clause::Clause;
 pub use cnf::Cnf;
 pub use db::ProjectStats;
 pub use lit::{Flag, FlagAlloc, FlagSet, Lit};
-pub use sat::{solve, solve_budgeted, BudgetStop, SatBudget, SatResult};
+pub use proof::{
+    minimize_core, ClauseRef, DerivationStep, Proof, ProofChecker, ProofError, UnsatProof,
+};
+pub use sat::{
+    check_proofs_enabled, set_check_proofs, solve, solve_budgeted, solve_budgeted_proved,
+    solve_proved, BudgetStop, SatBudget, SatResult,
+};

@@ -9,8 +9,10 @@
 
 use std::collections::HashMap;
 
+use crate::clause::Clause;
 use crate::cnf::Cnf;
-use crate::lit::Flag;
+use crate::lit::{Flag, Lit};
+use crate::proof::{DerivationStep, Proof, UnsatProof};
 use crate::sat::{BudgetStop, Model, SatBudget, SatResult};
 
 /// Decides satisfiability of an arbitrary CNF formula.
@@ -31,29 +33,91 @@ pub fn solve_budgeted(cnf: &Cnf, budget: &SatBudget) -> Result<SatResult, Budget
     let dense = Dense::new(cnf);
     let mut solver = Solver::new(&dense);
     let outcome = solver.run(budget);
+    flush_obs(&solver, outcome.is_err());
+    match outcome? {
+        Some(assign) => Ok(SatResult::Sat(extract_model(cnf, &dense, &assign))),
+        None => Ok(SatResult::Unsat(Vec::new())),
+    }
+}
+
+/// [`solve_budgeted`] with a [`Proof`] witness. SAT verdicts carry the
+/// model; UNSAT verdicts carry the learnt clauses as a reverse-unit-
+/// propagation (RUP) derivation ending in `⊥` — each learnt clause is
+/// RUP with respect to the input plus the clauses learnt before it, and
+/// the final level-0 conflict makes `⊥` itself RUP. The core is the
+/// whole input (CDCL formulas here are small and rare — symmetric
+/// concatenation and `when` conditionals); the diagnostic path tightens
+/// it with [`crate::proof::minimize_core`].
+pub(crate) fn solve_budgeted_proved(
+    cnf: &Cnf,
+    budget: &SatBudget,
+) -> Result<(SatResult, Proof), BudgetStop> {
+    if let Some(idx) = cnf.clauses().iter().position(|c| c.is_empty()) {
+        return Ok((
+            SatResult::Unsat(Vec::new()),
+            Proof::Unsat(UnsatProof {
+                core: vec![idx],
+                steps: Vec::new(),
+            }),
+        ));
+    }
+    let dense = Dense::new(cnf);
+    let mut solver = Solver::new(&dense);
+    solver.proof_log = Some(Vec::new());
+    let outcome = solver.run(budget);
+    flush_obs(&solver, outcome.is_err());
+    match outcome? {
+        Some(assign) => {
+            let model = extract_model(cnf, &dense, &assign);
+            Ok((SatResult::Sat(model.clone()), Proof::Sat(model)))
+        }
+        None => {
+            let learnt = solver.proof_log.take().unwrap_or_default();
+            let mut steps: Vec<DerivationStep> = learnt
+                .iter()
+                .map(|c| DerivationStep::Rup {
+                    clause: Clause::new(
+                        c.iter()
+                            .map(|&l| Lit::new(dense.flags[l.var()], l.is_neg()))
+                            .collect(),
+                    )
+                    .expect("learnt clauses carry no complementary pair"),
+                })
+                .collect();
+            steps.push(DerivationStep::Rup {
+                clause: Clause::empty(),
+            });
+            let core: Vec<usize> = (0..cnf.len()).collect();
+            Ok((
+                SatResult::Unsat(Vec::new()),
+                Proof::Unsat(UnsatProof { core, steps }),
+            ))
+        }
+    }
+}
+
+fn extract_model(cnf: &Cnf, dense: &Dense, assign: &[Val]) -> Model {
+    let mut model = Model::new();
+    for (i, &v) in assign.iter().enumerate() {
+        model.insert(dense.flags[i], v == Val::True);
+    }
+    // Flags mentioned only in dropped tautologies stay default.
+    for f in cnf.flags() {
+        model.entry(f).or_insert(false);
+    }
+    model
+}
+
+fn flush_obs(solver: &Solver, budget_stopped: bool) {
     if rowpoly_obs::enabled() {
         rowpoly_obs::counter_add("sat.cdcl.solves", 1);
         rowpoly_obs::counter_add("sat.cdcl.decisions", solver.search.decisions);
         rowpoly_obs::counter_add("sat.cdcl.propagations", solver.search.propagations);
         rowpoly_obs::counter_add("sat.cdcl.learned_clauses", solver.search.learned);
         rowpoly_obs::counter_add("sat.cdcl.restarts", solver.search.restarts);
-        if outcome.is_err() {
+        if budget_stopped {
             rowpoly_obs::counter_add("sat.cdcl.budget_stops", 1);
         }
-    }
-    match outcome? {
-        Some(assign) => {
-            let mut model = Model::new();
-            for (i, &v) in assign.iter().enumerate() {
-                model.insert(dense.flags[i], v == Val::True);
-            }
-            // Flags mentioned only in dropped tautologies stay default.
-            for f in cnf.flags() {
-                model.entry(f).or_insert(false);
-            }
-            Ok(SatResult::Sat(model))
-        }
-        None => Ok(SatResult::Unsat(Vec::new())),
     }
 }
 
@@ -152,6 +216,11 @@ struct Solver {
     act_inc: f64,
     unsat: bool,
     search: SearchStats,
+    /// When `Some`, every learnt clause is appended in learning order —
+    /// the raw material for a RUP derivation (see
+    /// [`solve_budgeted_proved`]). `None` on the default path, so proof
+    /// recording costs nothing unless asked for.
+    proof_log: Option<Vec<Vec<DLit>>>,
 }
 
 impl Solver {
@@ -172,6 +241,7 @@ impl Solver {
             act_inc: 1.0,
             unsat: dense.has_empty,
             search: SearchStats::default(),
+            proof_log: None,
         };
         for c in &dense.clauses {
             s.add_clause(c.clone());
@@ -439,6 +509,9 @@ impl Solver {
                 conflicts_since_restart += 1;
                 self.search.learned += 1;
                 let (clause, back) = self.analyze(conflict);
+                if let Some(log) = &mut self.proof_log {
+                    log.push(clause.clone());
+                }
                 self.cancel_until(back);
                 self.act_inc /= 0.95;
                 let asserting = clause[0];

@@ -6,11 +6,12 @@
 //! formulas (at most one positive literal per clause) and, by polarity
 //! flipping, dual-Horn formulas (at most one negative literal per clause).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::clause::Clause;
 use crate::cnf::Cnf;
 use crate::lit::{Flag, Lit};
+use crate::proof::{ClauseRef, DerivationStep, Proof, UnsatProof};
 use crate::sat::{Model, SatResult};
 
 /// Decides a Horn formula (every clause has at most one positive literal).
@@ -36,9 +37,58 @@ pub fn solve_dual(cnf: &Cnf) -> SatResult {
     solve_impl(cnf, true)
 }
 
+/// [`solve`] with a [`Proof`] witness: the minimal model on SAT, a
+/// unit-resolution derivation of `⊥` on UNSAT.
+pub(crate) fn solve_proved(cnf: &Cnf) -> (SatResult, Proof) {
+    solve_proved_impl(cnf, false)
+}
+
+/// [`solve_dual`] with a [`Proof`] witness.
+pub(crate) fn solve_dual_proved(cnf: &Cnf) -> (SatResult, Proof) {
+    solve_proved_impl(cnf, true)
+}
+
 fn solve_impl(cnf: &Cnf, flip: bool) -> SatResult {
     let mut propagations = 0u64;
     let out = propagate(cnf, flip, &mut propagations);
+    flush_obs(flip, propagations);
+    match out {
+        PropOutcome::Sat(m) => SatResult::Sat(m),
+        PropOutcome::Empty(_) => SatResult::Unsat(Vec::new()),
+        PropOutcome::Conflict {
+            violated,
+            reason,
+            derived,
+        } => SatResult::Unsat(conflict_chain(cnf, violated, &reason, &derived, flip)),
+    }
+}
+
+fn solve_proved_impl(cnf: &Cnf, flip: bool) -> (SatResult, Proof) {
+    let mut propagations = 0u64;
+    let out = propagate(cnf, flip, &mut propagations);
+    flush_obs(flip, propagations);
+    match out {
+        PropOutcome::Sat(m) => (SatResult::Sat(m.clone()), Proof::Sat(m)),
+        PropOutcome::Empty(ci) => (
+            SatResult::Unsat(Vec::new()),
+            Proof::Unsat(UnsatProof {
+                core: vec![ci],
+                steps: Vec::new(),
+            }),
+        ),
+        PropOutcome::Conflict {
+            violated,
+            reason,
+            derived,
+        } => {
+            let chain = conflict_chain(cnf, violated, &reason, &derived, flip);
+            let proof = conflict_proof(cnf, violated, &reason, &derived, flip);
+            (SatResult::Unsat(chain), Proof::Unsat(proof))
+        }
+    }
+}
+
+fn flush_obs(flip: bool, propagations: u64) {
     if rowpoly_obs::enabled() {
         let (solves, props) = if flip {
             ("sat.dual-horn.solves", "sat.dual-horn.propagations")
@@ -48,10 +98,25 @@ fn solve_impl(cnf: &Cnf, flip: bool) -> SatResult {
         rowpoly_obs::counter_add(solves, 1);
         rowpoly_obs::counter_add(props, propagations);
     }
-    out
 }
 
-fn propagate(cnf: &Cnf, flip: bool, propagations: &mut u64) -> SatResult {
+/// Outcome of a propagation run, with enough bookkeeping retained to
+/// rebuild both the human-facing conflict chain and a checkable proof.
+enum PropOutcome {
+    Sat(Model),
+    /// The input contains the empty clause (at this index).
+    Empty(usize),
+    Conflict {
+        /// The all-negative clause whose body became fully true.
+        violated: usize,
+        /// reason[f] = clause index that forced f.
+        reason: HashMap<Flag, usize>,
+        /// Facts in propagation order.
+        derived: Vec<Flag>,
+    },
+}
+
+fn propagate(cnf: &Cnf, flip: bool, propagations: &mut u64) -> PropOutcome {
     let orient = |l: Lit| if flip { l.negate() } else { l };
     // Per clause: the head (positive literal, if any) and the number of
     // body atoms (negative literals) not yet satisfied.
@@ -69,7 +134,7 @@ fn propagate(cnf: &Cnf, flip: bool, propagations: &mut u64) -> SatResult {
 
     for (ci, c) in cnf.clauses().iter().enumerate() {
         if c.is_empty() {
-            return SatResult::Unsat(Vec::new());
+            return PropOutcome::Empty(ci);
         }
         let mut head: Option<Flag> = None;
         let mut body = 0usize;
@@ -121,10 +186,12 @@ fn propagate(cnf: &Cnf, flip: bool, propagations: &mut u64) -> SatResult {
                         }
                         None => {
                             // All-negative clause with all body atoms true:
-                            // contradiction. Build the chain of facts that
-                            // fired this clause, most recent last.
-                            let chain = conflict_chain(cnf, ci, &reason, &derived, flip);
-                            return SatResult::Unsat(chain);
+                            // contradiction.
+                            return PropOutcome::Conflict {
+                                violated: ci,
+                                reason,
+                                derived,
+                            };
                         }
                     }
                 }
@@ -139,27 +206,28 @@ fn propagate(cnf: &Cnf, flip: bool, propagations: &mut u64) -> SatResult {
         let v = truth.get(&f).copied().unwrap_or(false);
         model.insert(f, v != flip);
     }
-    SatResult::Sat(model)
+    PropOutcome::Sat(model)
 }
 
-/// Walks reasons backwards from the violated clause, producing the forced
-/// literals in derivation order.
-fn conflict_chain(
+/// Shared conflict traversal: walks reasons backwards from the violated
+/// clause, returning the facts transitively responsible (discovery
+/// order) and the clauses visited (the unsat core, discovery order).
+fn trace_conflict(
     cnf: &Cnf,
     violated: usize,
     reason: &HashMap<Flag, usize>,
-    derived: &[Flag],
     flip: bool,
-) -> Vec<Lit> {
-    // Collect the set of facts transitively responsible for the conflict.
+) -> (Vec<Flag>, Vec<usize>) {
     let mut needed: Vec<Flag> = Vec::new();
+    let mut core: Vec<usize> = Vec::new();
     let mut stack: Vec<usize> = vec![violated];
-    let mut seen_clauses = std::collections::HashSet::new();
-    let mut seen_flags = std::collections::HashSet::new();
+    let mut seen_clauses = HashSet::new();
+    let mut seen_flags = HashSet::new();
     while let Some(ci) = stack.pop() {
         if !seen_clauses.insert(ci) {
             continue;
         }
+        core.push(ci);
         let c: &Clause = &cnf.clauses()[ci];
         for &raw in c.lits() {
             let l = if flip { raw.negate() } else { raw };
@@ -171,6 +239,19 @@ fn conflict_chain(
             }
         }
     }
+    (needed, core)
+}
+
+/// Walks reasons backwards from the violated clause, producing the forced
+/// literals in derivation order.
+fn conflict_chain(
+    cnf: &Cnf,
+    violated: usize,
+    reason: &HashMap<Flag, usize>,
+    derived: &[Flag],
+    flip: bool,
+) -> Vec<Lit> {
+    let (needed, _core) = trace_conflict(cnf, violated, reason, flip);
     // Order by derivation order for a readable chain.
     let mut chain: Vec<Lit> = derived
         .iter()
@@ -182,6 +263,73 @@ fn conflict_chain(
         chain = cnf.clauses()[violated].lits().to_vec();
     }
     chain
+}
+
+/// Unit-resolution refutation mirroring the propagation that found the
+/// conflict. Each fact `f` in the responsible set gets the unit clause
+/// `{head(f)}` derived by resolving its reason clause against the units
+/// of its body atoms (in propagation order, so every body unit already
+/// exists); the violated clause then resolves against its body units
+/// down to `⊥`. The core is exactly the reason clauses the traversal
+/// visits — the same set the conflict chain reports on.
+fn conflict_proof(
+    cnf: &Cnf,
+    violated: usize,
+    reason: &HashMap<Flag, usize>,
+    derived: &[Flag],
+    flip: bool,
+) -> UnsatProof {
+    let (needed, mut core) = trace_conflict(cnf, violated, reason, flip);
+    let needed: HashSet<Flag> = needed.into_iter().collect();
+    let mut steps: Vec<DerivationStep> = Vec::new();
+    // unit_ref[f] = the clause {head raw literal of f} in the derivation.
+    let mut unit_ref: HashMap<Flag, ClauseRef> = HashMap::new();
+    for &f in derived.iter().filter(|f| needed.contains(f)) {
+        let rc = reason[&f];
+        let r = resolve_body_away(cnf, rc, flip, &unit_ref, &mut steps);
+        unit_ref.insert(f, r);
+    }
+    resolve_body_away(cnf, violated, flip, &unit_ref, &mut steps);
+    core.sort_unstable();
+    UnsatProof { core, steps }
+}
+
+/// Resolves every (oriented-)negative literal of clause `ci` against the
+/// corresponding fact's unit clause, leaving `{head}` for a rule clause
+/// and `⊥` for the violated all-negative clause. Returns a reference to
+/// the final clause.
+fn resolve_body_away(
+    cnf: &Cnf,
+    ci: usize,
+    flip: bool,
+    unit_ref: &HashMap<Flag, ClauseRef>,
+    steps: &mut Vec<DerivationStep>,
+) -> ClauseRef {
+    let clause = &cnf.clauses()[ci];
+    let mut cur_ref = ClauseRef::Input(ci);
+    let mut cur = clause.clone();
+    for &raw in clause.lits() {
+        let oriented = if flip { raw.negate() } else { raw };
+        if !oriented.is_neg() {
+            continue; // the head survives
+        }
+        let g = oriented.flag();
+        // The unit clause is {pivot}; `cur` still carries ¬pivot (= raw).
+        let pivot = raw.negate();
+        let unit = Clause::unit(pivot);
+        let resolvent = unit
+            .resolve(&cur, pivot)
+            .expect("unit resolution cannot produce a tautology");
+        steps.push(DerivationStep::Resolve {
+            left: unit_ref[&g],
+            right: cur_ref,
+            pivot,
+            resolvent: resolvent.clone(),
+        });
+        cur_ref = ClauseRef::Derived(steps.len() - 1);
+        cur = resolvent;
+    }
+    cur_ref
 }
 
 #[cfg(test)]

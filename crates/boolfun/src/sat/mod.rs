@@ -19,11 +19,12 @@ pub mod twosat;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::classify::{classify, SatClass};
 use crate::cnf::Cnf;
 use crate::lit::{Flag, Lit};
+use crate::proof::{Proof, ProofChecker, UnsatProof};
 
 /// A cooperative resource budget for SAT search.
 ///
@@ -148,9 +149,63 @@ pub fn solve(cnf: &Cnf) -> SatResult {
     }
 }
 
+/// Harness override for [`check_proofs_enabled`]: `-1` defers to the
+/// environment latch, `0`/`1` force the answer. Lets a benchmark toggle
+/// checking within one process to measure its overhead, which the
+/// read-once environment latch cannot do.
+static CHECK_OVERRIDE: std::sync::atomic::AtomicI8 = std::sync::atomic::AtomicI8::new(-1);
+
+/// Forces inline proof checking on or off for the rest of the process
+/// (until the next call), overriding `ROWPOLY_CHECK_PROOFS`. Intended
+/// for benchmark harnesses that measure checking overhead; ordinary
+/// callers should use the environment variable.
+pub fn set_check_proofs(enabled: bool) {
+    CHECK_OVERRIDE.store(enabled as i8, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether `ROWPOLY_CHECK_PROOFS=1` is set: every verdict produced by
+/// [`solve_budgeted`] (and everything layered on it) is then solved with
+/// proof emission, checked inline by [`ProofChecker`], and a bogus
+/// verdict panics — a standing self-test for the whole engine. The
+/// environment is read once per process; [`set_check_proofs`] overrides
+/// it.
+pub fn check_proofs_enabled() -> bool {
+    match CHECK_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        -1 => {
+            static FLAG: OnceLock<bool> = OnceLock::new();
+            *FLAG.get_or_init(|| {
+                matches!(
+                    std::env::var("ROWPOLY_CHECK_PROOFS").ok().as_deref(),
+                    Some("1") | Some("true")
+                )
+            })
+        }
+        v => v != 0,
+    }
+}
+
 /// [`solve`] under a [`SatBudget`]. Only the CDCL engine (general CNF)
 /// can stop early; the linear solvers always run to completion.
 pub fn solve_budgeted(cnf: &Cnf, budget: &SatBudget) -> Result<SatResult, BudgetStop> {
+    if check_proofs_enabled() {
+        let class = classify(cnf);
+        let (res, proof) = solve_budgeted_proved(cnf, budget)?;
+        let t0 = std::time::Instant::now();
+        let checked = ProofChecker::check(cnf, &proof);
+        if rowpoly_obs::enabled() {
+            rowpoly_obs::hist_record(
+                &format!("proof.check_ns.{}", class.name()),
+                t0.elapsed().as_nanos() as u64,
+            );
+            rowpoly_obs::counter_add("proof.checked", 1);
+        }
+        if let Err(e) = checked {
+            rowpoly_obs::counter_add("proof.check_failures", 1);
+            let verdict = if res.is_sat() { "SAT" } else { "UNSAT" };
+            panic!("ROWPOLY_CHECK_PROOFS: bogus {verdict} verdict ({e})\nformula: {cnf:?}");
+        }
+        return Ok(res);
+    }
     let class = classify(cnf);
     if rowpoly_obs::enabled() {
         rowpoly_obs::counter_add(&format!("sat.dispatch.{}", class.name()), 1);
@@ -163,6 +218,60 @@ pub fn solve_budgeted(cnf: &Cnf, budget: &SatBudget) -> Result<SatResult, Budget
         SatClass::DualHorn => horn::solve_dual(cnf),
         SatClass::General => cdcl::solve_budgeted(cnf, budget)?,
     })
+}
+
+/// [`solve`] returning the verdict together with its [`Proof`] witness.
+pub fn solve_proved(cnf: &Cnf) -> (SatResult, Proof) {
+    match solve_budgeted_proved(cnf, &SatBudget::unlimited()) {
+        Ok(r) => r,
+        Err(stop) => unreachable!("unlimited budget stopped a solve: {stop}"),
+    }
+}
+
+/// [`solve_budgeted`] with proof emission: SAT verdicts carry the model
+/// found, UNSAT verdicts carry an unsat core and a derivation of `⊥`.
+/// Proof construction is confined to this entry point, so the default
+/// (proof-free) solve paths pay nothing for it.
+pub fn solve_budgeted_proved(
+    cnf: &Cnf,
+    budget: &SatBudget,
+) -> Result<(SatResult, Proof), BudgetStop> {
+    let class = classify(cnf);
+    if rowpoly_obs::enabled() {
+        rowpoly_obs::counter_add(&format!("sat.dispatch.{}", class.name()), 1);
+    }
+    let (res, proof) = match class {
+        SatClass::Trivial => (SatResult::Sat(Model::new()), Proof::Sat(Model::new())),
+        SatClass::Unsat => {
+            let idx = cnf
+                .clauses()
+                .iter()
+                .position(|c| c.is_empty())
+                .expect("Unsat class implies an empty clause");
+            (
+                SatResult::Unsat(Vec::new()),
+                Proof::Unsat(UnsatProof {
+                    core: vec![idx],
+                    steps: Vec::new(),
+                }),
+            )
+        }
+        SatClass::TwoSat => twosat::solve_proved(cnf),
+        SatClass::Horn => horn::solve_proved(cnf),
+        SatClass::DualHorn => horn::solve_dual_proved(cnf),
+        SatClass::General => cdcl::solve_budgeted_proved(cnf, budget)?,
+    };
+    if rowpoly_obs::enabled() {
+        match &proof {
+            Proof::Sat(_) => rowpoly_obs::counter_add("proof.emitted.sat", 1),
+            Proof::Unsat(p) => {
+                rowpoly_obs::counter_add("proof.emitted.unsat", 1);
+                rowpoly_obs::hist_record("proof.core_size", p.core_size() as u64);
+                rowpoly_obs::hist_record("proof.derivation_len", p.derivation_len() as u64);
+            }
+        }
+    }
+    Ok((res, proof))
 }
 
 /// Solver selection for benchmarking individual engines.
@@ -250,6 +359,55 @@ mod tests {
             }
             let cdcl = cdcl::solve(&cnf);
             assert_eq!(cdcl.is_sat(), brute_sat, "cdcl wrong on {cnf:?}");
+        }
+    }
+
+    /// Every proof emitted on random small formulas — spanning all
+    /// dispatch classes — passes the checker, and UNSAT cores are
+    /// genuinely unsatisfiable subsets.
+    #[test]
+    fn proofs_check_on_random_formulas() {
+        let mut state: u64 = 0xDEADBEEFCAFEF00D;
+        let mut rand = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _case in 0..400 {
+            let nflags = 1 + rand(6) as u32;
+            let nclauses = rand(12) as usize;
+            let mut cnf = Cnf::top();
+            for _ in 0..nclauses {
+                let len = 1 + rand(3) as usize;
+                let mut lits = Vec::new();
+                for _ in 0..len {
+                    let f = Flag(rand(nflags as u64) as u32);
+                    lits.push(if rand(2) == 0 {
+                        Lit::pos(f)
+                    } else {
+                        Lit::neg(f)
+                    });
+                }
+                cnf.add_lits(lits);
+            }
+            let (res, proof) = solve_proved(&cnf);
+            assert_eq!(res.is_sat(), proof.is_sat_witness(), "verdict/proof split");
+            if let Err(e) = ProofChecker::check(&cnf, &proof) {
+                panic!("proof rejected ({e}) on {cnf:?}\nproof: {proof:?}");
+            }
+            if let Some(p) = proof.unsat() {
+                let sub = Cnf::from_clauses(p.core.iter().map(|&i| cnf.clauses()[i].clone()));
+                assert!(
+                    !sub.is_sat(),
+                    "core of {cnf:?} is satisfiable: {:?}",
+                    p.core
+                );
+                let min = crate::proof::minimize_core(&cnf, &p.core);
+                let msub = Cnf::from_clauses(min.iter().map(|&i| cnf.clauses()[i].clone()));
+                assert!(!msub.is_sat(), "minimized core is satisfiable");
+                assert!(min.len() <= p.core.len());
+            }
         }
     }
 

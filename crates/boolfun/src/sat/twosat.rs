@@ -10,8 +10,10 @@
 
 use std::collections::BTreeMap;
 
+use crate::clause::Clause;
 use crate::cnf::Cnf;
 use crate::lit::{Flag, Lit};
+use crate::proof::{ClauseRef, DerivationStep, Proof, UnsatProof};
 use crate::sat::{Model, SatResult};
 
 /// Decides a 2-SAT instance.
@@ -28,7 +30,7 @@ pub fn solve(cnf: &Cnf) -> SatResult {
     rowpoly_obs::counter_add("sat.twosat.solves", 1);
     let graph = match ImplicationGraph::build(cnf) {
         Ok(g) => g,
-        Err(unsat) => return unsat,
+        Err(_empty) => return SatResult::Unsat(Vec::new()),
     };
     let comp = graph.tarjan();
     if rowpoly_obs::enabled() {
@@ -36,26 +38,40 @@ pub fn solve(cnf: &Cnf) -> SatResult {
         let sccs = comp.iter().copied().max().map_or(0, |m| m as u64 + 1);
         rowpoly_obs::counter_add("sat.twosat.sccs", sccs);
     }
-    // Unsat iff some flag and its negation share a component.
-    for flag_idx in 0..graph.nflags {
-        let f = graph.flags[flag_idx];
-        let (pc, nc) = (comp[graph.code(Lit::pos(f))], comp[graph.code(Lit::neg(f))]);
-        if pc == nc {
-            let chain = graph.contradiction_chain(f, &comp);
-            return SatResult::Unsat(chain);
+    match graph.verdict(&comp) {
+        Verdict::Contradiction(f) => SatResult::Unsat(graph.contradiction_chain(f, &comp)),
+        Verdict::Model(model) => SatResult::Sat(model),
+    }
+}
+
+/// [`solve`] with a [`Proof`] witness: the model on SAT, a resolution
+/// chain along the contradictory implication paths on UNSAT.
+pub(crate) fn solve_proved(cnf: &Cnf) -> (SatResult, Proof) {
+    rowpoly_obs::counter_add("sat.twosat.solves", 1);
+    let graph = match ImplicationGraph::build(cnf) {
+        Ok(g) => g,
+        Err(empty_idx) => {
+            let proof = Proof::Unsat(UnsatProof {
+                core: vec![empty_idx],
+                steps: Vec::new(),
+            });
+            return (SatResult::Unsat(Vec::new()), proof);
         }
+    };
+    let comp = graph.tarjan();
+    match graph.verdict(&comp) {
+        Verdict::Contradiction(f) => {
+            let chain = graph.contradiction_chain(f, &comp);
+            let proof = graph.contradiction_proof(cnf, f, &comp);
+            (SatResult::Unsat(chain), Proof::Unsat(proof))
+        }
+        Verdict::Model(model) => (SatResult::Sat(model.clone()), Proof::Sat(model)),
     }
-    // Model: l true iff comp[l] < comp[¬l] (components numbered in
-    // completion order, sinks first).
-    let mut model = Model::new();
-    for flag_idx in 0..graph.nflags {
-        let f = graph.flags[flag_idx];
-        model.insert(
-            f,
-            comp[graph.code(Lit::pos(f))] < comp[graph.code(Lit::neg(f))],
-        );
-    }
-    SatResult::Sat(model)
+}
+
+enum Verdict {
+    Contradiction(Flag),
+    Model(Model),
 }
 
 struct ImplicationGraph {
@@ -64,8 +80,12 @@ struct ImplicationGraph {
     flags: Vec<Flag>,
     /// Sparse flag → dense index.
     dense: std::collections::HashMap<Flag, usize>,
-    /// Adjacency: edges[dense lit code] = successors (sparse literals).
-    edges: Vec<Vec<Lit>>,
+    /// Adjacency: edges[dense lit code] = successors (sparse literal,
+    /// index of the input clause the edge encodes). The edge `a → b`
+    /// stands for the clause `{¬a, b}` (a unit `{l}` yields `¬l → l`),
+    /// which is what lets an implication path replay as a chain of
+    /// resolutions in [`ImplicationGraph::contradiction_proof`].
+    edges: Vec<Vec<(Lit, u32)>>,
 }
 
 impl ImplicationGraph {
@@ -74,9 +94,9 @@ impl ImplicationGraph {
         self.dense[&l.flag()] << 1 | l.is_neg() as usize
     }
 
-    /// Builds the implication graph; returns `Err` for an immediate
-    /// contradiction (empty clause).
-    fn build(cnf: &Cnf) -> Result<ImplicationGraph, SatResult> {
+    /// Builds the implication graph; returns `Err` with the clause index
+    /// for an immediate contradiction (empty clause).
+    fn build(cnf: &Cnf) -> Result<ImplicationGraph, usize> {
         let flags: Vec<Flag> = cnf.flags().into_iter().collect();
         let dense: std::collections::HashMap<Flag, usize> =
             flags.iter().enumerate().map(|(i, &f)| (f, i)).collect();
@@ -87,24 +107,47 @@ impl ImplicationGraph {
             dense,
             edges: vec![Vec::new(); 2 * nflags],
         };
-        for c in cnf.clauses() {
+        for (ci, c) in cnf.clauses().iter().enumerate() {
             match c.lits() {
-                [] => return Err(SatResult::Unsat(Vec::new())),
+                [] => return Err(ci),
                 &[l] => {
                     // Unit clause l: edge ¬l → l.
                     let from = g.code(l.negate());
-                    g.edges[from].push(l);
+                    g.edges[from].push((l, ci as u32));
                 }
                 &[a, b] => {
                     let from_a = g.code(a.negate());
-                    g.edges[from_a].push(b);
+                    g.edges[from_a].push((b, ci as u32));
                     let from_b = g.code(b.negate());
-                    g.edges[from_b].push(a);
+                    g.edges[from_b].push((a, ci as u32));
                 }
                 _ => panic!("2-SAT solver given a clause with >2 literals: {c:?}"),
             }
         }
         Ok(g)
+    }
+
+    /// Reads the verdict off the component assignment: a contradiction
+    /// flag if some literal shares a component with its negation, else
+    /// the model `l ↦ comp[l] < comp[¬l]` (components are numbered in
+    /// completion order, sinks first).
+    fn verdict(&self, comp: &[u32]) -> Verdict {
+        for flag_idx in 0..self.nflags {
+            let f = self.flags[flag_idx];
+            let (pc, nc) = (comp[self.code(Lit::pos(f))], comp[self.code(Lit::neg(f))]);
+            if pc == nc {
+                return Verdict::Contradiction(f);
+            }
+        }
+        let mut model = Model::new();
+        for flag_idx in 0..self.nflags {
+            let f = self.flags[flag_idx];
+            model.insert(
+                f,
+                comp[self.code(Lit::pos(f))] < comp[self.code(Lit::neg(f))],
+            );
+        }
+        Verdict::Model(model)
     }
 
     /// Iterative Tarjan SCC; returns component ids in completion order
@@ -133,7 +176,7 @@ impl ImplicationGraph {
             on_stack[start] = true;
             while let Some(&mut (v, ref mut child)) = call.last_mut() {
                 if *child < self.edges[v].len() {
-                    let w = self.code(self.edges[v][*child]);
+                    let w = self.code(self.edges[v][*child].0);
                     *child += 1;
                     if index[w] == UNVISITED {
                         index[w] = next_index;
@@ -172,41 +215,130 @@ impl ImplicationGraph {
     fn contradiction_chain(&self, f: Flag, comp: &[u32]) -> Vec<Lit> {
         let pos = Lit::pos(f);
         let neg = Lit::neg(f);
-        let there = self.path_within(pos, neg, comp).unwrap_or_default();
-        let back = self.path_within(neg, pos, comp).unwrap_or_default();
+        let there = self
+            .path_within(pos, neg, comp)
+            .map(|p| p.0)
+            .unwrap_or_default();
+        let back = self
+            .path_within(neg, pos, comp)
+            .map(|p| p.0)
+            .unwrap_or_default();
         let mut chain = there;
         // Avoid repeating the pivot literal between the two halves.
         chain.extend(back.into_iter().skip(1));
         chain
     }
 
-    /// BFS from `from` to `to` restricted to `from`'s component.
-    fn path_within(&self, from: Lit, to: Lit, comp: &[u32]) -> Option<Vec<Lit>> {
+    /// Resolution refutation along the two contradictory implication
+    /// paths: the path `f → … → ¬f` chain-resolves its edge clauses into
+    /// the unit `{¬f}`, the reverse path into `{f}`, and one final
+    /// resolution yields `⊥`. The core is exactly the edge clauses on
+    /// the two paths.
+    fn contradiction_proof(&self, cnf: &Cnf, f: Flag, comp: &[u32]) -> UnsatProof {
+        let pos = Lit::pos(f);
+        let neg = Lit::neg(f);
+        let (there_nodes, there_clauses) = self
+            .path_within(pos, neg, comp)
+            .expect("pos and neg share a strongly connected component");
+        let (back_nodes, back_clauses) = self
+            .path_within(neg, pos, comp)
+            .expect("pos and neg share a strongly connected component");
+        let mut steps: Vec<DerivationStep> = Vec::new();
+        let neg_unit = chain_resolve(cnf, &there_nodes, &there_clauses, &mut steps);
+        let pos_unit = chain_resolve(cnf, &back_nodes, &back_clauses, &mut steps);
+        steps.push(DerivationStep::Resolve {
+            left: pos_unit,
+            right: neg_unit,
+            pivot: pos,
+            resolvent: Clause::empty(),
+        });
+        let mut core: Vec<usize> = there_clauses
+            .iter()
+            .chain(&back_clauses)
+            .map(|&c| c as usize)
+            .collect();
+        core.sort_unstable();
+        core.dedup();
+        UnsatProof { core, steps }
+    }
+
+    /// BFS from `from` to `to` restricted to `from`'s component. Returns
+    /// the node sequence (length k+1) and the input clause index of each
+    /// edge along it (length k).
+    fn path_within(&self, from: Lit, to: Lit, comp: &[u32]) -> Option<(Vec<Lit>, Vec<u32>)> {
         let cid = comp[self.code(from)];
-        let mut prev: BTreeMap<usize, Lit> = BTreeMap::new();
+        // prev[node] = (predecessor, clause of the edge predecessor→node).
+        let mut prev: BTreeMap<usize, (Lit, u32)> = BTreeMap::new();
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(from);
-        prev.insert(self.code(from), from);
+        prev.insert(self.code(from), (from, u32::MAX));
         while let Some(v) = queue.pop_front() {
             if v == to {
                 let mut path = vec![to];
+                let mut clauses = Vec::new();
                 let mut cur = to;
                 while cur != from {
-                    cur = prev[&self.code(cur)];
+                    let (pred, ci) = prev[&self.code(cur)];
+                    clauses.push(ci);
+                    cur = pred;
                     path.push(cur);
                 }
                 path.reverse();
-                return Some(path);
+                clauses.reverse();
+                return Some((path, clauses));
             }
-            for &w in &self.edges[self.code(v)] {
+            for &(w, ci) in &self.edges[self.code(v)] {
                 if comp[self.code(w)] == cid && !prev.contains_key(&self.code(w)) {
-                    prev.insert(self.code(w), v);
+                    prev.insert(self.code(w), (v, ci));
                     queue.push_back(w);
                 }
             }
         }
         None
     }
+}
+
+/// Chain-resolves the edge clauses of the implication path
+/// `nodes[0] → … → nodes[k]` into the unit clause `{¬nodes[0]}`,
+/// appending the steps and returning a reference to the final clause.
+///
+/// Invariant: edge `i` (clause `clauses[i]`) is `{¬nodes[i], nodes[i+1]}`
+/// — or the unit `{nodes[i+1]}` when `nodes[i] = ¬nodes[i+1]` — so the
+/// running resolvent after edge `i` is `{¬nodes[0], nodes[i+1]}`, which
+/// collapses to `{¬nodes[0]}` at the path's end (where
+/// `nodes[k] = ¬nodes[0]`) or as soon as a unit edge clause strikes the
+/// intermediate literal out.
+fn chain_resolve(
+    cnf: &Cnf,
+    nodes: &[Lit],
+    clauses: &[u32],
+    steps: &mut Vec<DerivationStep>,
+) -> ClauseRef {
+    let goal = Clause::unit(nodes[0].negate());
+    let first = clauses[0] as usize;
+    let mut cur_ref = ClauseRef::Input(first);
+    let mut cur = cnf.clauses()[first].clone();
+    for i in 1..clauses.len() {
+        if cur == goal {
+            break;
+        }
+        let pivot = nodes[i];
+        debug_assert!(cur.contains(pivot), "running resolvent carries the pivot");
+        let right = clauses[i] as usize;
+        let resolvent = cur
+            .resolve(&cnf.clauses()[right], pivot)
+            .expect("2-SAT path resolution cannot produce a tautology");
+        steps.push(DerivationStep::Resolve {
+            left: cur_ref,
+            right: ClauseRef::Input(right),
+            pivot,
+            resolvent: resolvent.clone(),
+        });
+        cur_ref = ClauseRef::Derived(steps.len() - 1);
+        cur = resolvent;
+    }
+    debug_assert_eq!(cur, goal, "path chain resolves to the unit {goal:?}");
+    cur_ref
 }
 
 #[cfg(test)]

@@ -27,6 +27,15 @@ impl SessionError {
             SessionError::Type(e) => e.to_diag().render(source),
         }
     }
+
+    /// [`SessionError::render`] with the proof-evidence summary note
+    /// appended to type errors (`rowpoly explain` / `--explain`).
+    pub fn render_explained(&self, source: &str) -> String {
+        match self {
+            SessionError::Parse(d) => d.render(source),
+            SessionError::Type(e) => e.to_diag_explained().render(source),
+        }
+    }
 }
 
 impl std::fmt::Display for SessionError {

@@ -105,6 +105,39 @@ pub enum TypeErrorKind {
     },
 }
 
+/// Machine-checkable evidence attached to a β-unsatisfiability verdict:
+/// which clauses of β the error actually rests on, per the checked
+/// resolution proof (see `rowpoly_boolfun::proof`). Populated by
+/// `FlowInfer::check_sat` whenever a conflict is reported, and surfaced
+/// by `rowpoly explain` / `--explain`.
+#[derive(Clone, Debug)]
+pub struct ProofInfo {
+    /// Solver class that produced the verdict (`2sat`, `horn`, …).
+    pub sat_class: &'static str,
+    /// Size of β (in clauses) at the failing check.
+    pub beta_clauses: usize,
+    /// Unsat core as reported by the proving solver (β clause indices).
+    pub core_clauses: Vec<usize>,
+    /// Deletion-minimized core: every member is necessary.
+    pub minimized_core_clauses: Vec<usize>,
+    /// Length of the checked resolution/RUP derivation.
+    pub derivation_steps: usize,
+}
+
+impl ProofInfo {
+    /// One-line human summary, e.g.
+    /// `minimal unsat core: 3 of 17 β clauses (2sat), 4 derivation steps`.
+    pub fn summary(&self) -> String {
+        format!(
+            "minimal unsat core: {} of {} β clauses ({}), {} derivation steps",
+            self.minimized_core_clauses.len(),
+            self.beta_clauses,
+            self.sat_class,
+            self.derivation_steps
+        )
+    }
+}
+
 /// A located type error, optionally with explanation notes.
 #[derive(Clone, Debug)]
 pub struct TypeError {
@@ -114,6 +147,8 @@ pub struct TypeError {
     pub span: Span,
     /// Explanation steps (e.g. the path from `{}` to the failing access).
     pub notes: Vec<(Span, String)>,
+    /// Proof evidence for β-unsatisfiability errors.
+    pub proof: Option<Box<ProofInfo>>,
 }
 
 impl TypeError {
@@ -123,6 +158,7 @@ impl TypeError {
             kind,
             span,
             notes: Vec::new(),
+            proof: None,
         }
     }
 
@@ -176,6 +212,17 @@ impl TypeError {
         let mut d = Diag::error(self.span, self.message());
         for (span, note) in &self.notes {
             d = d.with_note(*span, note.clone());
+        }
+        d
+    }
+
+    /// [`TypeError::to_diag`] plus the proof summary note (`--explain`
+    /// mode). The note is anchored at the error's own span so the human
+    /// renderer keeps it.
+    pub fn to_diag_explained(&self) -> Diag {
+        let mut d = self.to_diag();
+        if let Some(p) = &self.proof {
+            d = d.with_note(self.span, p.summary());
         }
         d
     }

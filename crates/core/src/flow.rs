@@ -174,6 +174,13 @@ impl FlowInfer {
         self.clock.enter(Phase::ApplyS);
         if self.opts.track_fields {
             let replaced = apply_subst_flow(subst, kappa, env, &mut self.beta, &mut self.flags);
+            for (old, news) in &replaced.copies {
+                if let Some((span, origin)) = self.prov.get(*old).cloned() {
+                    for &n in news {
+                        self.prov.record(n, span, origin.clone());
+                    }
+                }
+            }
             if self.opts.compaction == Compaction::Aggressive {
                 // Both kinds of replaced occurrence flags join the
                 // pending pool and are projected in one batch by
@@ -210,6 +217,25 @@ impl FlowInfer {
         if obs::enabled() {
             obs::hist_record("beta.clauses.live", live as u64);
             obs::counter_max("beta.clauses.peak", live as u64);
+        }
+    }
+
+    /// Carries flag provenance across a positional copy: `decorate` and
+    /// `instantiate` both re-collect flags in Definition 1 traversal
+    /// order, so `old[i]` is the flag that `new[i]` was copied from. A
+    /// copy inherits its original's source span and origin, which keeps
+    /// multi-step error paths renderable after let-bound intermediates
+    /// are instantiated (otherwise every copy is provenance-less and
+    /// `Provenance::explain` silently drops those steps).
+    fn inherit_provenance(&mut self, old: &[Flag], new: &[Flag]) {
+        debug_assert_eq!(old.len(), new.len(), "positional flag copy");
+        for (&o, &n) in old.iter().zip(new) {
+            if self.prov.get(n).is_some() {
+                continue; // a copy that has its own story keeps it
+            }
+            if let Some((span, origin)) = self.prov.get(o).cloned() {
+                self.prov.record(n, span, origin);
+            }
         }
     }
 
@@ -459,6 +485,12 @@ impl FlowInfer {
         match result {
             SatResult::Sat(_) => Ok(()),
             SatResult::Unsat(chain) => {
+                // The error path is cold, so re-solve with proof emission:
+                // the checked unsat core names the β clauses the verdict
+                // rests on, and narrowing the conflict chain to the flags
+                // of the deletion-minimized core keeps the diagnostic to
+                // the minimal path.
+                let (proof_info, chain) = self.prove_conflict(chain);
                 // Identify the offending field from the conflict chain.
                 let field = field.or_else(|| {
                     chain.iter().find_map(|l| match self.prov.get(l.flag()) {
@@ -468,9 +500,60 @@ impl FlowInfer {
                 });
                 let mut err = TypeError::new(TypeErrorKind::FieldMissing { field }, span);
                 err.notes = self.prov.explain(&chain);
+                // Present the path in source order: for straight-line
+                // record pipelines that reads as the paper's Observation 1
+                // narrative (created → added → removed → accessed).
+                err.notes.sort_by_key(|(span, _)| (span.start, span.end));
+                err.notes.dedup();
+                err.proof = proof_info;
                 Err(err)
             }
         }
+    }
+
+    /// Re-solves an unsatisfiable β with proof emission, minimizes the
+    /// unsat core, and filters the solver's conflict chain down to the
+    /// flags the minimized core mentions (falling back to the full chain
+    /// if the filter would erase it entirely — e.g. when every chain flag
+    /// is an expansion copy outside the core's clauses).
+    fn prove_conflict(&self, chain: Vec<Lit>) -> (Option<Box<crate::error::ProofInfo>>, Vec<Lit>) {
+        let (_, proof) = rowpoly_boolfun::solve_proved(&self.beta);
+        let Some(p) = proof.unsat() else {
+            // A budget-free re-solve of an unsat β cannot flip SAT; this
+            // arm only guards against an inconsistent solver.
+            return (None, chain);
+        };
+        let minimized = rowpoly_boolfun::minimize_core(&self.beta, &p.core);
+        let core_flags: std::collections::HashSet<Flag> = minimized
+            .iter()
+            .flat_map(|&i| self.beta.clauses()[i].lits().iter().map(|l| l.flag()))
+            .collect();
+        let filtered: Vec<Lit> = chain
+            .iter()
+            .copied()
+            .filter(|l| core_flags.contains(&l.flag()))
+            .collect();
+        let mut chain = if filtered.is_empty() { chain } else { filtered };
+        // The solver's chain is one refutation path and often touches
+        // only the final conflict; every flag of the minimized core is
+        // part of the failure by construction, so append the rest (in
+        // allocation order ≈ source order) for the step-by-step notes.
+        let mentioned: std::collections::HashSet<Flag> = chain.iter().map(|l| l.flag()).collect();
+        let mut extra: Vec<Flag> = core_flags
+            .iter()
+            .copied()
+            .filter(|f| !mentioned.contains(f))
+            .collect();
+        extra.sort_unstable();
+        chain.extend(extra.into_iter().map(Lit::pos));
+        let info = crate::error::ProofInfo {
+            sat_class: rowpoly_boolfun::classify(&self.beta).name(),
+            beta_clauses: self.beta.len(),
+            core_clauses: p.core.clone(),
+            minimized_core_clauses: minimized,
+            derivation_steps: p.steps.len(),
+        };
+        (Some(Box::new(info)), chain)
     }
 
     fn check_eager(&mut self, span: Span, field: Option<FieldName>) -> Infer<()> {
@@ -531,12 +614,17 @@ impl FlowInfer {
                 let tx = self.decorate(&t);
                 if self.opts.track_fields {
                     self.beta.imply_seq(&flag_lits(&tx), &flag_lits(&t));
+                    self.inherit_provenance(&t.flags(), &tx.flags());
                 }
                 Ok((tx, env.clone()))
             }
             Binding::Poly(scheme) => {
                 let t = if self.opts.track_fields {
-                    instantiate(&scheme, &mut self.vars, &mut self.flags, &mut self.beta)
+                    let old = scheme.ty.flags();
+                    let inst =
+                        instantiate(&scheme, &mut self.vars, &mut self.flags, &mut self.beta);
+                    self.inherit_provenance(&old, &inst.flags());
+                    inst
                 } else {
                     // Skeleton instantiation: rename quantified variables.
                     let renaming: Vec<(Var, Var)> = scheme
@@ -604,6 +692,10 @@ impl FlowInfer {
         self.equate_envs(&env1, &env2);
         if self.opts.track_fields {
             self.beta.iff_seq(&flag_lits(&tar), &flag_lits(&tf));
+            // The iff above makes the two flag sequences interchangeable;
+            // only `tar`'s result half survives this rule, so it inherits
+            // the callee-side story (e.g. "removed here" on a `%n` pipe).
+            self.inherit_provenance(&tf.flags(), &tar.flags());
         }
         let tr = match tar {
             Ty::Fun(ta, tr) => {
@@ -614,8 +706,11 @@ impl FlowInfer {
         };
         self.register_dead_ty(&tf);
         self.register_dead_env_diff(&env2, &env1);
-        self.compact(&env1, &tr);
+        // Check before compacting: projection would resolve a fresh
+        // conflict down to the bare empty clause, leaving the eager
+        // check nothing to trace the failure path from.
         self.check_eager(span, None)?;
+        self.compact(&env1, &tr);
         Ok((tr, env1))
     }
 
@@ -1035,8 +1130,9 @@ impl FlowInfer {
         self.register_dead_ty(&t1s);
         self.register_dead_ty(&t2s);
         self.register_dead_env_diff(&env2, &env1);
-        self.compact(&env1, &tr);
+        // Check before compacting (see `rule_app`).
         self.check_eager(span, None)?;
+        self.compact(&env1, &tr);
         Ok((tr, env1))
     }
 
@@ -1146,8 +1242,9 @@ impl FlowInfer {
         self.register_dead_ty(&tts);
         self.register_dead_ty(&tes);
         self.register_dead_env_diff(&enve, &envt);
-        self.compact(&envt, &tr);
+        // Check before compacting (see `rule_app`).
         self.check_eager(span, Some(field))?;
+        self.compact(&envt, &tr);
         Ok((tr, envt))
     }
 

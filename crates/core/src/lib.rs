@@ -56,6 +56,6 @@ pub mod smt;
 
 pub use config::{CheckPolicy, Compaction, Options, Stats, Unifier, SAT_CLASSES, SAT_CLASS_COUNT};
 pub use driver::{DefReport, ProgramReport, Session, SessionError};
-pub use error::{FlagOrigin, Provenance, TypeError, TypeErrorKind};
+pub use error::{FlagOrigin, ProofInfo, Provenance, TypeError, TypeErrorKind};
 pub use flow::{alpha_eq_skeleton, FlowInfer, Infer};
 pub use unit::{close_scheme, DefJob, DefVerdict, GroupOutcome};

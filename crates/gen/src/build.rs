@@ -1,20 +1,43 @@
 //! Small AST-construction helpers used by the generators.
+//!
+//! Each helper comes in two forms: the short name stamps a zero-width
+//! [`Span::dummy`] (generated programs have no source text to point
+//! at), and the `*_at` form threads a caller-supplied span — used when
+//! a synthesised fragment should still blame a real source location,
+//! e.g. when a test builds the tree for a concrete program by hand.
+//! Diagnostics rendering skips notes anchored on dummy spans, so the
+//! short forms never produce dangling caret lines.
 
 use rowpoly_lang::{BinOp, Expr, ExprKind, Span, Symbol};
 
 /// Variable reference.
 pub fn var(name: &str) -> Expr {
-    Expr::new(ExprKind::Var(Symbol::intern(name)), Span::dummy())
+    var_at(name, Span::dummy())
+}
+
+/// Variable reference at `span`.
+pub fn var_at(name: &str, span: Span) -> Expr {
+    Expr::new(ExprKind::Var(Symbol::intern(name)), span)
 }
 
 /// Integer literal.
 pub fn int(n: i64) -> Expr {
-    Expr::new(ExprKind::Int(n), Span::dummy())
+    int_at(n, Span::dummy())
+}
+
+/// Integer literal at `span`.
+pub fn int_at(n: i64, span: Span) -> Expr {
+    Expr::new(ExprKind::Int(n), span)
 }
 
 /// Application.
 pub fn app(f: Expr, a: Expr) -> Expr {
-    Expr::new(ExprKind::App(Box::new(f), Box::new(a)), Span::dummy())
+    app_at(f, a, Span::dummy())
+}
+
+/// Application at `span`.
+pub fn app_at(f: Expr, a: Expr, span: Span) -> Expr {
+    Expr::new(ExprKind::App(Box::new(f), Box::new(a)), span)
 }
 
 /// Two-argument application.
@@ -24,57 +47,88 @@ pub fn app2(f: Expr, a: Expr, b: Expr) -> Expr {
 
 /// Lambda.
 pub fn lam(param: &str, body: Expr) -> Expr {
-    Expr::new(
-        ExprKind::Lam(Symbol::intern(param), Box::new(body)),
-        Span::dummy(),
-    )
+    lam_at(param, body, Span::dummy())
+}
+
+/// Lambda at `span`.
+pub fn lam_at(param: &str, body: Expr, span: Span) -> Expr {
+    Expr::new(ExprKind::Lam(Symbol::intern(param), Box::new(body)), span)
 }
 
 /// `let name = bound in body`.
 pub fn let_(name: &str, bound: Expr, body: Expr) -> Expr {
+    let_at(name, bound, body, Span::dummy())
+}
+
+/// `let name = bound in body` at `span`.
+pub fn let_at(name: &str, bound: Expr, body: Expr, span: Span) -> Expr {
     Expr::new(
         ExprKind::Let {
             name: Symbol::intern(name),
             bound: Box::new(bound),
             body: Box::new(body),
         },
-        Span::dummy(),
+        span,
     )
 }
 
 /// Conditional.
 pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
-    Expr::new(
-        ExprKind::If(Box::new(c), Box::new(t), Box::new(e)),
-        Span::dummy(),
-    )
+    if_at(c, t, e, Span::dummy())
+}
+
+/// Conditional at `span`.
+pub fn if_at(c: Expr, t: Expr, e: Expr, span: Span) -> Expr {
+    Expr::new(ExprKind::If(Box::new(c), Box::new(t), Box::new(e)), span)
 }
 
 /// The empty record.
 pub fn empty() -> Expr {
-    Expr::new(ExprKind::Empty, Span::dummy())
+    empty_at(Span::dummy())
+}
+
+/// The empty record at `span`.
+pub fn empty_at(span: Span) -> Expr {
+    Expr::new(ExprKind::Empty, span)
 }
 
 /// `#field subject`.
 pub fn select(field: &str, subject: Expr) -> Expr {
-    app(
-        Expr::new(ExprKind::Select(Symbol::intern(field)), Span::dummy()),
+    select_at(field, subject, Span::dummy())
+}
+
+/// `#field subject` at `span` (both the selector and the application).
+pub fn select_at(field: &str, subject: Expr, span: Span) -> Expr {
+    app_at(
+        Expr::new(ExprKind::Select(Symbol::intern(field)), span),
         subject,
+        span,
     )
 }
 
 /// `@{field = value} subject`.
 pub fn update(field: &str, value: Expr, subject: Expr) -> Expr {
-    app(
+    update_at(field, value, subject, Span::dummy())
+}
+
+/// `@{field = value} subject` at `span` (the updater and the application).
+pub fn update_at(field: &str, value: Expr, subject: Expr, span: Span) -> Expr {
+    app_at(
         Expr::new(
             ExprKind::Update(Symbol::intern(field), Box::new(value)),
-            Span::dummy(),
+            span,
         ),
         subject,
+        span,
     )
 }
 
 /// Binary operation.
 pub fn binop(op: BinOp, a: Expr, b: Expr) -> Expr {
-    Expr::new(ExprKind::BinOp(op, Box::new(a), Box::new(b)), Span::dummy())
+    binop_at(op, a, b, Span::dummy())
+}
+
+/// Binary operation at `span`.
+pub fn binop_at(op: BinOp, a: Expr, b: Expr, span: Span) -> Expr {
+    Expr::new(ExprKind::BinOp(op, Box::new(a), Box::new(b)), span)
 }

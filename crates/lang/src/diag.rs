@@ -64,6 +64,14 @@ impl Diag {
             &self.message,
         );
         for (span, note) in &self.notes {
+            // Synthesised nodes (generated ASTs, builder helpers) carry
+            // zero-width dummy spans; a caret pointing at offset 0 of an
+            // unrelated line explains nothing, so such notes are dropped
+            // from the human rendering. They stay in `notes` for
+            // structured consumers.
+            if span.is_empty() {
+                continue;
+            }
             render_one(&mut out, source, &lm, Severity::Note, *span, note);
         }
         out
@@ -125,5 +133,17 @@ mod tests {
         let epos = rendered.find("error:").unwrap();
         let npos = rendered.find("note:").unwrap();
         assert!(epos < npos);
+    }
+
+    #[test]
+    fn dummy_span_notes_are_skipped() {
+        let src = "abc";
+        let d = Diag::error(Span::new(0, 1), "boom")
+            .with_note(Span::dummy(), "synthesised, no anchor")
+            .with_note(Span::new(2, 3), "because");
+        let rendered = d.render(src);
+        assert!(!rendered.contains("synthesised"));
+        assert!(rendered.contains("note: because"));
+        assert_eq!(d.notes.len(), 2, "structured notes keep the dummy entry");
     }
 }

@@ -80,6 +80,47 @@ impl Histogram {
         }
     }
 
+    /// Estimated `p`-th percentile (`0.0 ..= 100.0`) of the recorded
+    /// samples. The histogram keeps only power-of-two buckets, so the
+    /// estimate interpolates linearly inside the bucket that holds the
+    /// ranked sample and is then clamped to the observed `[min, max]` —
+    /// exact for the extremes, within one bucket (a factor of two) for
+    /// everything in between.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        // The extreme ranks are tracked exactly; only interior ranks
+        // need the bucket walk.
+        if rank >= self.count {
+            return Some(self.max);
+        }
+        if rank == 1 {
+            return Some(self.min);
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = lo.saturating_mul(2).saturating_sub(1);
+                let idx = rank - seen - 1; // 0-based position inside the bucket
+                let est = if n <= 1 || hi <= lo {
+                    lo
+                } else {
+                    lo + ((hi - lo) as u128 * idx as u128 / (n - 1) as u128) as u64
+                };
+                return Some(est.clamp(self.min, self.max));
+            }
+            seen += n;
+        }
+        Some(self.max)
+    }
+
     /// Number of samples in bucket `i` (see [`bucket_index`]).
     pub fn bucket(&self, i: usize) -> u64 {
         self.buckets[i]
@@ -116,6 +157,21 @@ impl Histogram {
             (
                 "max",
                 self.max().map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            (
+                "p50",
+                self.percentile(50.0)
+                    .map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            (
+                "p90",
+                self.percentile(90.0)
+                    .map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            (
+                "p99",
+                self.percentile(99.0)
+                    .map_or(Json::Null, |v| Json::Int(v as i64)),
             ),
             (
                 "buckets",
@@ -291,6 +347,44 @@ mod tests {
             h.nonzero_buckets(),
             vec![(0, 1), (1, 1), (2, 1), (8, 2), (512, 1)]
         );
+    }
+
+    #[test]
+    fn percentiles_from_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), None);
+
+        let mut h = Histogram::default();
+        h.record(7);
+        // A single sample is every percentile.
+        assert_eq!(h.percentile(0.0), Some(7));
+        assert_eq!(h.percentile(50.0), Some(7));
+        assert_eq!(h.percentile(100.0), Some(7));
+
+        // 99 samples of 1 and one of 1000: the tail only shows past p99.
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000);
+        assert_eq!(h.percentile(50.0), Some(1));
+        assert_eq!(h.percentile(90.0), Some(1));
+        assert_eq!(h.percentile(99.0), Some(1));
+        assert_eq!(h.percentile(100.0), Some(1000));
+
+        // Estimates stay inside the observed range and are monotone.
+        let mut h = Histogram::default();
+        for v in [3u64, 5, 9, 12, 70, 300, 301, 302, 900, 4000] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let e = h.percentile(p).unwrap();
+            assert!((3..=4000).contains(&e), "p{p} = {e} out of range");
+            assert!(e >= last, "p{p} = {e} not monotone (prev {last})");
+            last = e;
+        }
+        assert_eq!(h.percentile(100.0), Some(4000));
     }
 
     #[test]

@@ -102,12 +102,15 @@ pub fn text_report(snap: &Snapshot) -> String {
         for (name, h) in hists {
             let _ = writeln!(
                 out,
-                "  {:<28} n={} mean={:.1} min={} max={}",
+                "  {:<28} n={} mean={:.1} min={} max={} p50={} p90={} p99={}",
                 name,
                 h.count(),
                 h.mean(),
                 h.min().unwrap_or(0),
-                h.max().unwrap_or(0)
+                h.max().unwrap_or(0),
+                h.percentile(50.0).unwrap_or(0),
+                h.percentile(90.0).unwrap_or(0),
+                h.percentile(99.0).unwrap_or(0)
             );
             for (lo, n) in h.nonzero_buckets() {
                 let _ = writeln!(out, "    >= {lo:<12} {n}");
@@ -184,11 +187,15 @@ mod tests {
         let mut snap = Snapshot::default();
         assert!(text_report(&snap).contains("no observability data"));
         snap.metrics.add("flow.unify.calls", 2);
+        snap.metrics.record("beta.clauses.live", 8);
+        snap.metrics.record("beta.clauses.live", 32);
         snap.events.push(ev("sat", 5, EventKind::Begin));
         snap.events.push(ev("sat", 9, EventKind::End));
         let text = text_report(&snap);
         assert!(text.contains("flow.unify.calls"));
         assert!(text.contains("sat"));
+        assert!(text.contains("p50=8"), "percentiles on hist line: {text}");
+        assert!(text.contains("p99=32"), "percentiles on hist line: {text}");
         let doc = crate::json::parse(&json_report(&snap)).unwrap();
         assert_eq!(
             doc.get("spans")

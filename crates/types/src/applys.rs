@@ -35,6 +35,12 @@ pub struct ReplacedFlags {
     pub kappa: Vec<Flag>,
     /// Occurrence flags replaced in environment bindings (defer).
     pub env: Vec<Flag>,
+    /// Per occurrence: the replaced flag and the flags of its decorated
+    /// copy. The expansion transports the occurrence flag's flow onto
+    /// every copy flag, so diagnostic provenance recorded against the
+    /// original carries over to each copy (the original is about to be
+    /// projected out of β and would otherwise take its story with it).
+    pub copies: Vec<(Flag, Vec<Flag>)>,
 }
 
 /// Applies `subst` to the judgement `kappa; env | beta`, transporting flow
@@ -92,12 +98,15 @@ pub fn apply_subst_flow(
         return ReplacedFlags::default();
     }
     let mut replaced = ReplacedFlags::default();
-    for (i, (_, f, _)) in occ.iter().enumerate() {
+    for (i, (_, f, lits)) in occ.iter().enumerate() {
         if i < kappa_count {
             replaced.kappa.push(*f);
         } else {
             replaced.env.push(*f);
         }
+        replaced
+            .copies
+            .push((*f, lits.iter().map(|l| l.flag()).collect()));
     }
     // Group occurrences by variable, preserving encounter order.
     let mut grouped: Vec<(Var, Vec<Flag>, Vec<Vec<Lit>>)> = Vec::new();

@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test (checked proofs: every SAT verdict replayed)"
+ROWPOLY_CHECK_PROOFS=1 cargo test --workspace -q
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

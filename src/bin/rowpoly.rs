@@ -8,7 +8,12 @@
 //!     --sat-budget N    CDCL step budget per SAT check (timeout verdicts)
 //!     --compaction M    stale-flag projection: aggressive (default) | perdef
 //!     --no-fields       disable field tracking (Fig. 2 baseline)
-//!     --json            machine-readable report (includes cache/steal stats)
+//!     --explain         append the minimal-unsat-core proof summary to errors
+//!     --progress        live progress line on stderr (TTY only; off with --json)
+//!     --json            machine-readable report (includes cache/steal stats
+//!                       and per-error proof cores)
+//! rowpoly explain <file>                   first type error with its checked
+//!                                          minimal-core evidence
 //! rowpoly types <file> [--flags]           print every definition's scheme
 //! rowpoly run   <file> [--fuel N]          type-check then evaluate `main`
 //! rowpoly compare <file>                   flow vs Rémy vs flow-free verdicts
@@ -30,14 +35,14 @@ use rowpoly::lang::parse_program;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: rowpoly <check|types|run|compare> <paths...> [options]");
+        eprintln!("usage: rowpoly <check|explain|types|run|compare> <paths...> [options]");
         return ExitCode::from(2);
     };
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
-        "types" | "run" | "compare" => cmd_single_file(cmd, &args[1..]),
+        "explain" | "types" | "run" | "compare" => cmd_single_file(cmd, &args[1..]),
         other => {
-            eprintln!("unknown command `{other}`; use check, types, run or compare");
+            eprintln!("unknown command `{other}`; use check, explain, types, run or compare");
             ExitCode::from(2)
         }
     }
@@ -129,6 +134,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     };
 
+    let json = args.iter().any(|a| a == "--json");
     let options = BatchOptions {
         opts: Options {
             track_fields: !args.iter().any(|a| a == "--no-fields"),
@@ -141,6 +147,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
         cache_dir: opt_value(args, "--cache-dir")
             .map(PathBuf::from)
             .unwrap_or_else(rowpoly::batch::cache::default_dir),
+        explain: args.iter().any(|a| a == "--explain"),
+        progress: args.iter().any(|a| a == "--progress") && !json,
     };
 
     let mut inputs = Vec::with_capacity(paths.len());
@@ -159,7 +167,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 
     let report = check_sources(inputs, &options);
-    if args.iter().any(|a| a == "--json") {
+    if json {
         println!("{}", report.to_json().render());
     } else {
         print!("{}", report.render());
@@ -191,10 +199,33 @@ fn cmd_single_file(cmd: &str, args: &[String]) -> ExitCode {
 
     let session = Session::new(Options {
         track_fields: !no_fields,
+        // `explain` trades speed for diagnostics: checking after every
+        // field-requirement assertion catches the conflict before
+        // stale-flag projection can collapse the offending clauses, so
+        // the minimal core still maps to source spans.
+        check: if cmd == "explain" {
+            rowpoly::core::CheckPolicy::Eager
+        } else {
+            Options::default().check
+        },
         ..Options::default()
     });
 
     match cmd {
+        "explain" => match session.infer_source(&source) {
+            Ok(report) => {
+                println!(
+                    "no type errors: {} definition{} check",
+                    report.defs.len(),
+                    if report.defs.len() == 1 { "" } else { "s" }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprint!("{}", e.render_explained(&source));
+                ExitCode::FAILURE
+            }
+        },
         "types" => match session.infer_source(&source) {
             Ok(report) => {
                 for d in &report.defs {
