@@ -45,15 +45,23 @@ use rowpoly_boolfun::SatClass;
 use rowpoly_core::{DefJob, DefVerdict, Options};
 use rowpoly_lang::{parse_program, pretty_def, Program};
 use rowpoly_obs as obs;
+use rowpoly_obs::contention::LockTimer;
 use rowpoly_obs::json::Json;
+use rowpoly_obs::timeline::{JobRecord, Profiler, WorkerTimeline};
 
 pub mod cache;
 pub mod codec;
 pub mod graph;
 pub mod pool;
+pub mod profile;
 
 use cache::{Cache, CachedDef};
 use graph::ProgramGraph;
+use profile::ProfileReport;
+
+/// Wait-time accounting for the shared inference-cache mutex
+/// (`lock.wait.batch.cache` in profile reports).
+static CACHE_LOCK: LockTimer = LockTimer::new("batch.cache");
 
 /// Batch configuration.
 #[derive(Clone, Debug)]
@@ -74,6 +82,11 @@ pub struct BatchOptions {
     /// Only takes effect when stderr is a terminal, so piped and CI
     /// runs stay clean regardless.
     pub progress: bool,
+    /// Capture per-worker timelines, lock contention, and the
+    /// dependency-graph critical path; the result lands in
+    /// [`BatchReport::profile`]. Off by default: a disabled profiler
+    /// costs one relaxed atomic load per instrumentation point.
+    pub profile: bool,
 }
 
 impl Default for BatchOptions {
@@ -85,6 +98,7 @@ impl Default for BatchOptions {
             cache_dir: cache::default_dir(),
             explain: false,
             progress: false,
+            profile: false,
         }
     }
 }
@@ -222,6 +236,8 @@ pub struct BatchReport {
     pub files: Vec<FileReport>,
     /// Aggregate statistics.
     pub stats: BatchStats,
+    /// The concurrency profile, when [`BatchOptions::profile`] was set.
+    pub profile: Option<ProfileReport>,
 }
 
 impl BatchReport {
@@ -401,15 +417,24 @@ impl BatchReport {
 }
 
 /// Live progress line for interactive runs: one `\r`-rewritten stderr
-/// line tracking drained definition groups, wave depth, and cache hits.
-/// Active only when requested *and* stderr is a terminal, so piped
-/// output, `--json` pipelines, and CI logs never see control
-/// characters.
+/// line tracking drained definition groups, the current wave (`wave
+/// k/N`), and cache hits. Active only when requested *and* stderr is a
+/// terminal, so piped output, `--json` pipelines, and CI logs never
+/// see control characters.
+///
+/// Clearing the line is handled by `Drop`, so every exit path —
+/// including early returns and panics unwinding out of the pool —
+/// leaves stderr at column zero instead of a stale partial line.
 struct Progress {
     total: usize,
     waves: usize,
     done: std::sync::atomic::AtomicUsize,
-    line: Mutex<()>,
+    /// Highest wave index (1-based) any started group belongs to.
+    wave: std::sync::atomic::AtomicUsize,
+    /// Serializes writers; holds the length of the last printed line
+    /// so `finish` can blank exactly what was written.
+    line: Mutex<usize>,
+    finished: std::sync::atomic::AtomicBool,
     active: bool,
 }
 
@@ -420,30 +445,51 @@ impl Progress {
             total,
             waves,
             done: std::sync::atomic::AtomicUsize::new(0),
-            line: Mutex::new(()),
+            wave: std::sync::atomic::AtomicUsize::new(0),
+            line: Mutex::new(0),
+            finished: std::sync::atomic::AtomicBool::new(false),
             active: requested && std::io::stderr().is_terminal(),
         }
     }
 
-    /// Called by a worker after each group finishes.
-    fn tick(&self, cache: &Mutex<Option<Cache>>) {
-        let done = self.done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+    /// Called by a worker after each group finishes; `wave` is the
+    /// finished group's 0-based wave index.
+    fn tick(&self, wave: usize, cache: &Mutex<Option<Cache>>) {
+        use std::sync::atomic::Ordering;
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.wave.fetch_max(wave + 1, Ordering::Relaxed);
         if !self.active {
             return;
         }
-        let hits = cache.lock().unwrap().as_ref().map_or(0, |c| c.hits);
-        let _one_writer = self.line.lock().unwrap();
-        eprint!(
-            "\rchecking: {done}/{} groups | wave depth {} | {hits} cache hits",
-            self.total, self.waves
+        let hits = CACHE_LOCK.lock(cache).as_ref().map_or(0, |c| c.hits);
+        let line = format!(
+            "checking: {done}/{} groups | wave {}/{} | {hits} cache hits",
+            self.total,
+            self.wave.load(Ordering::Relaxed),
+            self.waves.max(1),
         );
+        let mut last_len = self.line.lock().unwrap();
+        // Pad with spaces when the new line is shorter (hit counts can
+        // make earlier lines longer than later ones).
+        let pad = last_len.saturating_sub(line.len());
+        *last_len = line.len();
+        eprint!("\r{line}{:pad$}", "");
     }
 
-    /// Clears the line so the report starts at column zero.
+    /// Clears the line so whatever prints next starts at column zero.
+    /// Idempotent; also invoked by `Drop` on early exits.
     fn finish(&self) {
-        if self.active {
-            eprint!("\r{:68}\r", "");
+        use std::sync::atomic::Ordering;
+        if self.active && !self.finished.swap(true, Ordering::Relaxed) {
+            let width = *self.line.lock().unwrap();
+            eprint!("\r{:width$}\r", "");
         }
+    }
+}
+
+impl Drop for Progress {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -534,14 +580,22 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
         .max()
         .unwrap_or(0);
     let progress = Progress::new(options.progress, n_jobs, max_waves);
-    let (_, pool_stats) = pool::run_graph(n_jobs, &deps, threads, |j| {
+    let profiler = options.profile.then(Profiler::new);
+    let (_, pool_stats) = pool::run_graph(n_jobs, &deps, threads, profiler.as_ref(), |j, tl| {
         let (f, g) = jobs[j];
         let pf = parsed[f].as_ref().expect("jobs index parsed files");
-        let result = run_group(pf, g, &results, &cache, &fingerprint, options);
+        let wave = pf.graph.groups[g].wave;
+        if let Some(p) = &profiler {
+            if p.first_of_wave(wave) {
+                tl.instant_with(|| format!("wave {wave}"));
+            }
+        }
+        let result = run_group(pf, g, j, &results, &cache, &fingerprint, options, tl);
         assert!(results[j].set(result).is_ok(), "job ran twice");
-        progress.tick(&cache);
+        progress.tick(wave, &cache);
     });
     progress.finish();
+    let profile = profiler.map(|p| ProfileReport::build(p.finish(), &deps));
 
     if let Some(cache) = cache.lock().unwrap().as_ref() {
         if let Err(e) = cache.save(&options.cache_dir) {
@@ -552,7 +606,7 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
         }
     }
 
-    let report = assemble(
+    let mut report = assemble(
         parsed,
         &results,
         &cache,
@@ -561,6 +615,7 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
         wall_start,
         options.explain,
     );
+    report.profile = profile;
     flush_batch_metrics(&report.stats);
     if let Some(path) = trace_path {
         let snap = obs::snapshot();
@@ -574,17 +629,62 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
     report
 }
 
-/// Runs (or replays) one definition group.
+/// Renders `file.rp:def+def` for a group — the label jobs carry in
+/// profiles and traces.
+fn group_label(pf: &ParsedFile, group: &graph::Group) -> String {
+    let names: Vec<String> = group
+        .def_indices
+        .iter()
+        .map(|&i| pf.program.defs[i].name.to_string())
+        .collect();
+    format!("{}:{}", pf.path, names.join("+"))
+}
+
+/// Runs (or replays) one definition group. `job` is the group's global
+/// scheduler id; `tl` is the executing worker's timeline (inert unless
+/// profiling).
+#[allow(clippy::too_many_arguments)]
 fn run_group(
     pf: &ParsedFile,
     g: usize,
+    job: usize,
     results: &[OnceLock<GroupResult>],
     cache: &Mutex<Option<Cache>>,
     fingerprint: &str,
     options: &BatchOptions,
+    tl: &mut WorkerTimeline,
 ) -> GroupResult {
     let group = &pf.graph.groups[g];
+    tl.begin_with(|| group_label(pf, group));
+    let start_ns = tl.now_ns();
+    let (result, cached, phases) =
+        run_group_inner(pf, group, results, cache, fingerprint, options, tl);
+    let end_ns = tl.now_ns();
+    tl.end();
+    if tl.enabled() {
+        tl.push_job(JobRecord {
+            job,
+            label: group_label(pf, group),
+            start_ns,
+            end_ns,
+            cached,
+            phases,
+        });
+    }
+    result
+}
 
+/// The body of [`run_group`]; returns the result plus the profile
+/// attributes (replayed-from-cache flag, inference-phase breakdown).
+fn run_group_inner(
+    pf: &ParsedFile,
+    group: &graph::Group,
+    results: &[OnceLock<GroupResult>],
+    cache: &Mutex<Option<Cache>>,
+    fingerprint: &str,
+    options: &BatchOptions,
+    tl: &mut WorkerTimeline,
+) -> (GroupResult, bool, Vec<(&'static str, u64)>) {
     // Collect dependency schemes from already-finished groups. The
     // pool guarantees they completed; a failed dependency poisons this
     // group into `Skipped`.
@@ -606,7 +706,7 @@ fn run_group(
                     .iter()
                     .map(|&i| (i, DefVerdict::Skipped { after: name }))
                     .collect();
-                return GroupResult { items };
+                return (GroupResult { items }, false, Vec::new());
             }
         }
     }
@@ -620,11 +720,12 @@ fn run_group(
         .collect::<Vec<_>>()
         .join("\n");
     let key = Cache::key(fingerprint, &group_source, &dep_schemes);
-    if let Some(cache) = cache.lock().unwrap().as_mut() {
+    if let Some(cache) = CACHE_LOCK.lock(cache).as_mut() {
         if let Some(cached) = cache.lookup(key) {
             if let Some(items) = replay(group, &cached, pf) {
                 obs::counter_add("batch.cache.hits", 1);
-                return GroupResult { items };
+                tl.instant("cache-hit");
+                return (GroupResult { items }, true, Vec::new());
             }
             // Undecodable or mismatched entry: fall through and re-run.
         }
@@ -638,9 +739,10 @@ fn run_group(
         deps: dep_schemes,
     }
     .run();
+    let phases = outcome.stats.phase_durations();
 
     if outcome.all_ok() {
-        if let Some(cache) = cache.lock().unwrap().as_mut() {
+        if let Some(cache) = CACHE_LOCK.lock(cache).as_mut() {
             let defs = outcome
                 .items
                 .iter()
@@ -656,9 +758,13 @@ fn run_group(
             cache.insert(key, defs);
         }
     }
-    GroupResult {
-        items: outcome.items,
-    }
+    (
+        GroupResult {
+            items: outcome.items,
+        },
+        false,
+        phases,
+    )
 }
 
 /// Rebuilds a group's verdicts from a cache entry. Returns `None` when
@@ -784,7 +890,11 @@ fn assemble(
         }
     }
     stats.wall = wall_start.elapsed();
-    BatchReport { files, stats }
+    BatchReport {
+        files,
+        stats,
+        profile: None,
+    }
 }
 
 /// A stable digest of every option that can change schemes or
@@ -884,6 +994,41 @@ mod tests {
         assert_eq!(report.files[0].path, "a.rp");
         assert!(report.files[0].ok());
         assert!(report.files[1].defs.is_err());
+    }
+
+    #[test]
+    fn profiled_run_reports_utilization_and_critical_path() {
+        let src = "def a = 1\ndef b = a + 1\ndef c = b + 1\ndef d = {x = 1}\ndef e = #x d";
+        let mut options = BatchOptions::in_memory(2);
+        options.profile = true;
+        let report = check_sources(vec![file("a.rp", src)], &options);
+        assert!(report.ok());
+        let profile = report.profile.as_ref().expect("profile requested");
+        assert!(!profile.workers.is_empty(), "at least one worker timeline");
+        for u in &profile.workers {
+            let sum = u.busy_pct() + u.idle_pct() + u.search_pct() + u.lock_wait_pct();
+            assert!(
+                sum <= 100.5,
+                "worker {} buckets exceed wall: {sum}",
+                u.worker
+            );
+        }
+        let c = &profile.critical;
+        assert!(c.path_ns > 0, "critical path measured");
+        assert!(c.path_ns <= c.wall_ns, "chain cannot exceed wall");
+        assert!(c.serial_ns >= c.path_ns, "serial work includes the chain");
+        assert!(!c.chain.is_empty() && c.chain[0].starts_with("a.rp:"));
+        assert_eq!(
+            profile.jobs.len(),
+            5,
+            "every definition group left a job record"
+        );
+        assert!(profile.jobs.iter().any(|j| !j.phases.is_empty()));
+
+        // Profiling never perturbs the deterministic report.
+        let plain = check_sources(vec![file("a.rp", src)], &BatchOptions::in_memory(2));
+        assert!(plain.profile.is_none());
+        assert_eq!(report.render(), plain.render());
     }
 
     #[test]

@@ -11,11 +11,24 @@
 //! Everything is `Mutex` + `Condvar`; there are no lock-free tricks.
 //! The queues hold `usize` job ids and jobs are coarse (whole
 //! definition groups), so contention on the queue locks is noise
-//! compared to inference itself.
+//! compared to inference itself — a claim the profiler can now check:
+//! the queue and wake locks are instrumented [`LockTimer`] sites
+//! (`lock.wait.pool.queue`, `lock.wait.pool.wake`), and when a
+//! [`Profiler`] is supplied each worker keeps a private
+//! [`WorkerTimeline`] with exclusive busy / idle / steal-search /
+//! lock-wait accounting plus steal instant markers.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+
+use rowpoly_obs::contention::LockTimer;
+use rowpoly_obs::timeline::{Profiler, WorkerTimeline};
+
+/// Wait-time accounting for the per-worker deque locks.
+static QUEUE_LOCK: LockTimer = LockTimer::new("pool.queue");
+/// Wait-time accounting for the condvar wake lock.
+static WAKE_LOCK: LockTimer = LockTimer::new("pool.wake");
 
 /// What the pool observed while draining a graph.
 #[derive(Clone, Copy, Debug, Default)]
@@ -26,19 +39,22 @@ pub struct PoolStats {
     pub workers: usize,
 }
 
-/// Runs `jobs.len()` jobs respecting `deps` (for each job, the indices
-/// it must wait for) on `threads` workers. `run(i)` executes job `i`;
-/// results are collected in job order. Panics if `deps` contains a
-/// cycle (the pool would deadlock, so it asserts instead).
+/// Runs `n_jobs` jobs respecting `deps` (for each job, the indices it
+/// must wait for) on `threads` workers. `run(i, tl)` executes job `i`
+/// and may record onto the worker's timeline `tl` (inert unless
+/// `profiler` is supplied); results are collected in job order. Panics
+/// if `deps` contains a cycle (the pool would deadlock, so it asserts
+/// instead).
 pub fn run_graph<R, F>(
     n_jobs: usize,
     deps: &[Vec<usize>],
     threads: usize,
+    profiler: Option<&Profiler>,
     run: F,
 ) -> (Vec<R>, PoolStats)
 where
     R: Send,
-    F: Fn(usize) -> R + Sync,
+    F: Fn(usize, &mut WorkerTimeline) -> R + Sync,
 {
     assert_eq!(deps.len(), n_jobs);
     let threads = threads.max(1).min(n_jobs.max(1));
@@ -85,7 +101,16 @@ where
             let results = &results;
             let dependents = &dependents;
             let run = &run;
-            scope.spawn(move || worker(w, shared, dependents, results, run));
+            scope.spawn(move || {
+                let mut tl = match profiler {
+                    Some(p) => p.worker(w as u32),
+                    None => WorkerTimeline::disabled(),
+                };
+                worker(w, shared, dependents, results, run, &mut tl);
+                if let Some(p) = profiler {
+                    p.submit(tl);
+                }
+            });
         }
     });
 
@@ -118,8 +143,8 @@ struct Shared {
 
 impl Shared {
     fn push(&self, worker: usize, job: usize) {
-        self.queues[worker].lock().unwrap().push_back(job);
-        let mut version = self.wake.lock().unwrap();
+        QUEUE_LOCK.lock(&self.queues[worker]).push_back(job);
+        let mut version = WAKE_LOCK.lock(&self.wake);
         *version += 1;
         drop(version);
         self.bell.notify_all();
@@ -132,22 +157,26 @@ fn worker<R, F>(
     dependents: &[Vec<usize>],
     results: &[Mutex<Option<R>>],
     run: &F,
+    tl: &mut WorkerTimeline,
 ) where
     R: Send,
-    F: Fn(usize) -> R + Sync,
+    F: Fn(usize, &mut WorkerTimeline) -> R + Sync,
 {
     loop {
         if shared.remaining.load(Ordering::Acquire) == 0 {
             return;
         }
-        let seen = *shared.wake.lock().unwrap();
-        let job = pop_local(shared, me).or_else(|| steal(shared, me));
+        let search = tl.mark();
+        let seen = *WAKE_LOCK.lock(&shared.wake);
+        let job = pop_local(shared, me).or_else(|| steal(shared, me, tl));
+        tl.charge_search(search);
         let Some(job) = job else {
             if shared.remaining.load(Ordering::Acquire) == 0 {
                 return;
             }
             // Sleep unless a push happened since we read `seen`.
-            let guard = shared.wake.lock().unwrap();
+            let idle = tl.mark();
+            let guard = WAKE_LOCK.lock(&shared.wake);
             if *guard == seen {
                 // Timed wait: completion signals use notify_all too,
                 // but a bounded wait keeps shutdown robust.
@@ -156,19 +185,22 @@ fn worker<R, F>(
                     .wait_timeout(guard, std::time::Duration::from_millis(50))
                     .unwrap();
             }
+            tl.charge_idle(idle);
             continue;
         };
 
-        let result = run(job);
+        let busy = tl.mark();
+        let result = run(job, tl);
         *results[job].lock().unwrap() = Some(result);
         for &d in &dependents[job] {
             if shared.indegree[d].fetch_sub(1, Ordering::AcqRel) == 1 {
                 shared.push(me, d);
             }
         }
+        tl.charge_busy(busy);
         if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last job: wake everyone so they observe remaining == 0.
-            let mut version = shared.wake.lock().unwrap();
+            let mut version = WAKE_LOCK.lock(&shared.wake);
             *version += 1;
             drop(version);
             shared.bell.notify_all();
@@ -177,15 +209,16 @@ fn worker<R, F>(
 }
 
 fn pop_local(shared: &Shared, me: usize) -> Option<usize> {
-    shared.queues[me].lock().unwrap().pop_back()
+    QUEUE_LOCK.lock(&shared.queues[me]).pop_back()
 }
 
-fn steal(shared: &Shared, me: usize) -> Option<usize> {
+fn steal(shared: &Shared, me: usize, tl: &mut WorkerTimeline) -> Option<usize> {
     let n = shared.queues.len();
     for off in 1..n {
         let victim = (me + off) % n;
-        if let Some(job) = shared.queues[victim].lock().unwrap().pop_front() {
+        if let Some(job) = QUEUE_LOCK.lock(&shared.queues[victim]).pop_front() {
             shared.steals.fetch_add(1, Ordering::Relaxed);
+            tl.note_steal();
             return Some(job);
         }
     }
@@ -202,7 +235,7 @@ mod tests {
         // Chain 0 -> 1 -> 2 plus independents; record finish order.
         let deps = vec![vec![], vec![0], vec![1], vec![], vec![]];
         let order = Mutex::new(Vec::new());
-        let (results, stats) = run_graph(5, &deps, 4, |i| {
+        let (results, stats) = run_graph(5, &deps, 4, None, |i, _| {
             order.lock().unwrap().push(i);
             i * 10
         });
@@ -219,7 +252,7 @@ mod tests {
         let deps = vec![Vec::new(); n];
         let live = AtomicU32::new(0);
         let peak = AtomicU32::new(0);
-        let (_, stats) = run_graph(n, &deps, 4, |i| {
+        let (_, stats) = run_graph(n, &deps, 4, None, |i, _| {
             let now = live.fetch_add(1, Ordering::SeqCst) + 1;
             peak.fetch_max(now, Ordering::SeqCst);
             std::thread::sleep(std::time::Duration::from_millis(2));
@@ -235,7 +268,7 @@ mod tests {
 
     #[test]
     fn empty_graph_is_fine() {
-        let (results, _) = run_graph(0, &[], 8, |i: usize| i);
+        let (results, _) = run_graph(0, &[], 8, None, |i: usize, _| i);
         assert!(results.is_empty());
     }
 
@@ -243,10 +276,39 @@ mod tests {
     fn single_thread_drains_the_whole_graph() {
         let deps = vec![vec![], vec![], vec![0, 1]];
         let order = Mutex::new(Vec::new());
-        let (_, stats) = run_graph(3, &deps, 1, |i| order.lock().unwrap().push(i));
+        let (_, stats) = run_graph(3, &deps, 1, None, |i, _| order.lock().unwrap().push(i));
         let order = order.into_inner().unwrap();
         assert_eq!(order.len(), 3);
         assert_eq!(order[2], 2, "dependent ran before its inputs");
         assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn profiled_run_captures_every_worker_and_job() {
+        let n = 16;
+        let deps = vec![Vec::new(); n];
+        let profiler = Profiler::new();
+        let (_, stats) = run_graph(n, &deps, 4, Some(&profiler), |i, tl| {
+            tl.begin_with(|| format!("job {i}"));
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            tl.end();
+            i
+        });
+        let snap = profiler.finish();
+        assert_eq!(snap.workers.len(), 4, "one timeline per worker");
+        let events: usize = snap.workers.iter().map(|w| w.events.len()).sum();
+        assert!(events >= 2 * n, "every job left a begin and an end");
+        let steals: u64 = snap.workers.iter().map(|w| w.steals).sum();
+        assert_eq!(steals, stats.steals, "timelines agree with pool stats");
+        let busy: u64 = snap.workers.iter().map(|w| w.busy_ns).sum();
+        assert!(busy > 0, "busy time attributed");
+        for u in snap.utilization() {
+            let sum = u.busy_pct() + u.idle_pct() + u.search_pct() + u.lock_wait_pct();
+            assert!(
+                sum <= 100.5,
+                "worker {} buckets exceed wall: {sum}",
+                u.worker
+            );
+        }
     }
 }

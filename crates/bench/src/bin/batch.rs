@@ -1,4 +1,5 @@
-//! Benchmarks the batch checker: parallel speedup and cache effect.
+//! Benchmarks the batch checker: parallel speedup, cache effect, and
+//! the worker-scaling curve with its concurrency profile.
 //!
 //! ```text
 //! batch [--quick] [--json] [--files N] [--lines N] [--jobs N] [--seed N]
@@ -6,7 +7,9 @@
 //!
 //! Generates `--files` decoder-specification files of roughly `--lines`
 //! lines each (the Fig. 9 generator, one seed per file) and checks the
-//! corpus four ways:
+//! corpus four ways, each **best-of-3** (like the fig9 proof-overhead
+//! bench — wall-clock minima are robust to scheduler noise, means are
+//! not):
 //!
 //! * `serial`    — one worker, no cache: the baseline a plain loop over
 //!   `Session::infer_source` would cost;
@@ -16,9 +19,15 @@
 //! * `warm`      — `--jobs` workers, populated cache: the incremental
 //!   re-check cost when nothing changed.
 //!
-//! All four produce byte-identical reports (asserted). Absolute times
+//! A fifth section sweeps the worker count over 1/2/4/8 with profiling
+//! on: per-worker utilization (busy / idle / lock-wait / steal-scan)
+//! and the measured critical path, so the JSON answers *why* the curve
+//! flattens, not just that it does.
+//!
+//! All runs produce byte-identical reports (asserted). Absolute times
 //! depend on hardware; the shape to look for is `parallel` well under
-//! `serial`, and `warm` well under `cold`.
+//! `serial`, `warm` well under `cold`, and a critical-path ratio that
+//! explains the scaling.
 
 use std::time::{Duration, Instant};
 
@@ -26,8 +35,18 @@ use rowpoly_batch::{check_sources, BatchOptions, BatchReport, FileInput};
 use rowpoly_gen::generate_with_lines;
 use rowpoly_obs::json::Json;
 
+/// Wall-clock runs per configuration; the minimum is reported.
+const REPEATS: usize = 3;
+
 struct Run {
     name: &'static str,
+    wall: Duration,
+    report: BatchReport,
+}
+
+/// One point on the worker-scaling curve, measured with profiling on.
+struct ScalePoint {
+    workers: usize,
     wall: Duration,
     report: BatchReport,
 }
@@ -68,21 +87,33 @@ fn main() {
         ..BatchOptions::in_memory(jobs)
     };
 
-    let measure = |name: &'static str, options: &BatchOptions| {
-        let start = Instant::now();
-        let report = check_sources(corpus.clone(), options);
-        let wall = start.elapsed();
-        assert!(report.ok(), "{name}: generated corpus failed to check");
-        Run { name, wall, report }
+    // Best-of-N: repeat the whole run and keep the fastest. The `warm`
+    // configuration is naturally repeat-safe (every repeat hits the
+    // cache populated by `cold`); `cold` is re-seeded by clearing the
+    // cache directory before each repeat.
+    let measure = |name: &'static str, options: &BatchOptions, clear_cache: bool| {
+        let mut best: Option<Run> = None;
+        for _ in 0..REPEATS {
+            if clear_cache {
+                let _ = std::fs::remove_dir_all(&cache_dir);
+            }
+            let start = Instant::now();
+            let report = check_sources(corpus.clone(), options);
+            let wall = start.elapsed();
+            assert!(report.ok(), "{name}: generated corpus failed to check");
+            if best.as_ref().is_none_or(|b| wall < b.wall) {
+                best = Some(Run { name, wall, report });
+            }
+        }
+        best.expect("at least one repeat ran")
     };
 
     let runs = [
-        measure("serial", &BatchOptions::in_memory(1)),
-        measure("parallel", &BatchOptions::in_memory(jobs)),
-        measure("cold", &cached),
-        measure("warm", &cached),
+        measure("serial", &BatchOptions::in_memory(1), false),
+        measure("parallel", &BatchOptions::in_memory(jobs), false),
+        measure("cold", &cached, true),
+        measure("warm", &cached, false),
     ];
-    let _ = std::fs::remove_dir_all(&cache_dir);
 
     for r in &runs[1..] {
         assert_eq!(
@@ -98,16 +129,47 @@ fn main() {
         "warm run never hit the cache"
     );
 
+    // Worker-scaling sweep with the concurrency profiler on: best-of-N
+    // wall per point, utilization and critical path from that best run.
+    let scaling: Vec<ScalePoint> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&workers| {
+            let mut options = BatchOptions::in_memory(workers);
+            options.profile = true;
+            let mut best: Option<ScalePoint> = None;
+            for _ in 0..REPEATS {
+                let start = Instant::now();
+                let report = check_sources(corpus.clone(), &options);
+                let wall = start.elapsed();
+                assert!(report.ok(), "scaling run failed to check");
+                assert_eq!(
+                    report.render(),
+                    runs[0].report.render(),
+                    "profiled {workers}-worker run rendered differently"
+                );
+                if best.as_ref().is_none_or(|b| wall < b.wall) {
+                    best = Some(ScalePoint {
+                        workers,
+                        wall,
+                        report,
+                    });
+                }
+            }
+            best.expect("at least one repeat ran")
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     if json {
         println!(
             "{}",
-            render_json(files, lines, total_lines, seed, quick, &runs).render()
+            render_json(files, lines, total_lines, seed, quick, &runs, &scaling).render()
         );
         return;
     }
 
     println!(
-        "Batch checking: {files} files, {total_lines} lines, {} defs",
+        "Batch checking: {files} files, {total_lines} lines, {} defs (best of {REPEATS})",
         runs[0].report.stats.defs
     );
     println!();
@@ -131,6 +193,40 @@ fn main() {
     let speedup = runs[0].wall.as_secs_f64() / runs[1].wall.as_secs_f64().max(1e-9);
     let cache_gain = runs[2].wall.as_secs_f64() / warm.wall.as_secs_f64().max(1e-9);
     println!("parallel speedup {speedup:.2}x, warm-cache speedup over cold {cache_gain:.2}x");
+
+    println!();
+    println!("worker scaling (profiled)");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "workers", "wall", "busy%", "idle%", "lock-wait%", "cp-ratio", "ideal-x"
+    );
+    for p in &scaling {
+        let profile = p.report.profile.as_ref().expect("profiled run");
+        let (busy, idle, lock_wait) = mean_utilization(profile);
+        println!(
+            "{:<8} {:>7.2}s {:>7.1}% {:>7.1}% {:>9.1}% {:>10.2} {:>10.2}",
+            p.workers,
+            p.wall.as_secs_f64(),
+            busy,
+            idle,
+            lock_wait,
+            profile.critical.ratio(),
+            profile.critical.ideal_speedup(),
+        );
+    }
+}
+
+/// Mean busy/idle/lock-wait percentages across a profile's workers.
+fn mean_utilization(profile: &rowpoly_batch::profile::ProfileReport) -> (f64, f64, f64) {
+    let n = profile.workers.len().max(1) as f64;
+    let sum = profile.workers.iter().fold((0.0, 0.0, 0.0), |acc, u| {
+        (
+            acc.0 + u.busy_pct(),
+            acc.1 + u.idle_pct(),
+            acc.2 + u.lock_wait_pct(),
+        )
+    });
+    (sum.0 / n, sum.1 / n, sum.2 / n)
 }
 
 fn run_json(r: &Run) -> Json {
@@ -145,6 +241,43 @@ fn run_json(r: &Run) -> Json {
     ])
 }
 
+fn scale_json(p: &ScalePoint) -> Json {
+    let profile = p.report.profile.as_ref().expect("profiled run");
+    let (busy, idle, lock_wait) = mean_utilization(profile);
+    let c = &profile.critical;
+    Json::obj(vec![
+        ("workers", Json::Int(p.workers as i64)),
+        ("wall_s", Json::Float(p.wall.as_secs_f64())),
+        ("steals", Json::Int(p.report.stats.steals as i64)),
+        ("busy_pct", Json::Float(busy)),
+        ("idle_pct", Json::Float(idle)),
+        ("lock_wait_pct", Json::Float(lock_wait)),
+        ("critical_path_s", Json::Float(c.path_ns as f64 / 1e9)),
+        ("critical_path_ratio", Json::Float(c.ratio())),
+        ("ideal_speedup", Json::Float(c.ideal_speedup())),
+        (
+            "per_worker",
+            Json::Arr(
+                profile
+                    .workers
+                    .iter()
+                    .map(|u| {
+                        Json::obj(vec![
+                            ("worker", Json::Int(u.worker as i64)),
+                            ("jobs", Json::Int(u.jobs as i64)),
+                            ("busy_pct", Json::Float(u.busy_pct())),
+                            ("idle_pct", Json::Float(u.idle_pct())),
+                            ("lock_wait_pct", Json::Float(u.lock_wait_pct())),
+                            ("steal_scan_pct", Json::Float(u.search_pct())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     files: usize,
     lines: usize,
@@ -152,6 +285,7 @@ fn render_json(
     seed: u64,
     quick: bool,
     runs: &[Run; 4],
+    scaling: &[ScalePoint],
 ) -> Json {
     let serial = runs[0].wall.as_secs_f64();
     let parallel = runs[1].wall.as_secs_f64();
@@ -161,6 +295,7 @@ fn render_json(
         ("bench", Json::Str("batch".to_string())),
         ("seed", Json::Int(seed as i64)),
         ("quick", Json::Bool(quick)),
+        ("repeats", Json::Int(REPEATS as i64)),
         ("files", Json::Int(files as i64)),
         ("lines_per_file", Json::Int(lines as i64)),
         ("total_lines", Json::Int(total_lines as i64)),
@@ -171,5 +306,9 @@ fn render_json(
         ("warm_cache", run_json(&runs[3])),
         ("parallel_speedup", Json::Float(serial / parallel.max(1e-9))),
         ("warm_over_cold", Json::Float(cold / warm.max(1e-9))),
+        (
+            "scaling",
+            Json::Arr(scaling.iter().map(scale_json).collect()),
+        ),
     ])
 }

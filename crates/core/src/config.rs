@@ -174,6 +174,20 @@ impl Stats {
         self.project_subsumed += p.subsumed;
     }
 
+    /// The four paper phases as `(name, nanoseconds)` pairs, in the
+    /// pipeline's canonical order. This is the per-job phase breakdown
+    /// the batch profiler attaches to each scheduled group, so a
+    /// parallel profile can say not just *which worker ran which job
+    /// when* but where inside inference that job's time went.
+    pub fn phase_durations(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("unify", self.unify.as_nanos() as u64),
+            ("applys", self.applys.as_nanos() as u64),
+            ("project", self.project.as_nanos() as u64),
+            ("sat", self.sat.as_nanos() as u64),
+        ]
+    }
+
     /// Adds another stats record into this one.
     pub fn merge(&mut self, other: &Stats) {
         self.unify += other.unify;

@@ -4,6 +4,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
+use rowpoly_obs::contention::LockTimer;
+
+/// Wait-time accounting for the global interner lock
+/// (`lock.wait.lang.interner` in profile reports). The interner is the
+/// one mutex every parallel inference worker shares, so it is the
+/// first suspect for scaling pathologies.
+static INTERNER_LOCK: LockTimer = LockTimer::new("lang.interner");
+
 /// An interned identifier (program variable or record field name).
 ///
 /// Symbols are process-global: the same spelling always interns to the same
@@ -36,7 +44,7 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Interns `name`, returning its unique symbol.
     pub fn intern(name: &str) -> Symbol {
-        let mut i = interner().lock().expect("interner poisoned");
+        let mut i = INTERNER_LOCK.lock(interner());
         if let Some(&id) = i.map.get(name) {
             return Symbol(id);
         }
@@ -52,7 +60,7 @@ impl Symbol {
     /// identifiers).
     pub fn fresh(prefix: &str) -> Symbol {
         let n = {
-            let mut i = interner().lock().expect("interner poisoned");
+            let mut i = INTERNER_LOCK.lock(interner());
             i.gensym += 1;
             i.gensym
         };
@@ -61,7 +69,7 @@ impl Symbol {
 
     /// The spelling of this symbol.
     pub fn as_str(self) -> &'static str {
-        let i = interner().lock().expect("interner poisoned");
+        let i = INTERNER_LOCK.lock(interner());
         i.strings[self.0 as usize]
     }
 }

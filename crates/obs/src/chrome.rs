@@ -12,6 +12,7 @@ use std::path::Path;
 
 use crate::collector::{EventKind, Snapshot};
 use crate::json::Json;
+use crate::timeline::{TimelineEventKind, TimelineSnapshot};
 
 /// Renders a snapshot as a Chrome trace-event JSON document.
 pub fn chrome_trace_json(snap: &Snapshot) -> String {
@@ -83,6 +84,95 @@ pub fn write_chrome_trace(snap: &Snapshot, path: &Path) -> std::io::Result<()> {
     file.write_all(b"\n")
 }
 
+/// Renders a parallel-run timeline snapshot as a Chrome trace-event
+/// document with one named `tid` track per worker.
+///
+/// Track layout is stable: worker `w` maps to tid `w + 1` (tid 0 is
+/// reserved for the single-track exporter above), each track opens
+/// with a `thread_name` metadata record naming it `worker w`, and
+/// steal / cache-hit / wave-boundary markers appear as thread-scoped
+/// instant events (`"ph": "i"`, `"s": "t"`). Events are emitted in
+/// global timestamp order so `ts` is monotone over the document.
+pub fn chrome_trace_timelines(snap: &TimelineSnapshot) -> String {
+    let n_events: usize = snap.workers.iter().map(|w| w.events.len()).sum();
+    let mut events: Vec<Json> = Vec::with_capacity(n_events + snap.workers.len() + 1);
+
+    events.push(Json::obj(vec![
+        ("name", Json::Str("process_name".to_string())),
+        ("ph", Json::Str("M".to_string())),
+        ("pid", Json::Int(1)),
+        ("tid", Json::Int(0)),
+        ("ts", Json::Int(0)),
+        (
+            "args",
+            Json::obj(vec![("name", Json::Str("rowpoly".to_string()))]),
+        ),
+    ]));
+    for w in &snap.workers {
+        events.push(Json::obj(vec![
+            ("name", Json::Str("thread_name".to_string())),
+            ("ph", Json::Str("M".to_string())),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(w.worker() as i64 + 1)),
+            ("ts", Json::Int(0)),
+            (
+                "args",
+                Json::obj(vec![("name", Json::Str(format!("worker {}", w.worker())))]),
+            ),
+        ]));
+    }
+
+    // Merge all worker tracks into one globally ts-ordered stream.
+    // Each track is already non-decreasing, so a stable sort by ts
+    // preserves per-track B/E nesting order.
+    let mut merged: Vec<(u64, i64, &crate::timeline::TimelineEvent)> = Vec::with_capacity(n_events);
+    for w in &snap.workers {
+        let tid = w.worker() as i64 + 1;
+        for e in &w.events {
+            merged.push((e.t_ns, tid, e));
+        }
+    }
+    merged.sort_by_key(|(t_ns, tid, _)| (*t_ns, *tid));
+
+    for (t_ns, tid, e) in merged {
+        let mut fields = vec![
+            ("name", Json::Str(e.name.clone())),
+            ("cat", Json::Str("rowpoly".to_string())),
+            (
+                "ph",
+                Json::Str(
+                    match e.kind {
+                        TimelineEventKind::Begin => "B",
+                        TimelineEventKind::End => "E",
+                        TimelineEventKind::Instant => "i",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(tid)),
+            ("ts", Json::Float(t_ns as f64 / 1000.0)),
+        ];
+        if e.kind == TimelineEventKind::Instant {
+            fields.push(("s", Json::Str("t".to_string())));
+        }
+        events.push(Json::obj(fields));
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+    ])
+    .render()
+}
+
+/// Writes the per-worker Chrome trace for `snap` to `path`.
+pub fn write_chrome_trace_timelines(snap: &TimelineSnapshot, path: &Path) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(chrome_trace_timelines(snap).as_bytes())?;
+    file.write_all(b"\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +196,53 @@ mod tests {
             .map(|e| e.get("ts").unwrap().as_f64().unwrap())
             .collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]), "ts monotone: {ts:?}");
+    }
+
+    #[test]
+    fn timeline_trace_has_one_named_track_per_worker() {
+        let profiler = crate::timeline::Profiler::new();
+        let mut a = profiler.worker(0);
+        a.begin_with(|| "job 0".to_string());
+        a.instant("cache-hit");
+        a.end();
+        let mut b = profiler.worker(1);
+        b.note_steal();
+        b.begin_with(|| "job 1".to_string());
+        b.end();
+        profiler.submit(b);
+        profiler.submit(a);
+        let snap = profiler.finish();
+
+        let doc = json::parse(&chrome_trace_timelines(&snap)).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ph = |e: &Json| e.get("ph").unwrap().as_str().unwrap().to_string();
+        let tid = |e: &Json| e.get("tid").unwrap().as_i64().unwrap();
+
+        // process_name + two thread_name records, workers sorted.
+        let meta: Vec<&Json> = events.iter().filter(|e| ph(e) == "M").collect();
+        assert_eq!(meta.len(), 3);
+        assert_eq!(tid(meta[1]), 1, "worker 0 is tid 1");
+        assert_eq!(tid(meta[2]), 2, "worker 1 is tid 2");
+        assert_eq!(
+            meta[1].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("worker 0")
+        );
+
+        // Instants are thread-scoped; span edges balance per track.
+        for e in events.iter().filter(|e| ph(e) == "i") {
+            assert_eq!(e.get("s").unwrap().as_str(), Some("t"));
+        }
+        for t in [1, 2] {
+            let depth: i64 = events
+                .iter()
+                .filter(|e| tid(e) == t)
+                .map(|e| match ph(e).as_str() {
+                    "B" => 1,
+                    "E" => -1,
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(depth, 0, "unbalanced spans on tid {t}");
+        }
     }
 }

@@ -22,25 +22,36 @@
 //!   tests need no `rand` dependency.
 //! - [`json`]: a minimal JSON value type with an encoder and a strict
 //!   parser, shared by the exporters and their golden tests.
+//! - [`timeline`] / [`contention`]: the concurrency profiler — private
+//!   per-worker event buffers (no shared collector on the hot path),
+//!   instrumented-lock wait accounting, and exclusive
+//!   busy/idle/steal-search/lock-wait attribution for parallel runs.
 //!
 //! When collection is disabled (the default) every instrumentation
 //! point costs one relaxed atomic load.
 
 pub mod chrome;
 pub mod collector;
+pub mod contention;
 pub mod json;
 pub mod metrics;
 pub mod phase;
 pub mod report;
 pub mod rng;
+pub mod timeline;
 
 pub use collector::{
     collector, counter_add, counter_max, disable, enable, enabled, hist_record, init_from_env,
     reset, snapshot, span, span_lazy, Collector, EventKind, Snapshot, SpanEvent, SpanGuard,
     TRACE_ENV,
 };
+pub use contention::{LockTimer, LockWaitStats, ProfilingSession};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use phase::{Phase, PhaseClock};
+pub use timeline::{
+    JobRecord, Profiler, TimelineEvent, TimelineEventKind, TimelineSnapshot, WorkerTimeline,
+    WorkerUtil,
+};
 
 /// Number of property-test cases to run for a given default; the
 /// non-default `exhaustive` feature multiplies sampling effort the way

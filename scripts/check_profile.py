@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Schema check for `rowpoly check --profile` artifacts.
+
+Usage: check_profile.py <profile.json> [trace.json]
+
+Validates the concurrency-profile JSON (per-worker utilization, lock
+waits, critical path) and, when given, the per-worker Chrome trace
+(named tracks, balanced spans, monotone timestamps). Exits non-zero
+with a diagnostic on the first violation, so CI can gate on it.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_profile: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_profile(doc):
+    if not isinstance(doc.get("wall_ns"), int) or doc["wall_ns"] <= 0:
+        fail(f"wall_ns must be a positive integer, got {doc.get('wall_ns')!r}")
+
+    workers = doc.get("workers")
+    if not isinstance(workers, list) or not workers:
+        fail("workers must be a non-empty array")
+    for w in workers:
+        for key in ("worker", "jobs", "steals"):
+            if not isinstance(w.get(key), int):
+                fail(f"worker entry missing integer {key}: {w}")
+        pcts = ["busy_pct", "idle_pct", "lock_wait_pct", "steal_scan_pct", "other_pct"]
+        for key in pcts:
+            v = w.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"worker {w['worker']}: {key} must be a non-negative number, got {v!r}")
+        total = sum(w[k] for k in pcts)
+        if not 99.0 <= total <= 101.0:
+            fail(f"worker {w['worker']}: buckets sum to {total:.2f}%, expected ~100%")
+
+    locks = doc.get("locks")
+    if not isinstance(locks, dict):
+        fail("locks must be an object")
+    for name, stats in locks.items():
+        if not name.startswith("lock.wait."):
+            fail(f"lock key {name!r} must be namespaced lock.wait.*")
+        if stats.get("contended", 0) > stats.get("acquisitions", 0):
+            fail(f"{name}: contended exceeds acquisitions")
+        if stats.get("wait_ns", 0) < 0 or stats.get("max_wait_ns", 0) < 0:
+            fail(f"{name}: negative wait")
+
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        fail("jobs must be a non-empty array")
+    for j in jobs:
+        if not isinstance(j.get("label"), str) or ":" not in j["label"]:
+            fail(f"job {j.get('job')}: label must be file:def, got {j.get('label')!r}")
+        if j.get("dur_ns", -1) < 0 or j.get("start_ns", -1) < 0:
+            fail(f"job {j.get('job')}: negative timing")
+
+    cp = doc.get("critical_path")
+    if not isinstance(cp, dict):
+        fail("critical_path must be an object")
+    if cp.get("path_ns", -1) < 0 or cp.get("serial_ns", 0) < cp.get("path_ns", 0):
+        fail(f"critical path longer than total serial work: {cp}")
+    ratio = cp.get("ratio")
+    if not isinstance(ratio, (int, float)) or not 0.0 <= ratio <= 1.05:
+        fail(f"critical_path.ratio must be in [0, 1], got {ratio!r}")
+    if cp.get("ideal_speedup", 0) < 0.99:
+        fail(f"ideal_speedup below 1: {cp.get('ideal_speedup')!r}")
+    if not isinstance(cp.get("chain"), list):
+        fail("critical_path.chain must be an array")
+
+    return len(workers), len(jobs)
+
+
+def check_trace(doc, n_workers):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+    if events[0].get("ph") != "M":
+        fail("trace must open with a metadata record")
+
+    named = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    if len(named) != n_workers:
+        fail(f"expected {n_workers} thread_name records, found {len(named)}")
+    for w in range(n_workers):
+        if named.get(w + 1) != f"worker {w}":
+            fail(f"tid {w + 1} must be named 'worker {w}', got {named.get(w + 1)!r}")
+
+    last_global = float("-inf")
+    tracks = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        ts, tid = e.get("ts"), e.get("tid")
+        if not isinstance(ts, (int, float)):
+            fail(f"event without numeric ts: {e}")
+        if ts < last_global:
+            fail("trace not globally ts-ordered")
+        last_global = ts
+        last, depth = tracks.get(tid, (float("-inf"), 0))
+        if ts < last:
+            fail(f"tid {tid}: per-track ts order violated")
+        if ph == "B":
+            depth += 1
+        elif ph == "E":
+            depth -= 1
+            if depth < 0:
+                fail(f"tid {tid}: E without matching B")
+        elif ph == "i":
+            if e.get("s") != "t":
+                fail(f"tid {tid}: instant event not thread-scoped: {e}")
+        elif ph != "C":
+            fail(f"unexpected phase {ph!r}")
+        tracks[tid] = (ts, depth)
+    for tid, (_, depth) in tracks.items():
+        if depth != 0:
+            fail(f"tid {tid}: {depth} unbalanced span(s)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        profile = json.load(f)
+    n_workers, n_jobs = check_profile(profile)
+    msg = f"profile OK ({n_workers} workers, {n_jobs} jobs"
+    if len(sys.argv) > 2:
+        with open(sys.argv[2]) as f:
+            trace = json.load(f)
+        check_trace(trace, n_workers)
+        msg += f", trace OK with {len(trace['traceEvents'])} events"
+    print(f"check_profile: {msg})")
+
+
+if __name__ == "__main__":
+    main()

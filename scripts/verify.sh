@@ -54,4 +54,14 @@ assert two['stats']['cache_hits'] > 0, two
 print(f"    {one['stats']['defs']} defs, warm run hit {two['stats']['cache_hits']} cached groups")
 PY
 
+echo "==> profile smoke (concurrency profile + worker-track trace)"
+profile_dir=$(mktemp -d)
+cargo run --release --bin rowpoly -- check programs/ --jobs 2 --no-cache \
+  --profile "$profile_dir/profile.json" > /dev/null 2> /dev/null || true
+python3 scripts/check_profile.py "$profile_dir/profile.json" "$profile_dir/profile.trace.json"
+cargo run --release --bin rowpoly -- profile programs/ --jobs 2 --no-cache --json \
+  > "$profile_dir/profile-cmd.json" || true
+python3 scripts/check_profile.py "$profile_dir/profile-cmd.json"
+rm -rf "$profile_dir"
+
 echo "==> all checks passed"

@@ -10,8 +10,15 @@
 //!     --no-fields       disable field tracking (Fig. 2 baseline)
 //!     --explain         append the minimal-unsat-core proof summary to errors
 //!     --progress        live progress line on stderr (TTY only; off with --json)
+//!     --profile F       write the concurrency profile (per-worker
+//!                       utilization, lock waits, critical path) to F as JSON;
+//!                       F with a `.trace.json` twin gets the Chrome trace
 //!     --json            machine-readable report (includes cache/steal stats
 //!                       and per-error proof cores)
+//! rowpoly profile <dir|files...> [options] check + print the profile report
+//!     accepts the same options as check, plus:
+//!     --trace F         write the per-worker Chrome trace to F
+//!     --json            print the profile as JSON instead of text
 //! rowpoly explain <file>                   first type error with its checked
 //!                                          minimal-core evidence
 //! rowpoly types <file> [--flags]           print every definition's scheme
@@ -40,9 +47,12 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
         "explain" | "types" | "run" | "compare" => cmd_single_file(cmd, &args[1..]),
         other => {
-            eprintln!("unknown command `{other}`; use check, explain, types, run or compare");
+            eprintln!(
+                "unknown command `{other}`; use check, profile, explain, types, run or compare"
+            );
             ExitCode::from(2)
         }
     }
@@ -80,10 +90,31 @@ fn expand(path: &str, out: &mut Vec<PathBuf>) -> Result<(), String> {
     }
 }
 
-fn cmd_check(args: &[String]) -> ExitCode {
+/// Everything the batch commands (`check`, `profile`) parse from their
+/// argument lists.
+struct BatchArgs {
+    inputs: Vec<FileInput>,
+    options: BatchOptions,
+    json: bool,
+    /// `--profile F`: write the profile JSON here.
+    profile_out: Option<PathBuf>,
+    /// `--trace F`: write the per-worker Chrome trace here.
+    trace_out: Option<PathBuf>,
+}
+
+/// Parses the shared batch argument surface; `usage` names the calling
+/// subcommand for diagnostics.
+fn parse_batch_args(args: &[String], usage: &str) -> Result<BatchArgs, ExitCode> {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut i = 0;
-    let value_opts = ["--jobs", "--cache-dir", "--sat-budget", "--compaction"];
+    let value_opts = [
+        "--jobs",
+        "--cache-dir",
+        "--sat-budget",
+        "--compaction",
+        "--profile",
+        "--trace",
+    ];
     while i < args.len() {
         let a = &args[i];
         if value_opts.contains(&a.as_str()) {
@@ -96,13 +127,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
         if let Err(e) = expand(a, &mut paths) {
             eprintln!("error: {e}");
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
         i += 1;
     }
     if paths.is_empty() {
-        eprintln!("usage: rowpoly check <dir|files...> [--jobs N] [--no-cache] [--json]");
-        return ExitCode::from(2);
+        eprintln!("usage: {usage}");
+        return Err(ExitCode::from(2));
     }
 
     let jobs: usize = match opt_value(args, "--jobs") {
@@ -111,7 +142,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             Ok(n) => n,
             Err(_) => {
                 eprintln!("error: --jobs expects a number, got `{v}`");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         },
     };
@@ -121,7 +152,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             Ok(n) => Some(n),
             Err(_) => {
                 eprintln!("error: --sat-budget expects a number, got `{v}`");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         },
     };
@@ -130,11 +161,12 @@ fn cmd_check(args: &[String]) -> ExitCode {
         Some("perdef") => Compaction::PerDef,
         Some(other) => {
             eprintln!("error: --compaction expects `aggressive` or `perdef`, got `{other}`");
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
 
     let json = args.iter().any(|a| a == "--json");
+    let profile_out = opt_value(args, "--profile").map(PathBuf::from);
     let options = BatchOptions {
         opts: Options {
             track_fields: !args.iter().any(|a| a == "--no-fields"),
@@ -149,6 +181,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             .unwrap_or_else(rowpoly::batch::cache::default_dir),
         explain: args.iter().any(|a| a == "--explain"),
         progress: args.iter().any(|a| a == "--progress") && !json,
+        profile: profile_out.is_some(),
     };
 
     let mut inputs = Vec::with_capacity(paths.len());
@@ -161,16 +194,115 @@ fn cmd_check(args: &[String]) -> ExitCode {
             }),
             Err(e) => {
                 eprintln!("error: cannot read {display}: {e}");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         }
     }
+    Ok(BatchArgs {
+        inputs,
+        options,
+        json,
+        profile_out,
+        trace_out: opt_value(args, "--trace").map(PathBuf::from),
+    })
+}
 
-    let report = check_sources(inputs, &options);
-    if json {
+/// The Chrome-trace twin of a profile JSON path: `out.json` →
+/// `out.trace.json`, anything else gets `.trace.json` appended.
+fn trace_twin(profile: &Path) -> PathBuf {
+    let s = profile.display().to_string();
+    match s.strip_suffix(".json") {
+        Some(stem) => PathBuf::from(format!("{stem}.trace.json")),
+        None => PathBuf::from(format!("{s}.trace.json")),
+    }
+}
+
+/// Writes the profile JSON to `out` and the Chrome trace to its
+/// `.trace.json` twin.
+fn write_profile(
+    out: &Path,
+    profile: &rowpoly::batch::profile::ProfileReport,
+) -> Result<(), String> {
+    std::fs::write(out, profile.to_json().render() + "\n")
+        .map_err(|e| format!("cannot write profile {}: {e}", out.display()))?;
+    let trace = trace_twin(out);
+    profile
+        .write_trace(&trace)
+        .map_err(|e| format!("cannot write trace {}: {e}", trace.display()))?;
+    eprintln!(
+        "profile written to {} (trace: {})",
+        out.display(),
+        trace.display()
+    );
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let parsed = match parse_batch_args(
+        args,
+        "rowpoly check <dir|files...> [--jobs N] [--no-cache] [--profile F] [--json]",
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+
+    let report = check_sources(parsed.inputs, &parsed.options);
+    if parsed.json {
         println!("{}", report.to_json().render());
     } else {
         print!("{}", report.render());
+    }
+    if let (Some(out), Some(profile)) = (&parsed.profile_out, &report.profile) {
+        // The summary goes to stderr so the deterministic report on
+        // stdout stays byte-identical with and without --profile.
+        eprint!("{}", profile.render_text());
+        if let Err(e) = write_profile(out, profile) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `rowpoly profile`: run the batch with profiling on and report the
+/// concurrency profile itself (text or `--json`), with an optional
+/// Chrome trace. The type-checking verdict still decides the exit
+/// code, so `profile` can replace `check` in scripts.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let mut parsed = match parse_batch_args(
+        args,
+        "rowpoly profile <dir|files...> [--jobs N] [--trace F] [--json]",
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    parsed.options.profile = true;
+
+    let report = check_sources(parsed.inputs, &parsed.options);
+    let profile = report
+        .profile
+        .as_ref()
+        .expect("profiling was requested for this run");
+    if parsed.json {
+        println!("{}", profile.to_json().render());
+    } else {
+        print!("{}", profile.render_text());
+    }
+    if let Some(out) = &parsed.profile_out {
+        if let Err(e) = write_profile(out, profile) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(trace) = &parsed.trace_out {
+        if let Err(e) = profile.write_trace(trace) {
+            eprintln!("error: cannot write trace {}: {e}", trace.display());
+            return ExitCode::from(2);
+        }
     }
     if report.ok() {
         ExitCode::SUCCESS

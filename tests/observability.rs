@@ -176,6 +176,115 @@ fn projection_engine_counters_are_recorded() {
     );
 }
 
+/// Golden test for the per-worker Chrome-trace track layout produced by
+/// a profiled batch run: stable tids (worker `w` → tid `w + 1`), one
+/// `thread_name` metadata record per worker track, balanced spans per
+/// track with per-track monotone timestamps, and thread-scoped instant
+/// events for wave boundaries (plus steals/cache hits when they occur).
+#[test]
+fn profiled_batch_trace_has_stable_worker_tracks() {
+    use rowpoly::batch::{check_sources, BatchOptions, FileInput};
+
+    // Two files over a dependency chain each, so the run has several
+    // groups and more than one wave.
+    let inputs = vec![
+        FileInput {
+            path: "a.rp".to_string(),
+            source: "def base = {x = 1}\ndef mid = #x base\ndef top = mid + 1".to_string(),
+        },
+        FileInput {
+            path: "b.rp".to_string(),
+            source: state_monad_source(),
+        },
+    ];
+    let mut options = BatchOptions::in_memory(2);
+    options.profile = true;
+    let report = check_sources(inputs, &options);
+    assert!(report.ok());
+    let profile = report.profile.as_ref().expect("profile requested");
+
+    let text = obs::chrome::chrome_trace_timelines(&profile.snapshot);
+    let doc = obs::json::parse(&text).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let ph = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap().to_string();
+    let tid = |e: &Json| e.get("tid").and_then(Json::as_i64).unwrap();
+
+    // Metadata: process_name on tid 0 first, then one named track per
+    // worker with tid = worker + 1, in worker order.
+    assert_eq!(ph(&events[0]), "M");
+    let thread_names: Vec<(i64, String)> = events
+        .iter()
+        .filter(|e| ph(e) == "M" && e.get("name").and_then(Json::as_str) == Some("thread_name"))
+        .map(|e| {
+            (
+                tid(e),
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        thread_names.len(),
+        profile.workers.len(),
+        "one named track per worker"
+    );
+    for (i, (t, name)) in thread_names.iter().enumerate() {
+        assert_eq!(*t, i as i64 + 1, "worker {i} must sit on tid {}", i + 1);
+        assert_eq!(name, &format!("worker {i}"));
+    }
+
+    // Per track: timestamps monotone, B/E balanced, instants
+    // thread-scoped. Globally: the document is ts-ordered.
+    let mut global_last = f64::MIN;
+    let mut per_track: std::collections::BTreeMap<i64, (f64, i64)> = Default::default();
+    let mut instant_names = std::collections::BTreeSet::new();
+    for e in events.iter().filter(|e| ph(e) != "M") {
+        let ts = e.get("ts").and_then(Json::as_f64).expect("numeric ts");
+        assert!(ts >= global_last, "document not globally ts-ordered");
+        global_last = ts;
+        let track = per_track.entry(tid(e)).or_insert((f64::MIN, 0));
+        assert!(ts >= track.0, "track {} not monotone", tid(e));
+        track.0 = ts;
+        match ph(e).as_str() {
+            "B" => track.1 += 1,
+            "E" => {
+                track.1 -= 1;
+                assert!(track.1 >= 0, "E without B on tid {}", tid(e));
+            }
+            "i" => {
+                assert_eq!(
+                    e.get("s").and_then(Json::as_str),
+                    Some("t"),
+                    "instants must be thread-scoped"
+                );
+                instant_names.insert(e.get("name").and_then(Json::as_str).unwrap().to_string());
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (t, (_, depth)) in &per_track {
+        assert_eq!(*depth, 0, "unbalanced spans on tid {t}");
+    }
+    assert!(
+        instant_names.iter().any(|n| n.starts_with("wave ")),
+        "wave boundary markers missing: {instant_names:?}"
+    );
+    // Job spans carry the file:def labels on worker tracks.
+    assert!(
+        events.iter().any(|e| ph(e) == "B"
+            && e.get("name")
+                .and_then(Json::as_str)
+                .is_some_and(|n| n.starts_with("a.rp:"))),
+        "job spans must be labeled file:def"
+    );
+}
+
 /// With collection disabled (the default), inference leaves no events or
 /// metrics behind.
 #[test]
