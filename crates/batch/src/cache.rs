@@ -30,9 +30,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use rowpoly_boolfun::SatClass;
 use rowpoly_lang::Symbol;
+use rowpoly_obs::contention::LockTimer;
 use rowpoly_obs::json::{self, Json};
 use rowpoly_types::Scheme;
 
@@ -174,6 +176,116 @@ impl Cache {
 /// The default cache directory under a workspace root.
 pub fn default_dir() -> PathBuf {
     PathBuf::from(".rowpoly-cache")
+}
+
+/// Number of [`Sharded`] stripes. A power of two so stripe selection is
+/// a mask over the (already well-mixed) content fingerprint.
+pub const STRIPES: usize = 8;
+
+/// Per-stripe wait-time accounting. Each stripe is its own static
+/// site (`lock.wait.batch.cache.s0` … `.s7`), so a profile shows not
+/// just that cache waiting went down after sharding but how evenly the
+/// fingerprints spread across stripes.
+static STRIPE_LOCKS: [LockTimer; STRIPES] = [
+    LockTimer::new("batch.cache.s0"),
+    LockTimer::new("batch.cache.s1"),
+    LockTimer::new("batch.cache.s2"),
+    LockTimer::new("batch.cache.s3"),
+    LockTimer::new("batch.cache.s4"),
+    LockTimer::new("batch.cache.s5"),
+    LockTimer::new("batch.cache.s6"),
+    LockTimer::new("batch.cache.s7"),
+];
+
+/// The inference cache sharded into [`STRIPES`] independently locked
+/// stripes, routed by definition-group fingerprint. Workers touching
+/// different groups almost never contend: with one global mutex the
+/// PR 5 profile showed `batch.cache` lock-wait reaching ~12% of worker
+/// time at 8 workers, and every acquisition serialised the whole pool.
+///
+/// Persistence stays a single `cache.json` — [`Sharded::load`] deals
+/// the entries out by fingerprint and [`Sharded::save`] merges the
+/// touched entries back, so the on-disk format (and its corruption
+/// tolerance) is exactly the unsharded [`Cache`]'s.
+#[derive(Debug)]
+pub struct Sharded {
+    stripes: Vec<Mutex<Cache>>,
+}
+
+impl Sharded {
+    /// An empty sharded cache (no persistence yet).
+    pub fn new() -> Sharded {
+        Sharded {
+            stripes: (0..STRIPES).map(|_| Mutex::new(Cache::default())).collect(),
+        }
+    }
+
+    /// Loads `dir` (tolerating every failure mode, like [`Cache::load`])
+    /// and deals the entries out across the stripes.
+    pub fn load(dir: &Path) -> Sharded {
+        let whole = Cache::load(dir);
+        let sharded = Sharded::new();
+        for (key, defs) in whole.entries {
+            sharded.stripes[stripe_of(key)]
+                .lock()
+                .unwrap()
+                .entries
+                .insert(key, defs);
+        }
+        sharded
+    }
+
+    fn stripe(&self, key: u64) -> std::sync::MutexGuard<'_, Cache> {
+        let i = stripe_of(key);
+        STRIPE_LOCKS[i].lock(&self.stripes[i])
+    }
+
+    /// Looks up a key in its stripe, counting the hit or miss there.
+    pub fn lookup(&self, key: u64) -> Option<Vec<CachedDef>> {
+        self.stripe(key).lookup(key)
+    }
+
+    /// Stores a fully-successful group outcome in the key's stripe.
+    pub fn insert(&self, key: u64, defs: Vec<CachedDef>) {
+        self.stripe(key).insert(key, defs);
+    }
+
+    /// Total hits across stripes.
+    pub fn hits(&self) -> u64 {
+        self.stripes.iter().map(|s| s.lock().unwrap().hits).sum()
+    }
+
+    /// Total misses across stripes.
+    pub fn misses(&self) -> u64 {
+        self.stripes.iter().map(|s| s.lock().unwrap().misses).sum()
+    }
+
+    /// Merges every stripe's touched entries and writes one
+    /// `cache.json`, with [`Cache::save`]'s write-then-rename safety.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let mut merged = Cache::default();
+        for stripe in &self.stripes {
+            let cache = stripe.lock().unwrap();
+            for &key in &cache.touched {
+                if let Some(defs) = cache.entries.get(&key) {
+                    merged.insert(key, defs.clone());
+                }
+            }
+        }
+        merged.save(dir)
+    }
+}
+
+impl Default for Sharded {
+    fn default() -> Sharded {
+        Sharded::new()
+    }
+}
+
+fn stripe_of(key: u64) -> usize {
+    // The fingerprint already went through FxHash64's multiply, so the
+    // high bits are the best-mixed ones.
+    (key >> (64 - STRIPES.trailing_zeros())) as usize
 }
 
 fn encode_entry(key: u64, defs: &[CachedDef]) -> Json {

@@ -42,10 +42,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use rowpoly_boolfun::SatClass;
-use rowpoly_core::{DefJob, DefVerdict, Options};
-use rowpoly_lang::{parse_program, pretty_def, Program};
+use rowpoly_core::{group_source, DefJob, DefVerdict, Options};
+use rowpoly_lang::{parse_program, Program};
 use rowpoly_obs as obs;
-use rowpoly_obs::contention::LockTimer;
 use rowpoly_obs::json::Json;
 use rowpoly_obs::timeline::{JobRecord, Profiler, WorkerTimeline};
 
@@ -55,13 +54,9 @@ pub mod graph;
 pub mod pool;
 pub mod profile;
 
-use cache::{Cache, CachedDef};
+use cache::{Cache, CachedDef, Sharded};
 use graph::ProgramGraph;
 use profile::ProfileReport;
-
-/// Wait-time accounting for the shared inference-cache mutex
-/// (`lock.wait.batch.cache` in profile reports).
-static CACHE_LOCK: LockTimer = LockTimer::new("batch.cache");
 
 /// Batch configuration.
 #[derive(Clone, Debug)]
@@ -454,14 +449,14 @@ impl Progress {
 
     /// Called by a worker after each group finishes; `wave` is the
     /// finished group's 0-based wave index.
-    fn tick(&self, wave: usize, cache: &Mutex<Option<Cache>>) {
+    fn tick(&self, wave: usize, cache: Option<&Sharded>) {
         use std::sync::atomic::Ordering;
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         self.wave.fetch_max(wave + 1, Ordering::Relaxed);
         if !self.active {
             return;
         }
-        let hits = CACHE_LOCK.lock(cache).as_ref().map_or(0, |c| c.hits);
+        let hits = cache.map_or(0, Sharded::hits);
         let line = format!(
             "checking: {done}/{} groups | wave {}/{} | {hits} cache hits",
             self.total,
@@ -565,12 +560,8 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
         })
         .collect();
 
-    let cache = Mutex::new(if options.use_cache {
-        Some(Cache::load(&options.cache_dir))
-    } else {
-        None
-    });
-    let fingerprint = options_fingerprint(&options.opts);
+    let cache = options.use_cache.then(|| Sharded::load(&options.cache_dir));
+    let fingerprint = options.opts.fingerprint();
     let results: Vec<OnceLock<GroupResult>> = (0..n_jobs).map(|_| OnceLock::new()).collect();
 
     let max_waves = parsed
@@ -590,14 +581,23 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
                 tl.instant_with(|| format!("wave {wave}"));
             }
         }
-        let result = run_group(pf, g, j, &results, &cache, &fingerprint, options, tl);
+        let result = run_group(
+            pf,
+            g,
+            j,
+            &results,
+            cache.as_ref(),
+            &fingerprint,
+            options,
+            tl,
+        );
         assert!(results[j].set(result).is_ok(), "job ran twice");
-        progress.tick(wave, &cache);
+        progress.tick(wave, cache.as_ref());
     });
     progress.finish();
     let profile = profiler.map(|p| ProfileReport::build(p.finish(), &deps));
 
-    if let Some(cache) = cache.lock().unwrap().as_ref() {
+    if let Some(cache) = cache.as_ref() {
         if let Err(e) = cache.save(&options.cache_dir) {
             eprintln!(
                 "rowpoly: warning: could not save cache to {}: {e}",
@@ -609,7 +609,7 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
     let mut report = assemble(
         parsed,
         &results,
-        &cache,
+        cache.as_ref(),
         pool_stats,
         threads,
         wall_start,
@@ -649,7 +649,7 @@ fn run_group(
     g: usize,
     job: usize,
     results: &[OnceLock<GroupResult>],
-    cache: &Mutex<Option<Cache>>,
+    cache: Option<&Sharded>,
     fingerprint: &str,
     options: &BatchOptions,
     tl: &mut WorkerTimeline,
@@ -680,7 +680,7 @@ fn run_group_inner(
     pf: &ParsedFile,
     group: &graph::Group,
     results: &[OnceLock<GroupResult>],
-    cache: &Mutex<Option<Cache>>,
+    cache: Option<&Sharded>,
     fingerprint: &str,
     options: &BatchOptions,
     tl: &mut WorkerTimeline,
@@ -713,14 +713,9 @@ fn run_group_inner(
 
     // Content-addressed lookup: options + pretty-printed group source +
     // dependency schemes.
-    let group_source: String = group
-        .def_indices
-        .iter()
-        .map(|&i| pretty_def(&pf.program.defs[i]))
-        .collect::<Vec<_>>()
-        .join("\n");
-    let key = Cache::key(fingerprint, &group_source, &dep_schemes);
-    if let Some(cache) = CACHE_LOCK.lock(cache).as_mut() {
+    let content = group_source(&pf.program, &group.def_indices);
+    let key = Cache::key(fingerprint, &content, &dep_schemes);
+    if let Some(cache) = cache {
         if let Some(cached) = cache.lookup(key) {
             if let Some(items) = replay(group, &cached, pf) {
                 obs::counter_add("batch.cache.hits", 1);
@@ -742,7 +737,7 @@ fn run_group_inner(
     let phases = outcome.stats.phase_durations();
 
     if outcome.all_ok() {
-        if let Some(cache) = CACHE_LOCK.lock(cache).as_mut() {
+        if let Some(cache) = cache {
             let defs = outcome
                 .items
                 .iter()
@@ -801,7 +796,7 @@ fn replay(
 fn assemble(
     parsed: Vec<Result<ParsedFile, (String, String)>>,
     results: &[OnceLock<GroupResult>],
-    cache: &Mutex<Option<Cache>>,
+    cache: Option<&Sharded>,
     pool_stats: pool::PoolStats,
     workers: usize,
     wall_start: Instant,
@@ -813,9 +808,9 @@ fn assemble(
         workers,
         ..BatchStats::default()
     };
-    if let Some(cache) = cache.lock().unwrap().as_ref() {
-        stats.cache_hits = cache.hits;
-        stats.cache_misses = cache.misses;
+    if let Some(cache) = cache {
+        stats.cache_hits = cache.hits();
+        stats.cache_misses = cache.misses();
     }
 
     let mut files = Vec::with_capacity(parsed.len());
@@ -895,22 +890,6 @@ fn assemble(
         stats,
         profile: None,
     }
-}
-
-/// A stable digest of every option that can change schemes or
-/// verdicts; part of the cache key. The cancellation flag is excluded
-/// (it changes *whether* a result is produced, never which).
-fn options_fingerprint(opts: &Options) -> String {
-    format!(
-        "compaction={:?};check={:?};letrec={};track={};envv={};unifier={:?};budget={:?}",
-        opts.compaction,
-        opts.check,
-        opts.max_letrec_iters,
-        opts.track_fields,
-        opts.env_versions,
-        opts.unifier,
-        opts.sat_budget,
-    )
 }
 
 fn flush_batch_metrics(stats: &BatchStats) {

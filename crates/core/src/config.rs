@@ -103,6 +103,28 @@ impl Default for Options {
     }
 }
 
+impl Options {
+    /// A stable digest of every option that can change schemes or
+    /// verdicts. This is the shared prefix of every content-addressed
+    /// inference key — the batch cache and the serve daemon's query
+    /// memos both start from it, so results computed under one
+    /// configuration are never replayed under another. The cancellation
+    /// flag is excluded (it changes *whether* a result is produced,
+    /// never which).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "compaction={:?};check={:?};letrec={};track={};envv={};unifier={:?};budget={:?}",
+            self.compaction,
+            self.check,
+            self.max_letrec_iters,
+            self.track_fields,
+            self.env_versions,
+            self.unifier,
+            self.sat_budget,
+        )
+    }
+}
+
 /// Wall-clock time spent per inference phase, mirroring the paper's
 /// Section 6 observation that "the 2-SAT solver is not the biggest
 /// bottleneck but applying substitutions is equally expensive".

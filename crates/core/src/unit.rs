@@ -39,6 +39,20 @@ use crate::driver::{builtin_env, flush_stats_metrics, DefReport};
 use crate::error::TypeError;
 use crate::flow::FlowInfer;
 
+/// The canonical *content key* of a definition group: its members
+/// pretty-printed in index order, joined by newlines. Whitespace and
+/// comments in the original source never change it, so it is the right
+/// thing to hash for content-addressed memoization — the batch cache
+/// and the serve daemon's verdict query both key on it (together with
+/// [`Options::fingerprint`] and the dependencies' closed schemes).
+pub fn group_source(program: &Program, def_indices: &[usize]) -> String {
+    def_indices
+        .iter()
+        .map(|&i| rowpoly_lang::pretty_def(&program.defs[i]))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// Closes a definition's published interface: projects the scheme's
 /// stored flow onto the flags of its own type. The result mentions no
 /// engine-internal flags, so it can be instantiated by any engine (and

@@ -76,6 +76,30 @@ impl LineMap {
         (line + 1, (offset - self.line_starts[line]) as usize + 1)
     }
 
+    /// Number of lines indexed (at least 1; the empty source has one
+    /// empty line).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Byte offset of a 1-based `(line, column)` pair, clamped to the
+    /// end of the line (its newline, or end of file on the last line).
+    /// The inverse of [`LineMap::position`] for in-range pairs; the
+    /// serve daemon uses it to turn editor cursor positions and
+    /// incremental-edit ranges into byte offsets. `source_len` bounds
+    /// positions past the last line.
+    pub fn offset_of(&self, line: usize, col: usize, source_len: usize) -> u32 {
+        let Some(&start) = self.line_starts.get(line.saturating_sub(1)) else {
+            return source_len as u32;
+        };
+        let line_end = self
+            .line_starts
+            .get(line)
+            .map(|&next| next.saturating_sub(1))
+            .unwrap_or(source_len as u32);
+        (start + col.saturating_sub(1) as u32).min(line_end)
+    }
+
     /// The source text of the line containing `offset` (without newline),
     /// given the original source.
     pub fn line_text<'s>(&self, source: &'s str, offset: u32) -> &'s str {
@@ -112,6 +136,21 @@ mod tests {
         assert_eq!(lm.position(5), (2, 3));
         assert_eq!(lm.position(7), (3, 1));
         assert_eq!(lm.position(8), (4, 1));
+    }
+
+    #[test]
+    fn offset_of_inverts_position_and_clamps() {
+        let src = "ab\ncde\n\nf";
+        let lm = LineMap::new(src);
+        for off in 0..src.len() as u32 {
+            let (line, col) = lm.position(off);
+            assert_eq!(lm.offset_of(line, col, src.len()), off);
+        }
+        // Past end of line: clamp to the newline.
+        assert_eq!(lm.offset_of(1, 99, src.len()), 2);
+        // Past end of file: clamp to the length.
+        assert_eq!(lm.offset_of(4, 99, src.len()), 9);
+        assert_eq!(lm.offset_of(99, 1, src.len()), 9);
     }
 
     #[test]

@@ -1,0 +1,932 @@
+//! The demand-driven incremental query engine.
+//!
+//! One [`ServeEngine`] owns the daemon's entire state: the open
+//! documents, the hot memo layer, and (optionally) the persistent
+//! content-addressed cache from the batch checker. Each document
+//! revision flows through four memoized queries:
+//!
+//! 1. **parse** — source text → AST + dependency graph, keyed by a
+//!    hash of the raw text (so undo/redo and re-saves replay for
+//!    free);
+//! 2. **slice** — for each definition group, the inputs that determine
+//!    its outcome: the group's pretty-printed content and the *closed
+//!    schemes* of the definitions it references;
+//! 3. **verdict** — the per-definition outcomes of a group, keyed by
+//!    the slice fingerprint ([`Cache::key`]: options fingerprint +
+//!    pretty-printed content + dependency schemes);
+//! 4. **scheme** — the closed schemes a verdict publishes, which feed
+//!    the slices of dependent groups.
+//!
+//! Early cutoff falls out of the keying, with no dirty bits anywhere:
+//! an edit that does not change a definition's pretty-printed AST
+//! leaves its verdict key unchanged (whitespace and comments are
+//! free); an edit that changes the body but not the *closed scheme*
+//! re-keys only that one group, because its dependents key on the
+//! scheme, not the text. The serve counters make this observable —
+//! after a one-definition edit, `verdict.recomputed` is exactly the
+//! number of definitions whose meaning-relevant inputs changed.
+//!
+//! Failures (type errors, timeouts) are recomputed every revision
+//! rather than memoized: inference stops at the first failure, so they
+//! are cheap, and their diagnostics carry byte spans that the next
+//! keystroke would invalidate.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rowpoly_batch::cache::{Cache, CachedDef};
+use rowpoly_batch::graph::ProgramGraph;
+use rowpoly_boolfun::SatClass;
+use rowpoly_core::{group_source, DefJob, DefVerdict, Options};
+use rowpoly_lang::{parse_program, LineMap, Program, Span, Symbol};
+use rowpoly_obs as obs;
+use rowpoly_obs::json::Json;
+use rowpoly_obs::metrics::Histogram;
+use rowpoly_types::{render_scheme, Scheme};
+
+use crate::memo::Memo;
+
+/// Configuration of a serve session.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Inference options (the same surface `rowpoly check` exposes;
+    /// part of every query key, so switching options never replays
+    /// stale results).
+    pub opts: Options,
+    /// Persistent cache directory; `None` disables the disk layer.
+    pub cache_dir: Option<PathBuf>,
+    /// Hot-memo entry cap (eviction threshold).
+    pub memo_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            opts: Options::default(),
+            cache_dir: None,
+            memo_cap: 4096,
+        }
+    }
+}
+
+/// What happened to the queries of one document revision.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RevisionStats {
+    /// The new text hashed identically to the old: every query reused.
+    pub unchanged: bool,
+    /// Parse queries answered from the parse memo.
+    pub parse_hits: u64,
+    /// Parse queries that re-ran the parser.
+    pub parse_misses: u64,
+    /// Dependency-slice queries evaluated (one per definition group).
+    pub slices: u64,
+    /// Verdict queries answered by the hot memo.
+    pub verdict_hits: u64,
+    /// Verdict queries answered by the persistent cache.
+    pub verdict_disk_hits: u64,
+    /// Verdict queries that ran inference.
+    pub verdict_recomputed: u64,
+    /// Dependency schemes served from memoized verdicts.
+    pub scheme_hits: u64,
+    /// Definitions inside recomputed groups.
+    pub defs_recomputed: u64,
+    /// Wall time of the revision.
+    pub wall_ns: u64,
+}
+
+impl RevisionStats {
+    fn fold_into(&self, t: &mut Totals) {
+        t.parse_hits += self.parse_hits;
+        t.parse_misses += self.parse_misses;
+        t.slices += self.slices;
+        t.verdict_hits += self.verdict_hits;
+        t.verdict_disk_hits += self.verdict_disk_hits;
+        t.verdict_recomputed += self.verdict_recomputed;
+        t.scheme_hits += self.scheme_hits;
+        t.defs_recomputed += self.defs_recomputed;
+    }
+
+    /// The machine-readable form embedded in protocol responses.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("unchanged", Json::Bool(self.unchanged)),
+            ("parse_hits", Json::Int(self.parse_hits as i64)),
+            ("parse_misses", Json::Int(self.parse_misses as i64)),
+            ("slices", Json::Int(self.slices as i64)),
+            ("verdict_hits", Json::Int(self.verdict_hits as i64)),
+            (
+                "verdict_disk_hits",
+                Json::Int(self.verdict_disk_hits as i64),
+            ),
+            (
+                "verdict_recomputed",
+                Json::Int(self.verdict_recomputed as i64),
+            ),
+            ("scheme_hits", Json::Int(self.scheme_hits as i64)),
+            ("defs_recomputed", Json::Int(self.defs_recomputed as i64)),
+            ("wall_ns", Json::Int(self.wall_ns as i64)),
+        ])
+    }
+}
+
+/// Lifetime totals across every revision (the `counters` query).
+#[derive(Clone, Copy, Debug, Default)]
+struct Totals {
+    parse_hits: u64,
+    parse_misses: u64,
+    slices: u64,
+    verdict_hits: u64,
+    verdict_disk_hits: u64,
+    verdict_recomputed: u64,
+    scheme_hits: u64,
+    defs_recomputed: u64,
+    edits: u64,
+    opens: u64,
+}
+
+/// The verdict of one definition, rendered for protocol consumers.
+#[derive(Clone, Debug)]
+pub enum DefStatus {
+    /// Checked; carries the rendered closed scheme and its SAT class.
+    Ok {
+        /// Rendered scheme (no flags).
+        scheme: String,
+        /// SAT class of the closed flow.
+        sat_class: SatClass,
+    },
+    /// Rejected; `rendered` is the span-anchored explained diagnostic
+    /// (identical to one-shot `rowpoly check --explain` output).
+    Error {
+        /// One-line message.
+        message: String,
+        /// Full explained diagnostic rendered against the source.
+        rendered: String,
+        /// Primary error span.
+        span: Span,
+    },
+    /// A budgeted SAT check gave up.
+    Timeout {
+        /// One-line message.
+        message: String,
+        /// Span of the definition.
+        span: Span,
+    },
+    /// Shadowed by an earlier failure in its group or dependencies.
+    Skipped {
+        /// The definition whose failure shadowed this one.
+        after: String,
+    },
+}
+
+impl DefStatus {
+    /// The status word used across reports (`ok`/`error`/…), matching
+    /// the batch checker's vocabulary.
+    pub fn word(&self) -> &'static str {
+        match self {
+            DefStatus::Ok { .. } => "ok",
+            DefStatus::Error { .. } => "error",
+            DefStatus::Timeout { .. } => "timeout",
+            DefStatus::Skipped { .. } => "skipped",
+        }
+    }
+}
+
+/// One definition's state in the current revision of a document.
+#[derive(Clone, Debug)]
+pub struct DefState {
+    /// Definition name.
+    pub name: String,
+    /// Span of the whole definition (hover anchor).
+    pub span: Span,
+    /// Current verdict.
+    pub status: DefStatus,
+}
+
+/// Analysis of one document revision.
+#[derive(Debug)]
+pub enum Analysis {
+    /// The file does not parse.
+    ParseError {
+        /// Diagnostic message.
+        message: String,
+        /// Full rendered diagnostic.
+        rendered: String,
+        /// Error location.
+        span: Span,
+    },
+    /// The file parses; per-definition verdicts in source order.
+    Checked {
+        /// Per-definition states.
+        defs: Vec<DefState>,
+    },
+}
+
+/// An open document.
+#[derive(Debug)]
+pub struct Document {
+    /// Current text.
+    pub source: String,
+    /// Client-supplied version (monotone per LSP).
+    pub version: i64,
+    source_hash: u64,
+    /// Line index of `source`.
+    pub line_map: LineMap,
+    /// Current analysis.
+    pub analysis: Analysis,
+}
+
+/// A hover answer: the definition under the cursor.
+#[derive(Clone, Debug)]
+pub struct HoverInfo {
+    /// Definition name.
+    pub name: String,
+    /// Rendered closed scheme, when the definition checks.
+    pub scheme: Option<String>,
+    /// SAT class name, when the definition checks.
+    pub sat_class: Option<&'static str>,
+    /// Status word (`ok`/`error`/`timeout`/`skipped`).
+    pub status: &'static str,
+    /// Span of the definition (the hover highlight range).
+    pub span: Span,
+}
+
+/// One incremental text edit, LSP-style: 0-based line/character range
+/// replaced by `text`.
+#[derive(Clone, Debug)]
+pub struct RangeEdit {
+    /// 0-based start line.
+    pub start_line: usize,
+    /// 0-based start character (byte column).
+    pub start_character: usize,
+    /// 0-based end line (exclusive position).
+    pub end_line: usize,
+    /// 0-based end character.
+    pub end_character: usize,
+    /// Replacement text.
+    pub text: String,
+}
+
+/// The result of revising one document.
+#[derive(Clone, Debug)]
+pub struct FileUpdate {
+    /// Document path (or URI) as the client supplied it.
+    pub path: String,
+    /// Document version after the update.
+    pub version: i64,
+    /// Whether every definition checks.
+    pub ok: bool,
+    /// Query accounting for this revision.
+    pub stats: RevisionStats,
+}
+
+/// The daemon's state: open documents plus the layered query cache.
+pub struct ServeEngine {
+    opts: Options,
+    fingerprint: String,
+    files: BTreeMap<String, Document>,
+    /// Hot layer: verdict-query memo.
+    memo: Memo,
+    /// Parse memo: source hash → parsed program + graph.
+    parsed: BTreeMap<u64, (std::sync::Arc<Program>, std::sync::Arc<ProgramGraph>)>,
+    /// Persistence: the batch checker's content-addressed cache.
+    disk: Option<Cache>,
+    cache_dir: Option<PathBuf>,
+    revision: u64,
+    totals: Totals,
+    /// Per-edit wall-time distribution (microseconds, log₂ buckets).
+    edit_us: Histogram,
+}
+
+impl ServeEngine {
+    /// Starts an engine, loading the persistent cache when configured.
+    pub fn new(config: ServeConfig) -> ServeEngine {
+        let disk = config.cache_dir.as_deref().map(Cache::load);
+        ServeEngine {
+            fingerprint: config.opts.fingerprint(),
+            opts: config.opts,
+            files: BTreeMap::new(),
+            memo: Memo::new(config.memo_cap),
+            parsed: BTreeMap::new(),
+            disk,
+            cache_dir: config.cache_dir,
+            revision: 0,
+            totals: Totals::default(),
+            edit_us: Histogram::default(),
+        }
+    }
+
+    /// Opens (or re-opens) a document and computes its analysis.
+    pub fn open(&mut self, path: &str, text: String, version: i64) -> FileUpdate {
+        self.totals.opens += 1;
+        self.revise(path, text, version, false)
+    }
+
+    /// Replaces a document's entire text.
+    pub fn change_full(
+        &mut self,
+        path: &str,
+        text: String,
+        version: i64,
+    ) -> Result<FileUpdate, String> {
+        if !self.files.contains_key(path) {
+            return Err(format!("document not open: {path}"));
+        }
+        Ok(self.revise(path, text, version, true))
+    }
+
+    /// Applies LSP-style incremental edits in order (each edit
+    /// addresses the document state left by the previous one).
+    pub fn change_ranges(
+        &mut self,
+        path: &str,
+        edits: &[RangeEdit],
+        version: i64,
+    ) -> Result<FileUpdate, String> {
+        let Some(doc) = self.files.get(path) else {
+            return Err(format!("document not open: {path}"));
+        };
+        let mut text = doc.source.clone();
+        for edit in edits {
+            let lm = LineMap::new(&text);
+            let start = lm.offset_of(edit.start_line + 1, edit.start_character + 1, text.len());
+            let end = lm.offset_of(edit.end_line + 1, edit.end_character + 1, text.len());
+            if start > end {
+                return Err(format!(
+                    "invalid edit range: start {}:{} after end {}:{}",
+                    edit.start_line, edit.start_character, edit.end_line, edit.end_character
+                ));
+            }
+            text.replace_range(start as usize..end as usize, &edit.text);
+        }
+        Ok(self.revise(path, text, version, true))
+    }
+
+    /// Closes a document, dropping its state (memoized queries stay
+    /// warm for a re-open). Returns whether it was open.
+    pub fn close(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// The open document at `path`.
+    pub fn document(&self, path: &str) -> Option<&Document> {
+        self.files.get(path)
+    }
+
+    /// Paths of every open document.
+    pub fn open_paths(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// The definition covering the 0-based `(line, character)`
+    /// position, with its scheme and SAT class.
+    pub fn hover(&self, path: &str, line: usize, character: usize) -> Option<HoverInfo> {
+        let doc = self.files.get(path)?;
+        let Analysis::Checked { defs } = &doc.analysis else {
+            return None;
+        };
+        let offset = doc
+            .line_map
+            .offset_of(line + 1, character + 1, doc.source.len());
+        let def = defs
+            .iter()
+            .find(|d| d.span.start <= offset && offset < d.span.end.max(d.span.start + 1))?;
+        let (scheme, sat_class) = match &def.status {
+            DefStatus::Ok { scheme, sat_class } => (Some(scheme.clone()), Some(sat_class.name())),
+            _ => (None, None),
+        };
+        Some(HoverInfo {
+            name: def.name.clone(),
+            scheme,
+            sat_class,
+            status: def.status.word(),
+            span: def.span,
+        })
+    }
+
+    /// Persists the disk layer (no-op without a cache directory).
+    /// Called on `didSave` and at shutdown.
+    pub fn persist(&mut self) -> Result<(), String> {
+        let (Some(disk), Some(dir)) = (self.disk.as_ref(), self.cache_dir.as_ref()) else {
+            return Ok(());
+        };
+        disk.save(dir)
+            .map_err(|e| format!("cannot save cache to {}: {e}", dir.display()))
+    }
+
+    /// Lifetime counters: query hits/misses per kind, memo occupancy,
+    /// and the per-edit latency distribution (p50/p90/p99).
+    pub fn counters(&self) -> Json {
+        let t = &self.totals;
+        let pct = |p: f64| Json::Int(self.edit_us.percentile(p).unwrap_or(0) as i64);
+        Json::obj(vec![
+            ("revision", Json::Int(self.revision as i64)),
+            ("open_files", Json::Int(self.files.len() as i64)),
+            (
+                "queries",
+                Json::obj(vec![
+                    (
+                        "parse",
+                        Json::obj(vec![
+                            ("hits", Json::Int(t.parse_hits as i64)),
+                            ("misses", Json::Int(t.parse_misses as i64)),
+                        ]),
+                    ),
+                    (
+                        "slice",
+                        Json::obj(vec![("evaluated", Json::Int(t.slices as i64))]),
+                    ),
+                    (
+                        "verdict",
+                        Json::obj(vec![
+                            ("hits", Json::Int(t.verdict_hits as i64)),
+                            ("disk_hits", Json::Int(t.verdict_disk_hits as i64)),
+                            ("recomputed", Json::Int(t.verdict_recomputed as i64)),
+                        ]),
+                    ),
+                    (
+                        "scheme",
+                        Json::obj(vec![("hits", Json::Int(t.scheme_hits as i64))]),
+                    ),
+                ]),
+            ),
+            (
+                "memo",
+                Json::obj(vec![
+                    ("entries", Json::Int(self.memo.len() as i64)),
+                    ("hits", Json::Int(self.memo.hits as i64)),
+                    ("misses", Json::Int(self.memo.misses as i64)),
+                    ("evicted", Json::Int(self.memo.evicted as i64)),
+                ]),
+            ),
+            (
+                "disk",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.disk.is_some())),
+                    (
+                        "entries",
+                        Json::Int(self.disk.as_ref().map_or(0, Cache::len) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "edits",
+                Json::obj(vec![
+                    ("count", Json::Int(t.edits as i64)),
+                    ("opens", Json::Int(t.opens as i64)),
+                    ("p50_us", pct(50.0)),
+                    ("p90_us", pct(90.0)),
+                    ("p99_us", pct(99.0)),
+                    ("max_us", Json::Int(self.edit_us.max().unwrap_or(0) as i64)),
+                ]),
+            ),
+            ("defs_recomputed", Json::Int(t.defs_recomputed as i64)),
+        ])
+    }
+
+    /// Revises a document: parse → slice → verdict for every group,
+    /// reusing memoized answers wherever the keys still match.
+    fn revise(&mut self, path: &str, text: String, version: i64, is_edit: bool) -> FileUpdate {
+        let start = Instant::now();
+        self.revision += 1;
+        let mut stats = RevisionStats::default();
+
+        let hash = content_hash(&text);
+        let unchanged = self
+            .files
+            .get(path)
+            .is_some_and(|doc| doc.source_hash == hash);
+        if unchanged {
+            // Identical content: every query reuses by construction.
+            stats.unchanged = true;
+            stats.parse_hits = 1;
+            let doc = self.files.get_mut(path).expect("checked above");
+            doc.version = version;
+            let ok = analysis_ok(&doc.analysis);
+            stats.wall_ns = start.elapsed().as_nanos() as u64;
+            self.note_revision(&stats, is_edit);
+            return FileUpdate {
+                path: path.to_string(),
+                version,
+                ok,
+                stats,
+            };
+        }
+
+        let analysis = self.analyze(&text, &mut stats);
+        let line_map = LineMap::new(&text);
+        let ok = analysis_ok(&analysis);
+        self.files.insert(
+            path.to_string(),
+            Document {
+                source: text,
+                version,
+                source_hash: hash,
+                line_map,
+                analysis,
+            },
+        );
+        stats.wall_ns = start.elapsed().as_nanos() as u64;
+        self.note_revision(&stats, is_edit);
+        FileUpdate {
+            path: path.to_string(),
+            version,
+            ok,
+            stats,
+        }
+    }
+
+    /// Runs the query pipeline over one document text.
+    fn analyze(&mut self, text: &str, stats: &mut RevisionStats) -> Analysis {
+        // Query 1: parse (memoized on the raw text hash).
+        let hash = content_hash(text);
+        let (program, graph) = match self.parsed.get(&hash) {
+            Some((p, g)) => {
+                stats.parse_hits += 1;
+                (p.clone(), g.clone())
+            }
+            None => {
+                stats.parse_misses += 1;
+                match parse_program(text) {
+                    Err(diag) => {
+                        return Analysis::ParseError {
+                            message: diag.message.clone(),
+                            rendered: diag.render(text),
+                            span: diag.span,
+                        };
+                    }
+                    Ok(program) => {
+                        let graph = std::sync::Arc::new(ProgramGraph::build(&program));
+                        let program = std::sync::Arc::new(program);
+                        self.parsed.insert(hash, (program.clone(), graph.clone()));
+                        // The parse memo is tiny but unbounded input
+                        // could still grow it; cap like the verdict memo.
+                        if self.parsed.len() > 64 {
+                            let drop_key = *self.parsed.keys().next().expect("non-empty");
+                            if drop_key != hash {
+                                self.parsed.remove(&drop_key);
+                            }
+                        }
+                        (program, graph)
+                    }
+                }
+            }
+        };
+
+        // Queries 2–4 per group, in interval (= topological) order.
+        let n_defs = program.defs.len();
+        let mut outcomes: Vec<Option<MemberOut>> = (0..n_defs).map(|_| None).collect();
+        let mut group_cached: Vec<bool> = vec![false; graph.groups.len()];
+        for (g, group) in graph.groups.iter().enumerate() {
+            // Query 2: the dependency slice — group content plus the
+            // closed schemes it consumes.
+            stats.slices += 1;
+            let mut dep_schemes: Vec<(Symbol, Scheme)> = Vec::with_capacity(group.deps.len());
+            let mut failed_dep: Option<Symbol> = None;
+            for (&name, &def_idx) in &group.deps {
+                match &outcomes[def_idx] {
+                    Some(MemberOut::Ok { scheme, .. }) => {
+                        // Query 4 (scheme): served from the dependency's
+                        // memoized (or just-computed) verdict.
+                        if group_cached[graph.group_of[def_idx]] {
+                            stats.scheme_hits += 1;
+                        }
+                        dep_schemes.push((name, scheme.clone()));
+                    }
+                    Some(_) => {
+                        failed_dep = Some(name);
+                        break;
+                    }
+                    None => unreachable!("groups are visited in topological order"),
+                }
+            }
+            if let Some(after) = failed_dep {
+                for &i in &group.def_indices {
+                    outcomes[i] = Some(MemberOut::Skipped { after });
+                }
+                continue;
+            }
+
+            // Query 3: the verdict, keyed by the slice fingerprint.
+            let content = group_source(&program, &group.def_indices);
+            let key = Cache::key(&self.fingerprint, &content, &dep_schemes);
+            if let Some(cached) = self.memo.lookup(key, self.revision) {
+                if let Some(items) = replay(&program, group, cached) {
+                    stats.verdict_hits += 1;
+                    group_cached[g] = true;
+                    for (i, out) in items {
+                        outcomes[i] = Some(out);
+                    }
+                    continue;
+                }
+            }
+            if let Some(disk) = self.disk.as_mut() {
+                if let Some(cached) = disk.lookup(key) {
+                    if let Some(items) = replay(&program, group, &cached) {
+                        stats.verdict_disk_hits += 1;
+                        group_cached[g] = true;
+                        self.memo.insert(key, cached, self.revision);
+                        for (i, out) in items {
+                            outcomes[i] = Some(out);
+                        }
+                        continue;
+                    }
+                }
+            }
+
+            // Miss: run inference on this group alone.
+            stats.verdict_recomputed += 1;
+            stats.defs_recomputed += group.def_indices.len() as u64;
+            let outcome = DefJob {
+                opts: self.opts.clone(),
+                program: program.clone(),
+                def_indices: group.def_indices.clone(),
+                deps: dep_schemes,
+            }
+            .run();
+            if outcome.all_ok() {
+                let cached: Vec<CachedDef> = outcome
+                    .items
+                    .iter()
+                    .map(|(_, v)| {
+                        let report = v.report().expect("all_ok");
+                        CachedDef {
+                            name: report.name,
+                            scheme: report.scheme.clone(),
+                            sat_class: report.sat_class,
+                        }
+                    })
+                    .collect();
+                self.memo.insert(key, cached.clone(), self.revision);
+                if let Some(disk) = self.disk.as_mut() {
+                    disk.insert(key, cached);
+                }
+            }
+            for (i, verdict) in outcome.items {
+                outcomes[i] = Some(match verdict {
+                    DefVerdict::Ok(report) => MemberOut::Ok {
+                        scheme: report.scheme,
+                        sat_class: report.sat_class,
+                    },
+                    DefVerdict::Error(e) => MemberOut::Error(e),
+                    DefVerdict::Timeout(e) => MemberOut::Timeout(e),
+                    DefVerdict::Skipped { after } => MemberOut::Skipped { after },
+                });
+            }
+        }
+
+        // Render per-definition states against the current text.
+        let defs = program
+            .defs
+            .iter()
+            .zip(outcomes)
+            .map(|(def, out)| {
+                let status = match out.expect("every definition got an outcome") {
+                    MemberOut::Ok { scheme, sat_class } => DefStatus::Ok {
+                        scheme: render_scheme(&scheme, false),
+                        sat_class,
+                    },
+                    MemberOut::Error(e) => DefStatus::Error {
+                        message: e.message(),
+                        rendered: e.to_diag_explained().render(text),
+                        span: e.span,
+                    },
+                    MemberOut::Timeout(e) => DefStatus::Timeout {
+                        message: e.message(),
+                        span: def.span,
+                    },
+                    MemberOut::Skipped { after } => DefStatus::Skipped {
+                        after: after.to_string(),
+                    },
+                };
+                DefState {
+                    name: def.name.to_string(),
+                    span: def.span,
+                    status,
+                }
+            })
+            .collect();
+        Analysis::Checked { defs }
+    }
+
+    /// Folds a revision into the lifetime totals and mirrors the
+    /// serve.* metrics into the global observability registry.
+    fn note_revision(&mut self, stats: &RevisionStats, is_edit: bool) {
+        stats.fold_into(&mut self.totals);
+        let us = stats.wall_ns / 1_000;
+        if is_edit {
+            self.totals.edits += 1;
+            self.edit_us.record(us);
+        }
+        if obs::enabled() {
+            obs::counter_add("serve.parse.hits", stats.parse_hits);
+            obs::counter_add("serve.parse.misses", stats.parse_misses);
+            obs::counter_add("serve.slice.evaluated", stats.slices);
+            obs::counter_add("serve.verdict.hits", stats.verdict_hits);
+            obs::counter_add("serve.verdict.disk_hits", stats.verdict_disk_hits);
+            obs::counter_add("serve.verdict.recomputed", stats.verdict_recomputed);
+            obs::counter_add("serve.scheme.hits", stats.scheme_hits);
+            if is_edit {
+                obs::hist_record("serve.edit.us", us);
+            } else {
+                obs::hist_record("serve.open.us", us);
+            }
+        }
+    }
+}
+
+/// A group member's outcome inside the query pipeline (schemes still
+/// structured, errors still span-bearing).
+enum MemberOut {
+    Ok { scheme: Scheme, sat_class: SatClass },
+    Error(rowpoly_core::TypeError),
+    Timeout(rowpoly_core::TypeError),
+    Skipped { after: Symbol },
+}
+
+/// Rebuilds a group's member outcomes from a memo/cache entry,
+/// validating that names line up (a hash collision or stale decode
+/// falls through to recomputation, exactly like the batch replay).
+fn replay(
+    program: &Program,
+    group: &rowpoly_batch::graph::Group,
+    cached: &[CachedDef],
+) -> Option<Vec<(usize, MemberOut)>> {
+    if cached.len() != group.def_indices.len() {
+        return None;
+    }
+    let mut items = Vec::with_capacity(cached.len());
+    for (&i, c) in group.def_indices.iter().zip(cached) {
+        if program.defs[i].name != c.name {
+            return None;
+        }
+        items.push((
+            i,
+            MemberOut::Ok {
+                scheme: c.scheme.clone(),
+                sat_class: c.sat_class,
+            },
+        ));
+    }
+    Some(items)
+}
+
+/// Whether every definition of an analysis checks.
+pub fn analysis_ok(analysis: &Analysis) -> bool {
+    match analysis {
+        Analysis::ParseError { .. } => false,
+        Analysis::Checked { defs } => defs
+            .iter()
+            .all(|d| matches!(d.status, DefStatus::Ok { .. })),
+    }
+}
+
+/// Content hash of a document text (the parse-query key), using the
+/// same Fx folding as the cache keys.
+fn content_hash(text: &str) -> u64 {
+    let mut h = rowpoly_batch::cache::FxHash64::default();
+    h.write(text.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> ServeEngine {
+        ServeEngine::new(ServeConfig::default())
+    }
+
+    #[test]
+    fn open_checks_and_reports_schemes() {
+        let mut e = engine();
+        let up = e.open("a.rp", "def inc x = x + 1\ndef use = inc 41".into(), 1);
+        assert!(up.ok);
+        assert_eq!(up.stats.verdict_recomputed, 2);
+        let doc = e.document("a.rp").expect("open");
+        let Analysis::Checked { defs } = &doc.analysis else {
+            panic!("parse failed");
+        };
+        assert!(matches!(&defs[0].status, DefStatus::Ok { scheme, .. } if scheme == "Int -> Int"));
+        assert!(matches!(&defs[1].status, DefStatus::Ok { scheme, .. } if scheme == "Int"));
+    }
+
+    #[test]
+    fn whitespace_edit_recomputes_nothing() {
+        let mut e = engine();
+        e.open("a.rp", "def a = 1\ndef b = a + 1".into(), 1);
+        let up = e
+            .change_full("a.rp", "def a = 1\n\ndef b = a   + 1".into(), 2)
+            .expect("open");
+        assert!(up.ok);
+        // The text changed (parse miss) but both pretty-printed groups
+        // and the dependency scheme are identical: zero recomputes.
+        assert_eq!(up.stats.verdict_recomputed, 0, "{:?}", up.stats);
+        assert_eq!(up.stats.verdict_hits, 2);
+    }
+
+    #[test]
+    fn editing_a_body_without_changing_its_scheme_cuts_off_early() {
+        let mut e = engine();
+        e.open("a.rp", "def a = 1\ndef b = a + 1\ndef c = b + 1".into(), 1);
+        let up = e
+            .change_full("a.rp", "def a = 2\ndef b = a + 1\ndef c = b + 1".into(), 2)
+            .expect("open");
+        assert!(up.ok);
+        // `a` re-keys (its body changed) but closes to the same scheme
+        // `Int`, so `b` and `c` hit their memoized verdicts.
+        assert_eq!(up.stats.verdict_recomputed, 1, "{:?}", up.stats);
+        assert_eq!(up.stats.verdict_hits, 2);
+        assert_eq!(up.stats.defs_recomputed, 1);
+    }
+
+    #[test]
+    fn identical_text_reuses_everything() {
+        let mut e = engine();
+        e.open("a.rp", "def a = 1".into(), 1);
+        let up = e.change_full("a.rp", "def a = 1".into(), 2).expect("open");
+        assert!(up.stats.unchanged);
+        assert_eq!(up.stats.verdict_recomputed, 0);
+    }
+
+    #[test]
+    fn range_edits_apply_like_an_editor() {
+        let mut e = engine();
+        e.open("a.rp", "def a = 1\ndef b = a + 1".into(), 1);
+        // Replace the literal `1` in `def a = 1` (line 0, cols 8..9).
+        let up = e
+            .change_ranges(
+                "a.rp",
+                &[RangeEdit {
+                    start_line: 0,
+                    start_character: 8,
+                    end_line: 0,
+                    end_character: 9,
+                    text: "41".into(),
+                }],
+                2,
+            )
+            .expect("applies");
+        assert!(up.ok);
+        assert_eq!(
+            e.document("a.rp").unwrap().source,
+            "def a = 41\ndef b = a + 1"
+        );
+        assert_eq!(up.stats.verdict_recomputed, 1);
+    }
+
+    #[test]
+    fn errors_are_rendered_and_recomputed_each_revision() {
+        let mut e = engine();
+        let up = e.open("a.rp", "def bad = #foo {}\ndef fine = 1".into(), 1);
+        assert!(!up.ok);
+        let doc = e.document("a.rp").unwrap();
+        let Analysis::Checked { defs } = &doc.analysis else {
+            panic!("parse failed");
+        };
+        let DefStatus::Error { rendered, .. } = &defs[0].status else {
+            panic!("expected error, got {:?}", defs[0].status);
+        };
+        assert!(rendered.contains("never added"), "{rendered}");
+        assert!(matches!(defs[1].status, DefStatus::Ok { .. }));
+
+        // Same text again: the fine def hits, the bad def re-runs.
+        let up = e
+            .change_full("a.rp", "def bad = #foo {}\ndef fine = 1\n".into(), 2)
+            .expect("open");
+        assert_eq!(up.stats.verdict_recomputed, 1);
+        assert_eq!(up.stats.verdict_hits, 1);
+    }
+
+    #[test]
+    fn hover_reports_the_definition_under_the_cursor() {
+        let mut e = engine();
+        e.open("a.rp", "def inc x = x + 1\ndef use = inc 41".into(), 1);
+        let h = e.hover("a.rp", 0, 4).expect("hover on inc");
+        assert_eq!(h.name, "inc");
+        assert_eq!(h.scheme.as_deref(), Some("Int -> Int"));
+        assert_eq!(h.status, "ok");
+        let h = e.hover("a.rp", 1, 0).expect("hover on use");
+        assert_eq!(h.name, "use");
+    }
+
+    #[test]
+    fn failed_dependency_skips_dependents() {
+        let mut e = engine();
+        e.open("a.rp", "def bad = #foo {}\ndef use2 = bad".into(), 1);
+        let doc = e.document("a.rp").unwrap();
+        let Analysis::Checked { defs } = &doc.analysis else {
+            panic!("parse failed");
+        };
+        assert!(matches!(&defs[1].status, DefStatus::Skipped { after } if after == "bad"));
+    }
+
+    #[test]
+    fn parse_errors_surface_with_spans() {
+        let mut e = engine();
+        let up = e.open("a.rp", "def broken = (".into(), 1);
+        assert!(!up.ok);
+        let doc = e.document("a.rp").unwrap();
+        assert!(matches!(doc.analysis, Analysis::ParseError { .. }));
+    }
+}

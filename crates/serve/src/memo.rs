@@ -1,0 +1,149 @@
+//! The hot in-memory memo layer of the query graph.
+//!
+//! Every memoized query result is keyed by a 64-bit content
+//! fingerprint (the same [`rowpoly_batch::cache::Cache::key`]
+//! derivation the persistent cache uses), so the store needs no
+//! explicit invalidation: an edit re-keys exactly the queries whose
+//! *meaning-relevant* inputs changed, and a stale entry is simply a
+//! key nobody asks for any more. What the store does need is
+//! *eviction* — a long-lived daemon would otherwise accumulate one
+//! entry per historical revision of every definition — so entries
+//! carry the revision that last touched them and [`Memo::prune`]
+//! drops the least-recently-used half once a cap is exceeded.
+
+use std::collections::HashMap;
+
+use rowpoly_batch::cache::CachedDef;
+
+/// One memoized verdict-query result: the closed per-definition
+/// outcomes of a fully-successful group (the serve layer, like the
+/// persistent cache, never memoizes failures — they are cheap to
+/// reproduce and their diagnostics carry spans that go stale with the
+/// next keystroke).
+#[derive(Debug)]
+struct Entry {
+    defs: Vec<CachedDef>,
+    last_used: u64,
+}
+
+/// A bounded, revision-stamped memo table.
+#[derive(Debug)]
+pub struct Memo {
+    entries: HashMap<u64, Entry>,
+    /// Entry cap; pruning kicks in above it.
+    cap: usize,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped by pruning.
+    pub evicted: u64,
+}
+
+impl Memo {
+    /// A memo bounded to `cap` entries.
+    pub fn new(cap: usize) -> Memo {
+        Memo {
+            entries: HashMap::new(),
+            cap: cap.max(2),
+            hits: 0,
+            misses: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Looks up `key`, stamping the entry with `revision` and counting
+    /// the hit or miss.
+    pub fn lookup(&mut self, key: u64, revision: u64) -> Option<&[CachedDef]> {
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                self.hits += 1;
+                entry.last_used = revision;
+                Some(&entry.defs)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a group outcome under `key`.
+    pub fn insert(&mut self, key: u64, defs: Vec<CachedDef>, revision: u64) {
+        self.entries.insert(
+            key,
+            Entry {
+                defs,
+                last_used: revision,
+            },
+        );
+        self.prune();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops the least-recently-used half of the entries once the cap
+    /// is exceeded. Amortized O(1) per insert: pruning halves the
+    /// table, so it runs at most once per cap/2 inserts.
+    fn prune(&mut self) {
+        if self.entries.len() <= self.cap {
+            return;
+        }
+        let mut stamps: Vec<u64> = self.entries.values().map(|e| e.last_used).collect();
+        stamps.sort_unstable();
+        let cutoff = stamps[stamps.len() / 2];
+        let before = self.entries.len();
+        // Keep entries used strictly after the median stamp, plus
+        // enough at the median to stay near half occupancy.
+        self.entries.retain(|_, e| e.last_used > cutoff);
+        self.evicted += (before - self.entries.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpoly_boolfun::SatClass;
+    use rowpoly_lang::Symbol;
+    use rowpoly_types::{Scheme, Ty};
+
+    fn defs(tag: &str) -> Vec<CachedDef> {
+        vec![CachedDef {
+            name: Symbol::intern(tag),
+            scheme: Scheme::new(vec![], Ty::Int),
+            sat_class: SatClass::Trivial,
+        }]
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut m = Memo::new(16);
+        assert!(m.lookup(1, 0).is_none());
+        m.insert(1, defs("a"), 0);
+        assert!(m.lookup(1, 1).is_some());
+        assert_eq!((m.hits, m.misses), (1, 1));
+    }
+
+    #[test]
+    fn pruning_keeps_recently_used_entries() {
+        let mut m = Memo::new(8);
+        for key in 0..8u64 {
+            m.insert(key, defs("old"), key);
+        }
+        // Refresh key 7 at a late revision, then overflow the cap.
+        assert!(m.lookup(7, 100).is_some());
+        m.insert(99, defs("new"), 101);
+        assert!(m.len() <= 8, "pruned below cap, got {}", m.len());
+        assert!(m.evicted > 0);
+        assert!(m.lookup(7, 102).is_some(), "recently-used entry survived");
+        assert!(m.lookup(99, 102).is_some(), "new entry survived");
+    }
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Schema-and-shape check for the serve edit-trace benchmark JSON.
+
+Usage: check_serve.py <BENCH_serve.json> [--quick]
+
+Validates the report the `edits` bench emits (`--json`): the per-edit
+latency percentiles are present and ordered, the cutoff counters prove
+early cutoff (about one definition group recomputed per edit, the rest
+served from memo), and — at full scale — every workload's warm p99
+beats the one-shot baseline by at least 10x. `--quick` relaxes the
+speedup floor: the scaled-down corpora are too small for per-revision
+fixed costs to amortise, so CI's quick smoke only gates the schema and
+the cutoff shape. Exits non-zero with a diagnostic on the first
+violation, so CI can gate on it.
+"""
+
+import json
+import sys
+
+SPEEDUP_FLOOR = 10.0
+# An edit recomputes the edited group and, only when the closed scheme
+# changed, its dependents. The literal-edit traces are built so schemes
+# never change, so anything above ~2 groups per edit means cutoff broke.
+MAX_RECOMPUTED_PER_EDIT = 2.0
+
+
+def fail(msg):
+    print(f"check_serve: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_workload(w, edits, quick):
+    name = w.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"workload missing name: {w}")
+    for key in ("lines", "defs", "open_ns", "edits", "one_shot_ns"):
+        if not isinstance(w.get(key), int) or w[key] <= 0:
+            fail(f"{name}: {key} must be a positive integer, got {w.get(key)!r}")
+    if w["edits"] != edits:
+        fail(f"{name}: ran {w['edits']} edits, report claims {edits} per workload")
+
+    per_edit = w.get("per_edit_ns")
+    if not isinstance(per_edit, dict):
+        fail(f"{name}: per_edit_ns must be an object")
+    for key in ("p50", "p90", "p99", "max"):
+        if not isinstance(per_edit.get(key), int) or per_edit[key] <= 0:
+            fail(f"{name}: per_edit_ns.{key} must be a positive integer")
+    if not per_edit["p50"] <= per_edit["p90"] <= per_edit["p99"] <= per_edit["max"]:
+        fail(f"{name}: per-edit percentiles are not monotone: {per_edit}")
+
+    cutoff = w.get("cutoff")
+    if not isinstance(cutoff, dict):
+        fail(f"{name}: cutoff must be an object")
+    for key in ("slices", "verdict_hits", "verdict_recomputed", "defs_recomputed"):
+        if not isinstance(cutoff.get(key), int) or cutoff[key] < 0:
+            fail(f"{name}: cutoff.{key} must be a non-negative integer")
+    if cutoff["verdict_hits"] + cutoff["verdict_recomputed"] > cutoff["slices"]:
+        fail(f"{name}: hits + recomputed exceed evaluated slices: {cutoff}")
+    per_edit_recomputed = cutoff["verdict_recomputed"] / edits
+    if per_edit_recomputed > MAX_RECOMPUTED_PER_EDIT:
+        fail(
+            f"{name}: early cutoff broke — {per_edit_recomputed:.1f} groups "
+            f"recomputed per edit (expected ~1): {cutoff}"
+        )
+    if cutoff["verdict_hits"] == 0 and w["defs"] > 1:
+        fail(f"{name}: no verdict hits over the whole trace: {cutoff}")
+
+    speedup = w.get("speedup_p99")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        fail(f"{name}: speedup_p99 must be a positive number, got {speedup!r}")
+    claimed = w["one_shot_ns"] / per_edit["p99"]
+    if abs(claimed - speedup) > 0.01 * max(claimed, speedup):
+        fail(f"{name}: speedup_p99 {speedup:.2f} != one_shot/p99 {claimed:.2f}")
+    if not quick and speedup < SPEEDUP_FLOOR:
+        fail(f"{name}: warm p99 beats one-shot by only {speedup:.1f}x (< {SPEEDUP_FLOOR}x)")
+    return speedup
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--quick"]
+    quick = "--quick" in sys.argv[1:]
+    if len(args) != 1:
+        fail("usage: check_serve.py <BENCH_serve.json> [--quick]")
+    try:
+        with open(args[0]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {args[0]}: {e}")
+
+    if doc.get("bench") != "serve-edits":
+        fail(f"bench must be 'serve-edits', got {doc.get('bench')!r}")
+    edits = doc.get("edits_per_workload")
+    if not isinstance(edits, int) or edits <= 0:
+        fail(f"edits_per_workload must be a positive integer, got {edits!r}")
+    if quick and doc.get("quick") is not True:
+        fail("--quick given but the report was not generated with --quick")
+
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        fail("workloads must be a non-empty array")
+    speedups = [check_workload(w, edits, quick) for w in workloads]
+
+    min_speedup = doc.get("min_speedup_p99")
+    if not isinstance(min_speedup, (int, float)):
+        fail(f"min_speedup_p99 must be a number, got {min_speedup!r}")
+    if abs(min_speedup - min(speedups)) > 0.01 * max(min_speedup, min(speedups)):
+        fail(f"min_speedup_p99 {min_speedup:.2f} != min over workloads {min(speedups):.2f}")
+    if not quick and min_speedup < SPEEDUP_FLOOR:
+        fail(f"min_speedup_p99 {min_speedup:.1f}x is below the {SPEEDUP_FLOOR}x floor")
+
+    mode = "quick (schema + cutoff only)" if quick else f">= {SPEEDUP_FLOOR}x gated"
+    print(
+        f"check_serve: OK: {len(workloads)} workloads, {edits} edits each, "
+        f"min speedup_p99 {min_speedup:.1f}x [{mode}]"
+    )
+
+
+if __name__ == "__main__":
+    main()

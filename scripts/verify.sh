@@ -64,4 +64,15 @@ cargo run --release --bin rowpoly -- profile programs/ --jobs 2 --no-cache --jso
 python3 scripts/check_profile.py "$profile_dir/profile-cmd.json"
 rm -rf "$profile_dir"
 
+echo "==> serve smoke (20-edit trace replay, checked proofs) + BENCH_serve gate"
+# The committed full-scale report must clear the >= 10x p99 floor; the
+# live smoke replays a quick 20-edit trace with every SAT verdict
+# replayed through the proof checker, gating schema + cutoff shape.
+python3 scripts/check_serve.py BENCH_serve.json
+serve_dir=$(mktemp -d)
+ROWPOLY_CHECK_PROOFS=1 cargo run --release -p rowpoly-bench --bin edits -- --quick --edits 20 --json \
+  > "$serve_dir/serve.json"
+python3 scripts/check_serve.py "$serve_dir/serve.json" --quick
+rm -rf "$serve_dir"
+
 echo "==> all checks passed"

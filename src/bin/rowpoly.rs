@@ -19,8 +19,15 @@
 //!     accepts the same options as check, plus:
 //!     --trace F         write the per-worker Chrome trace to F
 //!     --json            print the profile as JSON instead of text
-//! rowpoly explain <file>                   first type error with its checked
-//!                                          minimal-core evidence
+//! rowpoly serve [--stdio|--json-rpc]       persistent incremental daemon
+//!     --stdio           speak the Language Server Protocol on stdio (default)
+//!     --json-rpc        newline-delimited JSON protocol (tests, scripting)
+//!     --no-cache        do not read/write the persistent inference cache
+//!     --cache-dir D     cache location (default .rowpoly-cache)
+//!     --sat-budget N    CDCL step budget per SAT check
+//!     --no-fields       disable field tracking
+//! rowpoly explain <file|->                 first type error with its checked
+//!                                          minimal-core evidence (`-`: stdin)
 //! rowpoly types <file> [--flags]           print every definition's scheme
 //! rowpoly run   <file> [--fuel N]          type-check then evaluate `main`
 //! rowpoly compare <file>                   flow vs Rémy vs flow-free verdicts
@@ -48,10 +55,11 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "explain" | "types" | "run" | "compare" => cmd_single_file(cmd, &args[1..]),
         other => {
             eprintln!(
-                "unknown command `{other}`; use check, profile, explain, types, run or compare"
+                "unknown command `{other}`; use check, profile, serve, explain, types, run or compare"
             );
             ExitCode::from(2)
         }
@@ -311,12 +319,71 @@ fn cmd_profile(args: &[String]) -> ExitCode {
     }
 }
 
+/// `rowpoly serve`: run the incremental daemon until the client closes
+/// the session. `--stdio` (the default) speaks LSP; `--json-rpc`
+/// speaks the newline-delimited protocol.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let json_rpc = args.iter().any(|a| a == "--json-rpc");
+    if json_rpc && args.iter().any(|a| a == "--stdio") {
+        eprintln!("error: --stdio and --json-rpc are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    let sat_budget: Option<u64> = match opt_value(args, "--sat-budget") {
+        None => None,
+        Some(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: --sat-budget expects a number, got `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let config = rowpoly::serve::ServeConfig {
+        opts: Options {
+            track_fields: !args.iter().any(|a| a == "--no-fields"),
+            sat_budget,
+            ..Options::default()
+        },
+        cache_dir: (!args.iter().any(|a| a == "--no-cache")).then(|| {
+            opt_value(args, "--cache-dir")
+                .map(PathBuf::from)
+                .unwrap_or_else(rowpoly::batch::cache::default_dir)
+        }),
+        ..rowpoly::serve::ServeConfig::default()
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let result = if json_rpc {
+        rowpoly::serve::rpc::serve(stdin.lock(), stdout.lock(), config)
+    } else {
+        rowpoly::serve::lsp::serve(stdin.lock(), stdout.lock(), config)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve session failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Reads a single-file command's input: a path, or `-` for stdin.
+fn read_input(file: &str) -> std::io::Result<String> {
+    if file == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(file)
+    }
+}
+
 fn cmd_single_file(cmd: &str, args: &[String]) -> ExitCode {
     let Some(file) = args.first() else {
-        eprintln!("usage: rowpoly {cmd} <file> [options]");
+        eprintln!("usage: rowpoly {cmd} <file|-> [options]");
         return ExitCode::from(2);
     };
-    let source = match std::fs::read_to_string(file) {
+    let source = match read_input(file) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read {file}: {e}");

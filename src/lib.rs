@@ -20,6 +20,9 @@
 //! * [`batch`] — parallel multi-file checking on a work-stealing pool
 //!   with a persistent content-addressed inference cache
 //!   (see `docs/BATCH.md`);
+//! * [`serve`] — the persistent incremental-query daemon behind
+//!   `rowpoly serve`, with LSP and line-delimited JSON front ends
+//!   (see `docs/SERVE.md`);
 //! * [`eval`] — the concrete semantics (interpreter + path exploration);
 //! * [`gen`] — decoder-spec workload generators for the evaluation;
 //! * [`obs`] — zero-dependency tracing/metrics with Chrome-trace export
@@ -48,4 +51,5 @@ pub use rowpoly_eval as eval;
 pub use rowpoly_gen as gen;
 pub use rowpoly_lang as lang;
 pub use rowpoly_obs as obs;
+pub use rowpoly_serve as serve;
 pub use rowpoly_types as types;
