@@ -103,13 +103,32 @@ impl Cache {
 
     /// Computes a group's cache key from its rendered content.
     pub fn key(options_fingerprint: &str, group_source: &str, deps: &[(Symbol, Scheme)]) -> u64 {
+        let rendered: Vec<(Symbol, String)> = deps
+            .iter()
+            .map(|(name, scheme)| (*name, codec::scheme_to_json(scheme).render()))
+            .collect();
+        let refs: Vec<(Symbol, &str)> = rendered.iter().map(|(n, s)| (*n, s.as_str())).collect();
+        Cache::key_prerendered(options_fingerprint, group_source, &refs)
+    }
+
+    /// [`Cache::key`] over dependency schemes that are already rendered
+    /// to their canonical JSON. The batch pipeline renders each closed
+    /// scheme once when its group publishes and hashes the stored
+    /// string per dependent, instead of re-serialising every scheme
+    /// for every dependent group; keys are identical to [`Cache::key`]
+    /// by construction (it delegates here).
+    pub fn key_prerendered(
+        options_fingerprint: &str,
+        group_source: &str,
+        deps: &[(Symbol, &str)],
+    ) -> u64 {
         let mut h = FxHash64::default();
         h.write(FORMAT.as_bytes());
         h.write(options_fingerprint.as_bytes());
         h.write(group_source.as_bytes());
-        for (name, scheme) in deps {
+        for (name, scheme_json) in deps {
             h.write(name.as_str().as_bytes());
-            h.write(codec::scheme_to_json(scheme).render().as_bytes());
+            h.write(scheme_json.as_bytes());
         }
         h.finish()
     }

@@ -46,6 +46,11 @@ pub struct Group {
     /// Topological level: 1 + the maximum wave of any dependency
     /// (wave 0 for independent groups).
     pub wave: usize,
+    /// The union of the members' free variables, sorted. Dependency
+    /// resolution already walked every body, so the per-group union is
+    /// kept here and handed to `rowpoly_core::GroupSpec::free_names` —
+    /// jobs must not re-walk their ASTs on every (re-)run.
+    pub free_names: Vec<Symbol>,
 }
 
 /// The dependency structure of one parsed program.
@@ -66,14 +71,18 @@ impl ProgramGraph {
         let n = program.defs.len();
         let builtins: BTreeSet<Symbol> = BUILTINS.iter().map(|s| Symbol::intern(s)).collect();
 
-        // Resolve references and find each definition's ambient names.
+        // Resolve references and find each definition's ambient names,
+        // keeping the raw free-variable sets: the groups publish their
+        // union so jobs never re-walk the ASTs.
         let mut resolved: Vec<BTreeMap<Symbol, usize>> = Vec::with_capacity(n);
         let mut ambient: Vec<BTreeSet<Symbol>> = Vec::with_capacity(n);
+        let mut free_of: Vec<BTreeSet<Symbol>> = Vec::with_capacity(n);
         let mut latest: BTreeMap<Symbol, usize> = BTreeMap::new();
         for (i, def) in program.defs.iter().enumerate() {
+            let free = def.body.free_vars();
             let mut deps = BTreeMap::new();
             let mut amb = BTreeSet::new();
-            for name in def.body.free_vars() {
+            for &name in &free {
                 if name == def.name {
                     // Self-recursion, handled by the fixpoint inside
                     // `infer_def`; not a dependency edge.
@@ -87,6 +96,7 @@ impl ProgramGraph {
             }
             resolved.push(deps);
             ambient.push(amb);
+            free_of.push(free);
             latest.insert(def.name, i);
         }
 
@@ -128,11 +138,16 @@ impl ProgramGraph {
             for slot in &mut group_of[lo..=hi] {
                 *slot = g;
             }
+            let mut free_union: BTreeSet<Symbol> = BTreeSet::new();
+            for free in &free_of[lo..=hi] {
+                free_union.extend(free.iter().copied());
+            }
             groups.push(Group {
                 def_indices: (lo..=hi).collect(),
                 deps: BTreeMap::new(),
                 dep_groups: Vec::new(),
                 wave: 0,
+                free_names: free_union.into_iter().collect(),
             });
         }
 

@@ -42,11 +42,14 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use rowpoly_boolfun::SatClass;
-use rowpoly_core::{group_source, DefJob, DefVerdict, Options};
-use rowpoly_lang::{parse_program, Program};
+use rowpoly_core::{
+    group_source_into, run_group_spec, DefVerdict, EngineScratch, GroupSpec, Options,
+};
+use rowpoly_lang::{parse_program, Program, Symbol};
 use rowpoly_obs as obs;
 use rowpoly_obs::json::Json;
 use rowpoly_obs::timeline::{JobRecord, Profiler, WorkerTimeline};
+use rowpoly_types::Scheme;
 
 pub mod cache;
 pub mod codec;
@@ -412,20 +415,20 @@ impl BatchReport {
 }
 
 /// Live progress line for interactive runs: one `\r`-rewritten stderr
-/// line tracking drained definition groups, the current wave (`wave
-/// k/N`), and cache hits. Active only when requested *and* stderr is a
-/// terminal, so piped output, `--json` pipelines, and CI logs never
-/// see control characters.
+/// line tracking completed jobs against the total, plus cache hits.
+/// Under ready-set dispatch waves are not the scheduling unit — a
+/// worker may be three "waves" deep in one file while another file's
+/// wave 0 is still queued — so the line counts *jobs*; the wave depth
+/// survives only as a graph statistic ([`BatchStats::waves`]). Active
+/// only when requested *and* stderr is a terminal, so piped output,
+/// `--json` pipelines, and CI logs never see control characters.
 ///
 /// Clearing the line is handled by `Drop`, so every exit path —
 /// including early returns and panics unwinding out of the pool —
 /// leaves stderr at column zero instead of a stale partial line.
 struct Progress {
     total: usize,
-    waves: usize,
     done: std::sync::atomic::AtomicUsize,
-    /// Highest wave index (1-based) any started group belongs to.
-    wave: std::sync::atomic::AtomicUsize,
     /// Serializes writers; holds the length of the last printed line
     /// so `finish` can blank exactly what was written.
     line: Mutex<usize>,
@@ -434,35 +437,26 @@ struct Progress {
 }
 
 impl Progress {
-    fn new(requested: bool, total: usize, waves: usize) -> Progress {
+    fn new(requested: bool, total: usize) -> Progress {
         use std::io::IsTerminal;
         Progress {
             total,
-            waves,
             done: std::sync::atomic::AtomicUsize::new(0),
-            wave: std::sync::atomic::AtomicUsize::new(0),
             line: Mutex::new(0),
             finished: std::sync::atomic::AtomicBool::new(false),
             active: requested && std::io::stderr().is_terminal(),
         }
     }
 
-    /// Called by a worker after each group finishes; `wave` is the
-    /// finished group's 0-based wave index.
-    fn tick(&self, wave: usize, cache: Option<&Sharded>) {
+    /// Called by a worker after each job finishes.
+    fn tick(&self, cache: Option<&Sharded>) {
         use std::sync::atomic::Ordering;
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        self.wave.fetch_max(wave + 1, Ordering::Relaxed);
         if !self.active {
             return;
         }
         let hits = cache.map_or(0, Sharded::hits);
-        let line = format!(
-            "checking: {done}/{} groups | wave {}/{} | {hits} cache hits",
-            self.total,
-            self.wave.load(Ordering::Relaxed),
-            self.waves.max(1),
-        );
+        let line = format!("checking: {done}/{} jobs | {hits} cache hits", self.total);
         let mut last_len = self.line.lock().unwrap();
         // Pad with spaces when the new line is shorter (hit counts can
         // make earlier lines longer than later ones).
@@ -502,6 +496,40 @@ struct ParsedFile {
 struct GroupResult {
     /// `(def index, verdict)` per member, in group order.
     items: Vec<(usize, DefVerdict)>,
+    /// Canonical JSON of each `Ok` member's closed scheme, aligned
+    /// with `items`. Rendered once when the group publishes (and only
+    /// when a cache is in play) so every dependent hashes its cache
+    /// key from these strings instead of re-serialising the schemes.
+    scheme_json: Vec<Option<String>>,
+}
+
+impl GroupResult {
+    /// Publishes `items`, pre-rendering the closed schemes' JSON when
+    /// `render` is set (i.e. when dependents will compute cache keys).
+    fn publish(items: Vec<(usize, DefVerdict)>, render: bool) -> GroupResult {
+        let scheme_json = if render {
+            items
+                .iter()
+                .map(|(_, v)| {
+                    v.report()
+                        .map(|r| codec::scheme_to_json(&r.scheme).render())
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        GroupResult { items, scheme_json }
+    }
+}
+
+/// Per-worker scratch threaded through the pool: reusable engine
+/// allocations plus the content-key string buffer. Nothing in here
+/// affects results — only allocation traffic.
+#[derive(Default)]
+struct WorkerScratch {
+    engine: EngineScratch,
+    /// Buffer for the pretty-printed group source (the content key).
+    content: String,
 }
 
 /// Checks a batch of in-memory sources. This is the whole engine; the
@@ -564,36 +592,38 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
     let fingerprint = options.opts.fingerprint();
     let results: Vec<OnceLock<GroupResult>> = (0..n_jobs).map(|_| OnceLock::new()).collect();
 
-    let max_waves = parsed
-        .iter()
-        .filter_map(|p| p.as_ref().ok())
-        .map(|pf| pf.graph.waves)
-        .max()
-        .unwrap_or(0);
-    let progress = Progress::new(options.progress, n_jobs, max_waves);
+    let progress = Progress::new(options.progress, n_jobs);
     let profiler = options.profile.then(Profiler::new);
-    let (_, pool_stats) = pool::run_graph(n_jobs, &deps, threads, profiler.as_ref(), |j, tl| {
-        let (f, g) = jobs[j];
-        let pf = parsed[f].as_ref().expect("jobs index parsed files");
-        let wave = pf.graph.groups[g].wave;
-        if let Some(p) = &profiler {
-            if p.first_of_wave(wave) {
-                tl.instant_with(|| format!("wave {wave}"));
+    let (_, pool_stats) = pool::run_graph_with(
+        n_jobs,
+        &deps,
+        threads,
+        profiler.as_ref(),
+        |_| WorkerScratch::default(),
+        |j, ws, tl| {
+            let (f, g) = jobs[j];
+            let pf = parsed[f].as_ref().expect("jobs index parsed files");
+            let wave = pf.graph.groups[g].wave;
+            if let Some(p) = &profiler {
+                if p.first_of_wave(wave) {
+                    tl.instant_with(|| format!("wave {wave}"));
+                }
             }
-        }
-        let result = run_group(
-            pf,
-            g,
-            j,
-            &results,
-            cache.as_ref(),
-            &fingerprint,
-            options,
-            tl,
-        );
-        assert!(results[j].set(result).is_ok(), "job ran twice");
-        progress.tick(wave, cache.as_ref());
-    });
+            let result = run_group(
+                pf,
+                g,
+                j,
+                &results,
+                cache.as_ref(),
+                &fingerprint,
+                options,
+                ws,
+                tl,
+            );
+            assert!(results[j].set(result).is_ok(), "job ran twice");
+            progress.tick(cache.as_ref());
+        },
+    );
     progress.finish();
     let profile = profiler.map(|p| ProfileReport::build(p.finish(), &deps));
 
@@ -641,8 +671,8 @@ fn group_label(pf: &ParsedFile, group: &graph::Group) -> String {
 }
 
 /// Runs (or replays) one definition group. `job` is the group's global
-/// scheduler id; `tl` is the executing worker's timeline (inert unless
-/// profiling).
+/// scheduler id; `ws` is the executing worker's private scratch; `tl`
+/// is its timeline (inert unless profiling).
 #[allow(clippy::too_many_arguments)]
 fn run_group(
     pf: &ParsedFile,
@@ -652,13 +682,14 @@ fn run_group(
     cache: Option<&Sharded>,
     fingerprint: &str,
     options: &BatchOptions,
+    ws: &mut WorkerScratch,
     tl: &mut WorkerTimeline,
 ) -> GroupResult {
     let group = &pf.graph.groups[g];
     tl.begin_with(|| group_label(pf, group));
     let start_ns = tl.now_ns();
     let (result, cached, phases) =
-        run_group_inner(pf, group, results, cache, fingerprint, options, tl);
+        run_group_inner(pf, group, results, cache, fingerprint, options, ws, tl);
     let end_ns = tl.now_ns();
     tl.end();
     if tl.enabled() {
@@ -676,6 +707,7 @@ fn run_group(
 
 /// The body of [`run_group`]; returns the result plus the profile
 /// attributes (replayed-from-cache flag, inference-phase breakdown).
+#[allow(clippy::too_many_arguments)]
 fn run_group_inner(
     pf: &ParsedFile,
     group: &graph::Group,
@@ -683,61 +715,77 @@ fn run_group_inner(
     cache: Option<&Sharded>,
     fingerprint: &str,
     options: &BatchOptions,
+    ws: &mut WorkerScratch,
     tl: &mut WorkerTimeline,
 ) -> (GroupResult, bool, Vec<(&'static str, u64)>) {
-    // Collect dependency schemes from already-finished groups. The
-    // pool guarantees they completed; a failed dependency poisons this
-    // group into `Skipped`.
-    let mut dep_schemes = Vec::with_capacity(group.deps.len());
+    // Collect dependency schemes from already-finished groups — by
+    // reference: nothing is cloned unless the group actually has to
+    // run. The pool guarantees dependencies completed; a failed one
+    // poisons this group into `Skipped`.
+    let render = cache.is_some();
+    let mut dep_schemes: Vec<(Symbol, &Scheme)> = Vec::with_capacity(group.deps.len());
+    let mut dep_json: Vec<(Symbol, &str)> =
+        Vec::with_capacity(if render { group.deps.len() } else { 0 });
     for (&name, &def_idx) in &group.deps {
         let dep_job = pf.job_base + pf.graph.group_of[def_idx];
         let dep_result = results[dep_job].get().expect("dependency not finished");
-        let verdict = dep_result
+        let pos = dep_result
             .items
             .iter()
-            .find(|(i, _)| *i == def_idx)
-            .map(|(_, v)| v)
+            .position(|(i, _)| *i == def_idx)
             .expect("dependency definition missing from its group");
-        match verdict {
-            DefVerdict::Ok(report) => dep_schemes.push((name, report.scheme.clone())),
+        match &dep_result.items[pos].1 {
+            DefVerdict::Ok(report) => {
+                dep_schemes.push((name, &report.scheme));
+                if render {
+                    let json = dep_result.scheme_json[pos]
+                        .as_deref()
+                        .expect("Ok member published without scheme JSON");
+                    dep_json.push((name, json));
+                }
+            }
             _ => {
                 let items = group
                     .def_indices
                     .iter()
                     .map(|&i| (i, DefVerdict::Skipped { after: name }))
                     .collect();
-                return (GroupResult { items }, false, Vec::new());
+                return (GroupResult::publish(items, render), false, Vec::new());
             }
         }
     }
 
     // Content-addressed lookup: options + pretty-printed group source +
-    // dependency schemes.
-    let content = group_source(&pf.program, &group.def_indices);
-    let key = Cache::key(fingerprint, &content, &dep_schemes);
+    // dependency schemes (hashed from the JSON their groups already
+    // rendered — nothing is re-serialised here).
+    let mut key = None;
     if let Some(cache) = cache {
-        if let Some(cached) = cache.lookup(key) {
+        group_source_into(&mut ws.content, &pf.program, &group.def_indices);
+        let k = Cache::key_prerendered(fingerprint, &ws.content, &dep_json);
+        if let Some(cached) = cache.lookup(k) {
             if let Some(items) = replay(group, &cached, pf) {
                 obs::counter_add("batch.cache.hits", 1);
                 tl.instant("cache-hit");
-                return (GroupResult { items }, true, Vec::new());
+                return (GroupResult::publish(items, render), true, Vec::new());
             }
             // Undecodable or mismatched entry: fall through and re-run.
         }
         obs::counter_add("batch.cache.misses", 1);
+        key = Some(k);
     }
 
-    let outcome = DefJob {
-        opts: options.opts.clone(),
-        program: pf.program.clone(),
-        def_indices: group.def_indices.clone(),
-        deps: dep_schemes,
-    }
-    .run();
+    let spec = GroupSpec {
+        opts: &options.opts,
+        program: &pf.program,
+        def_indices: &group.def_indices,
+        deps: &dep_schemes,
+        free_names: Some(&group.free_names),
+    };
+    let outcome = run_group_spec(&spec, &mut ws.engine);
     let phases = outcome.stats.phase_durations();
 
     if outcome.all_ok() {
-        if let Some(cache) = cache {
+        if let (Some(cache), Some(key)) = (cache, key) {
             let defs = outcome
                 .items
                 .iter()
@@ -753,13 +801,7 @@ fn run_group_inner(
             cache.insert(key, defs);
         }
     }
-    (
-        GroupResult {
-            items: outcome.items,
-        },
-        false,
-        phases,
-    )
+    (GroupResult::publish(outcome.items, render), false, phases)
 }
 
 /// Rebuilds a group's verdicts from a cache entry. Returns `None` when

@@ -8,11 +8,23 @@
 //! their peers' deques. A seed queue ("injector") spreads the initially
 //! ready jobs.
 //!
-//! Everything is `Mutex` + `Condvar`; there are no lock-free tricks.
-//! The queues hold `usize` job ids and jobs are coarse (whole
-//! definition groups), so contention on the queue locks is noise
-//! compared to inference itself — a claim the profiler can now check:
-//! the queue and wake locks are instrumented [`LockTimer`] sites
+//! Two things keep the scheduler itself off the profile:
+//!
+//! * **Worker-local state.** [`run_graph`] takes a `mk_worker` factory
+//!   and threads one `&mut S` through every job a worker executes, so
+//!   engines can reuse scratch buffers (arenas, dep-scheme vectors,
+//!   pretty-printing strings) across jobs instead of reallocating per
+//!   definition — the pool owns the only safe place to keep such state
+//!   without cross-worker sharing.
+//! * **Eventcount wakeups.** A push bumps an atomic version counter
+//!   and only touches the condvar mutex when a sleeper is actually
+//!   parked (`sleepers > 0`), so the saturated steady state — every
+//!   worker busy — publishes work with one atomic increment instead of
+//!   a mutex acquisition per job. Sleepers re-check the version under
+//!   the mutex before parking (with a bounded timeout as backstop), so
+//!   wakeups cannot be lost.
+//!
+//! The queue locks remain instrumented [`LockTimer`] sites
 //! (`lock.wait.pool.queue`, `lock.wait.pool.wake`), and when a
 //! [`Profiler`] is supplied each worker keeps a private
 //! [`WorkerTimeline`] with exclusive busy / idle / steal-search /
@@ -27,7 +39,8 @@ use rowpoly_obs::timeline::{Profiler, WorkerTimeline};
 
 /// Wait-time accounting for the per-worker deque locks.
 static QUEUE_LOCK: LockTimer = LockTimer::new("pool.queue");
-/// Wait-time accounting for the condvar wake lock.
+/// Wait-time accounting for the condvar wake lock (only taken when a
+/// sleeper is parked or about to park).
 static WAKE_LOCK: LockTimer = LockTimer::new("pool.wake");
 
 /// What the pool observed while draining a graph.
@@ -40,11 +53,9 @@ pub struct PoolStats {
 }
 
 /// Runs `n_jobs` jobs respecting `deps` (for each job, the indices it
-/// must wait for) on `threads` workers. `run(i, tl)` executes job `i`
-/// and may record onto the worker's timeline `tl` (inert unless
-/// `profiler` is supplied); results are collected in job order. Panics
-/// if `deps` contains a cycle (the pool would deadlock, so it asserts
-/// instead).
+/// must wait for) on `threads` workers; jobs share no worker state.
+/// Convenience wrapper over [`run_graph_with`] for callers that don't
+/// need per-worker scratch.
 pub fn run_graph<R, F>(
     n_jobs: usize,
     deps: &[Vec<usize>],
@@ -55,6 +66,36 @@ pub fn run_graph<R, F>(
 where
     R: Send,
     F: Fn(usize, &mut WorkerTimeline) -> R + Sync,
+{
+    run_graph_with(
+        n_jobs,
+        deps,
+        threads,
+        profiler,
+        |_| (),
+        |i, (), tl| run(i, tl),
+    )
+}
+
+/// Runs `n_jobs` jobs respecting `deps` on `threads` workers, with
+/// per-worker state. `mk_worker(w)` builds worker `w`'s state once at
+/// thread start; `run(i, state, tl)` executes job `i` with exclusive
+/// access to its worker's state and may record onto the worker's
+/// timeline `tl` (inert unless `profiler` is supplied). Results are
+/// collected in job order. Panics if `deps` contains a cycle (the pool
+/// would deadlock, so it asserts instead).
+pub fn run_graph_with<R, S, I, F>(
+    n_jobs: usize,
+    deps: &[Vec<usize>],
+    threads: usize,
+    profiler: Option<&Profiler>,
+    mk_worker: I,
+    run: F,
+) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(usize, &mut S, &mut WorkerTimeline) -> R + Sync,
 {
     assert_eq!(deps.len(), n_jobs);
     let threads = threads.max(1).min(n_jobs.max(1));
@@ -75,7 +116,9 @@ where
         indegree: indegree_init.into_iter().map(AtomicUsize::new).collect(),
         remaining: AtomicUsize::new(n_jobs),
         steals: AtomicU64::new(0),
-        wake: Mutex::new(0u64),
+        version: AtomicU64::new(0),
+        sleepers: AtomicUsize::new(0),
+        wake: Mutex::new(()),
         bell: Condvar::new(),
     };
 
@@ -101,12 +144,14 @@ where
             let results = &results;
             let dependents = &dependents;
             let run = &run;
+            let mk_worker = &mk_worker;
             scope.spawn(move || {
                 let mut tl = match profiler {
                     Some(p) => p.worker(w as u32),
                     None => WorkerTimeline::disabled(),
                 };
-                worker(w, shared, dependents, results, run, &mut tl);
+                let mut state = mk_worker(w);
+                worker(w, shared, dependents, results, run, &mut state, &mut tl);
                 if let Some(p) = profiler {
                     p.submit(tl);
                 }
@@ -134,63 +179,83 @@ struct Shared {
     indegree: Vec<AtomicUsize>,
     remaining: AtomicUsize,
     steals: AtomicU64,
-    /// Version counter under the condvar lock: bumped on every push so
+    /// Eventcount version: bumped on every push (and at drain) so
     /// sleepers can detect work that arrived between their scan and
-    /// their wait.
-    wake: Mutex<u64>,
+    /// their park. `SeqCst` pairs it with `sleepers` below.
+    version: AtomicU64,
+    /// Workers currently parked (or committed to parking) on the bell.
+    /// Pushers skip the condvar mutex entirely when this is zero.
+    sleepers: AtomicUsize,
+    wake: Mutex<()>,
     bell: Condvar,
 }
 
 impl Shared {
     fn push(&self, worker: usize, job: usize) {
         QUEUE_LOCK.lock(&self.queues[worker]).push_back(job);
-        let mut version = WAKE_LOCK.lock(&self.wake);
-        *version += 1;
-        drop(version);
+        self.version.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // One job, one worker: a single wakeup suffices. The
+            // sleeper re-checks the version under this mutex before
+            // parking, so the notify cannot be lost.
+            drop(WAKE_LOCK.lock(&self.wake));
+            self.bell.notify_one();
+        }
+    }
+
+    fn announce_drain(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
+        drop(WAKE_LOCK.lock(&self.wake));
         self.bell.notify_all();
     }
 }
 
-fn worker<R, F>(
+#[allow(clippy::too_many_arguments)]
+fn worker<R, S, F>(
     me: usize,
     shared: &Shared,
     dependents: &[Vec<usize>],
     results: &[Mutex<Option<R>>],
     run: &F,
+    state: &mut S,
     tl: &mut WorkerTimeline,
 ) where
     R: Send,
-    F: Fn(usize, &mut WorkerTimeline) -> R + Sync,
+    F: Fn(usize, &mut S, &mut WorkerTimeline) -> R + Sync,
 {
     loop {
         if shared.remaining.load(Ordering::Acquire) == 0 {
             return;
         }
         let search = tl.mark();
-        let seen = *WAKE_LOCK.lock(&shared.wake);
+        let seen = shared.version.load(Ordering::SeqCst);
         let job = pop_local(shared, me).or_else(|| steal(shared, me, tl));
         tl.charge_search(search);
         let Some(job) = job else {
             if shared.remaining.load(Ordering::Acquire) == 0 {
                 return;
             }
-            // Sleep unless a push happened since we read `seen`.
+            // Park unless a push happened since we read `seen`.
             let idle = tl.mark();
-            let guard = WAKE_LOCK.lock(&shared.wake);
-            if *guard == seen {
-                // Timed wait: completion signals use notify_all too,
-                // but a bounded wait keeps shutdown robust.
-                let _ = shared
-                    .bell
-                    .wait_timeout(guard, std::time::Duration::from_millis(50))
-                    .unwrap();
+            shared.sleepers.fetch_add(1, Ordering::SeqCst);
+            if shared.version.load(Ordering::SeqCst) == seen {
+                let guard = WAKE_LOCK.lock(&shared.wake);
+                if shared.version.load(Ordering::SeqCst) == seen {
+                    // Timed wait: a bounded backstop keeps shutdown
+                    // robust even if a wakeup is somehow missed.
+                    let _ = shared
+                        .bell
+                        .wait_timeout(guard, std::time::Duration::from_millis(50))
+                        .unwrap();
+                }
             }
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
             tl.charge_idle(idle);
             continue;
         };
 
         let busy = tl.mark();
-        let result = run(job, tl);
+        let result = run(job, state, tl);
         *results[job].lock().unwrap() = Some(result);
         for &d in &dependents[job] {
             if shared.indegree[d].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -200,10 +265,7 @@ fn worker<R, F>(
         tl.charge_busy(busy);
         if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last job: wake everyone so they observe remaining == 0.
-            let mut version = WAKE_LOCK.lock(&shared.wake);
-            *version += 1;
-            drop(version);
-            shared.bell.notify_all();
+            shared.announce_drain();
         }
     }
 }
@@ -281,6 +343,76 @@ mod tests {
         assert_eq!(order.len(), 3);
         assert_eq!(order[2], 2, "dependent ran before its inputs");
         assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn worker_state_is_exclusive_and_reused_across_jobs() {
+        // Each worker carries a private job counter; every job reports
+        // the counter *after* incrementing. If the pool rebuilt state
+        // per job every result would be 1; if two workers shared state
+        // the borrow checker would have refused to compile this.
+        let n = 200;
+        let deps = vec![Vec::new(); n];
+        let (counts, stats) = run_graph_with(
+            n,
+            &deps,
+            4,
+            None,
+            |_| 0usize,
+            |_, seen: &mut usize, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(stats.workers, 4);
+        assert_eq!(counts.len(), n);
+        let max_seen = counts.iter().copied().max().unwrap();
+        assert!(
+            max_seen > 1,
+            "worker state was not reused across jobs (max count {max_seen})"
+        );
+        // The per-worker sequences 1..=k partition the job set.
+        let total_ones = counts.iter().filter(|&&c| c == 1).count();
+        assert!(total_ones <= 4, "more first-jobs than workers");
+    }
+
+    #[test]
+    fn deep_diamond_results_are_independent_of_worker_count() {
+        // A stack of diamonds: 0 fans out to (1,2), both join at 3,
+        // which fans out to (4,5), joining at 6, ... Each node's value
+        // folds its dependencies' values, so any scheduling error
+        // (missed dependency, double run, lost result) changes the
+        // final value. The whole graph must produce identical results
+        // for every worker count.
+        let layers = 64;
+        let n = 1 + 3 * layers;
+        let mut deps: Vec<Vec<usize>> = vec![vec![]];
+        for l in 0..layers {
+            let join = 3 * l; // previous join node (0 for the first)
+            deps.push(vec![join]); // left
+            deps.push(vec![join]); // right
+            deps.push(vec![3 * l + 1, 3 * l + 2]); // next join
+        }
+        assert_eq!(deps.len(), n);
+        let run_once = |threads: usize| -> (Vec<u64>, PoolStats) {
+            let results: Mutex<Vec<u64>> = Mutex::new(vec![0; n]);
+            let (out, stats) = run_graph(n, &deps, threads, None, |i, _| {
+                let r = results.lock().unwrap();
+                let folded: u64 = deps[i].iter().fold(0u64, |a, &d| a.wrapping_add(r[d]));
+                drop(r);
+                let v = folded.wrapping_mul(31).wrapping_add(i as u64 + 1);
+                results.lock().unwrap()[i] = v;
+                v
+            });
+            (out, stats)
+        };
+        let (base, base_stats) = run_once(1);
+        assert_eq!(base_stats.steals, 0);
+        for threads in [2, 4, 8] {
+            let (got, stats) = run_once(threads);
+            assert_eq!(got, base, "results diverged at {threads} workers");
+            assert_eq!(stats.workers, threads.min(n));
+        }
     }
 
     #[test]

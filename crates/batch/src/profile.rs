@@ -8,8 +8,8 @@
 //!    instrumented locks (`worker 3: 41% busy, 52% idle, 7% lock-wait`).
 //! 2. **Contention** — per-site lock wait totals and histograms
 //!    (`lock.wait.pool.queue`, `lock.wait.batch.cache.s0` …
-//!    `lock.wait.batch.cache.s7`, `lock.wait.lang.interner`, ...),
-//!    restricted to this run.
+//!    `lock.wait.batch.cache.s7`, `lock.wait.lang.interner.s0` …
+//!    `lock.wait.lang.interner.s15`, ...), restricted to this run.
 //! 3. **Critical path** — the longest weighted chain through the
 //!    definition dependency graph using *measured* per-job durations.
 //!    Comparing it to wall time separates "the graph is inherently

@@ -64,7 +64,11 @@ fn main() {
     };
     let files = num("--files", if quick { 8 } else { 24 });
     let lines = num("--lines", if quick { 150 } else { 600 });
-    let jobs = num("--jobs", 0);
+    // Default to 4 workers (not auto-detect): `parallel_speedup` is
+    // defined as "4 workers vs serial", and the pool happily runs 4
+    // workers on fewer cores — the CPU-aware gate in check_batch.py
+    // decides how much speedup the host could possibly show.
+    let jobs = num("--jobs", 4);
     let seed = num("--seed", 42) as u64;
 
     let corpus: Vec<FileInput> = (0..files)
@@ -296,6 +300,13 @@ fn render_json(
         ("seed", Json::Int(seed as i64)),
         ("quick", Json::Bool(quick)),
         ("repeats", Json::Int(REPEATS as i64)),
+        // The scaling gate in scripts/check_batch.py is CPU-aware: a
+        // host with fewer cores than the sweep's worker counts cannot
+        // show wall-clock speedup, so record what was available.
+        (
+            "host_cpus",
+            Json::Int(std::thread::available_parallelism().map_or(1, |n| n.get()) as i64),
+        ),
         ("files", Json::Int(files as i64)),
         ("lines_per_file", Json::Int(lines as i64)),
         ("total_lines", Json::Int(total_lines as i64)),

@@ -33,6 +33,24 @@ impl Cnf {
         }
     }
 
+    /// The empty conjunction `true`, reusing `storage`'s clause
+    /// allocation. Engines that run many short inference sessions
+    /// (one per definition group) recycle the clause vector between
+    /// sessions via [`Cnf::into_storage`] instead of reallocating.
+    pub fn top_reusing(mut storage: Vec<Clause>) -> Cnf {
+        storage.clear();
+        Cnf {
+            clauses: storage,
+            normalized: true,
+        }
+    }
+
+    /// Consumes the function, returning its clause storage for reuse
+    /// with [`Cnf::top_reusing`].
+    pub fn into_storage(self) -> Vec<Clause> {
+        self.clauses
+    }
+
     /// A function that is trivially unsatisfiable (`⊥B`).
     pub fn bottom() -> Cnf {
         Cnf {

@@ -58,4 +58,7 @@ pub use config::{CheckPolicy, Compaction, Options, Stats, Unifier, SAT_CLASSES, 
 pub use driver::{DefReport, ProgramReport, Session, SessionError};
 pub use error::{FlagOrigin, ProofInfo, Provenance, TypeError, TypeErrorKind};
 pub use flow::{alpha_eq_skeleton, FlowInfer, Infer};
-pub use unit::{close_scheme, group_source, DefJob, DefVerdict, GroupOutcome};
+pub use unit::{
+    close_scheme, group_source, group_source_into, run_group_spec, DefJob, DefVerdict,
+    EngineScratch, GroupOutcome, GroupSpec,
+};

@@ -30,7 +30,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use rowpoly_boolfun::{classify, FlagSet, ProjectStats};
+use rowpoly_boolfun::{classify, Clause, Cnf, FlagSet, ProjectStats};
 use rowpoly_lang::{Program, Symbol};
 use rowpoly_types::{import_scheme, Binding, Scheme, Ty};
 
@@ -46,11 +46,23 @@ use crate::flow::FlowInfer;
 /// and the serve daemon's verdict query both key on it (together with
 /// [`Options::fingerprint`] and the dependencies' closed schemes).
 pub fn group_source(program: &Program, def_indices: &[usize]) -> String {
-    def_indices
-        .iter()
-        .map(|&i| rowpoly_lang::pretty_def(&program.defs[i]))
-        .collect::<Vec<_>>()
-        .join("\n")
+    let mut out = String::new();
+    group_source_into(&mut out, program, def_indices);
+    out
+}
+
+/// [`group_source`] written into a caller-owned buffer, so batch
+/// workers computing one content key per job can reuse one string
+/// instead of allocating per group. Clears `out` first; the result is
+/// byte-identical to [`group_source`].
+pub fn group_source_into(out: &mut String, program: &Program, def_indices: &[usize]) {
+    out.clear();
+    for (k, &i) in def_indices.iter().enumerate() {
+        if k > 0 {
+            out.push('\n');
+        }
+        out.push_str(&rowpoly_lang::pretty_def(&program.defs[i]));
+    }
 }
 
 /// Closes a definition's published interface: projects the scheme's
@@ -147,96 +159,158 @@ impl DefJob {
     /// schemes, fresh monomorphic ambient variables), then infers each
     /// member serially exactly like the whole-program driver. The first
     /// error or timeout stops the group; later members are `Skipped`.
+    ///
+    /// Convenience wrapper over [`run_group_spec`] with one-shot
+    /// scratch; schedulers running many groups per worker should call
+    /// [`run_group_spec`] directly with a reused [`EngineScratch`].
     pub fn run(&self) -> GroupOutcome {
-        let _span = obs_span(self);
-        let mut engine = FlowInfer::new(self.opts.clone());
-        let group_names: BTreeSet<Symbol> = self
-            .def_indices
-            .iter()
-            .map(|&i| self.program.defs[i].name)
-            .collect();
-        let mut needed: BTreeSet<Symbol> = BTreeSet::new();
-        for &i in &self.def_indices {
-            needed.extend(self.program.defs[i].body.free_vars());
-        }
-        let mut env = builtin_env(&mut engine, &needed);
-        // Dependency schemes come from other engines; rename them into
-        // this engine's variable and flag spaces before binding (see
-        // `import_scheme` — foreign numbering would otherwise capture
-        // local constraints at instantiation).
-        for (name, scheme) in &self.deps {
-            let imported = import_scheme(scheme, &mut engine.vars, &mut engine.flags);
-            env.insert(*name, Binding::Poly(imported));
-        }
-        // Ambient free variables (neither built-in, dependency, nor a
-        // group member) get fresh monomorphic types, like the serial
-        // driver's treatment of open programs.
-        for &x in &needed {
-            if !env.contains(x) && !group_names.contains(&x) {
-                let v = engine.vars.fresh();
-                let f = engine.fresh_flag_public();
-                env.insert(x, Binding::Mono(Ty::Var(v, f)));
-            }
-        }
-        env.freeze();
-
-        let mut items: Vec<(usize, DefVerdict)> = Vec::with_capacity(self.def_indices.len());
-        let mut stopped_at: Option<Symbol> = None;
-        for &i in &self.def_indices {
-            let def = &self.program.defs[i];
-            if let Some(after) = stopped_at {
-                items.push((i, DefVerdict::Skipped { after }));
-                continue;
-            }
-            let step = (|| -> Result<DefReport, TypeError> {
-                let (mut scheme, env_after) =
-                    engine.infer_def(&env, def.name, &def.body, def.span)?;
-                if self.opts.check != CheckPolicy::Final {
-                    engine.check_sat(def.span, None)?;
-                }
-                engine.finish_def(&mut scheme, &env_after);
-                env = env_after;
-                // Group members see the scheme as the serial driver
-                // would; the published report carries the closed copy.
-                env.insert(def.name, Binding::Poly(scheme.clone()));
-                env.freeze();
-                let closed = close_scheme(&mut scheme);
-                engine.note_projection(&closed);
-                let sat_class = classify(&scheme.flow);
-                Ok(DefReport {
-                    name: def.name,
-                    scheme,
-                    sat_class,
-                })
-            })();
-            match step {
-                Ok(report) => items.push((i, DefVerdict::Ok(report))),
-                Err(e) => {
-                    stopped_at = Some(def.name);
-                    let verdict = if e.is_timeout() {
-                        DefVerdict::Timeout(e)
-                    } else {
-                        DefVerdict::Error(e)
-                    };
-                    items.push((i, verdict));
-                }
-            }
-        }
-        let stats = engine.stats();
-        flush_stats_metrics(&stats);
-        GroupOutcome { items, stats }
+        let deps: Vec<(Symbol, &Scheme)> = self.deps.iter().map(|(n, s)| (*n, s)).collect();
+        let spec = GroupSpec {
+            opts: &self.opts,
+            program: &self.program,
+            def_indices: &self.def_indices,
+            deps: &deps,
+            free_names: None,
+        };
+        run_group_spec(&spec, &mut EngineScratch::default())
     }
 }
 
-fn obs_span(job: &DefJob) -> Option<rowpoly_obs::SpanGuard> {
+/// Reusable per-worker engine scratch. Each group still runs in a
+/// *fresh* engine (flag and variable numbering must depend only on the
+/// group's inputs — that is what makes batch output deterministic),
+/// but the engine's backing allocations need not be fresh: this holds
+/// the recyclable pieces a worker threads through consecutive groups.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    /// Clause storage for the engine's β, recycled between groups.
+    beta: Vec<Clause>,
+}
+
+/// A borrowed description of one group inference — the same work as
+/// [`DefJob`] without requiring the scheduler to clone options,
+/// definition indices, or dependency schemes into the job.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupSpec<'a> {
+    /// Inference options (may carry a SAT budget and a cancellation
+    /// flag).
+    pub opts: &'a Options,
+    /// The parsed program the group belongs to.
+    pub program: &'a Program,
+    /// Indices into `program.defs`, ascending and contiguous in
+    /// dependency order.
+    pub def_indices: &'a [usize],
+    /// Closed schemes of out-of-group definitions the group
+    /// references, sorted by name.
+    pub deps: &'a [(Symbol, &'a Scheme)],
+    /// The union of the members' free variables, when the caller has
+    /// it precomputed (the batch graph does, from dependency
+    /// resolution); `None` re-walks the member bodies.
+    pub free_names: Option<&'a [Symbol]>,
+}
+
+/// Runs one definition group per [`GroupSpec`]: builds the environment
+/// (built-ins, dependency schemes, fresh monomorphic ambient
+/// variables), then infers each member serially exactly like the
+/// whole-program driver. The first error or timeout stops the group;
+/// later members are `Skipped`. `scratch` carries reusable engine
+/// allocations between calls; results are identical whether or not it
+/// is reused.
+pub fn run_group_spec(spec: &GroupSpec<'_>, scratch: &mut EngineScratch) -> GroupOutcome {
+    let _span = obs_span(spec.program, spec.def_indices);
+    let mut engine = FlowInfer::new(spec.opts.clone());
+    engine.beta = Cnf::top_reusing(std::mem::take(&mut scratch.beta));
+    let group_names: BTreeSet<Symbol> = spec
+        .def_indices
+        .iter()
+        .map(|&i| spec.program.defs[i].name)
+        .collect();
+    let needed: BTreeSet<Symbol> = match spec.free_names {
+        Some(names) => names.iter().copied().collect(),
+        None => {
+            let mut walked = BTreeSet::new();
+            for &i in spec.def_indices {
+                walked.extend(spec.program.defs[i].body.free_vars());
+            }
+            walked
+        }
+    };
+    let mut env = builtin_env(&mut engine, &needed);
+    // Dependency schemes come from other engines; rename them into
+    // this engine's variable and flag spaces before binding (see
+    // `import_scheme` — foreign numbering would otherwise capture
+    // local constraints at instantiation).
+    for &(name, scheme) in spec.deps {
+        let imported = import_scheme(scheme, &mut engine.vars, &mut engine.flags);
+        env.insert(name, Binding::Poly(imported));
+    }
+    // Ambient free variables (neither built-in, dependency, nor a
+    // group member) get fresh monomorphic types, like the serial
+    // driver's treatment of open programs.
+    for &x in &needed {
+        if !env.contains(x) && !group_names.contains(&x) {
+            let v = engine.vars.fresh();
+            let f = engine.fresh_flag_public();
+            env.insert(x, Binding::Mono(Ty::Var(v, f)));
+        }
+    }
+    env.freeze();
+
+    let mut items: Vec<(usize, DefVerdict)> = Vec::with_capacity(spec.def_indices.len());
+    let mut stopped_at: Option<Symbol> = None;
+    for &i in spec.def_indices {
+        let def = &spec.program.defs[i];
+        if let Some(after) = stopped_at {
+            items.push((i, DefVerdict::Skipped { after }));
+            continue;
+        }
+        let step = (|| -> Result<DefReport, TypeError> {
+            let (mut scheme, env_after) = engine.infer_def(&env, def.name, &def.body, def.span)?;
+            if spec.opts.check != CheckPolicy::Final {
+                engine.check_sat(def.span, None)?;
+            }
+            engine.finish_def(&mut scheme, &env_after);
+            env = env_after;
+            // Group members see the scheme as the serial driver
+            // would; the published report carries the closed copy.
+            env.insert(def.name, Binding::Poly(scheme.clone()));
+            env.freeze();
+            let closed = close_scheme(&mut scheme);
+            engine.note_projection(&closed);
+            let sat_class = classify(&scheme.flow);
+            Ok(DefReport {
+                name: def.name,
+                scheme,
+                sat_class,
+            })
+        })();
+        match step {
+            Ok(report) => items.push((i, DefVerdict::Ok(report))),
+            Err(e) => {
+                stopped_at = Some(def.name);
+                let verdict = if e.is_timeout() {
+                    DefVerdict::Timeout(e)
+                } else {
+                    DefVerdict::Error(e)
+                };
+                items.push((i, verdict));
+            }
+        }
+    }
+    let stats = engine.stats();
+    flush_stats_metrics(&stats);
+    scratch.beta = std::mem::take(&mut engine.beta).into_storage();
+    GroupOutcome { items, stats }
+}
+
+fn obs_span(program: &Program, def_indices: &[usize]) -> Option<rowpoly_obs::SpanGuard> {
     if !rowpoly_obs::enabled() {
         return None;
     }
     Some(rowpoly_obs::span_lazy(|| {
-        let names: Vec<String> = job
-            .def_indices
+        let names: Vec<String> = def_indices
             .iter()
-            .map(|&i| job.program.defs[i].name.to_string())
+            .map(|&i| program.defs[i].name.to_string())
             .collect();
         format!("job {}", names.join("+"))
     }))

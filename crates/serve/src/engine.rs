@@ -38,7 +38,9 @@ use std::time::Instant;
 use rowpoly_batch::cache::{Cache, CachedDef};
 use rowpoly_batch::graph::ProgramGraph;
 use rowpoly_boolfun::SatClass;
-use rowpoly_core::{group_source, DefJob, DefVerdict, Options};
+use rowpoly_core::{
+    group_source_into, run_group_spec, DefVerdict, EngineScratch, GroupSpec, Options,
+};
 use rowpoly_lang::{parse_program, LineMap, Program, Span, Symbol};
 use rowpoly_obs as obs;
 use rowpoly_obs::json::Json;
@@ -296,6 +298,11 @@ pub struct ServeEngine {
     totals: Totals,
     /// Per-edit wall-time distribution (microseconds, log₂ buckets).
     edit_us: Histogram,
+    /// Recycled inference allocations (the daemon is single-threaded,
+    /// so one scratch serves every verdict recomputation).
+    scratch: EngineScratch,
+    /// Recycled buffer for pretty-printed group content.
+    content: String,
 }
 
 impl ServeEngine {
@@ -313,6 +320,8 @@ impl ServeEngine {
             revision: 0,
             totals: Totals::default(),
             edit_us: Histogram::default(),
+            scratch: EngineScratch::default(),
+            content: String::new(),
         }
     }
 
@@ -608,8 +617,8 @@ impl ServeEngine {
             }
 
             // Query 3: the verdict, keyed by the slice fingerprint.
-            let content = group_source(&program, &group.def_indices);
-            let key = Cache::key(&self.fingerprint, &content, &dep_schemes);
+            group_source_into(&mut self.content, &program, &group.def_indices);
+            let key = Cache::key(&self.fingerprint, &self.content, &dep_schemes);
             if let Some(cached) = self.memo.lookup(key, self.revision) {
                 if let Some(items) = replay(&program, group, cached) {
                     stats.verdict_hits += 1;
@@ -637,13 +646,16 @@ impl ServeEngine {
             // Miss: run inference on this group alone.
             stats.verdict_recomputed += 1;
             stats.defs_recomputed += group.def_indices.len() as u64;
-            let outcome = DefJob {
-                opts: self.opts.clone(),
-                program: program.clone(),
-                def_indices: group.def_indices.clone(),
-                deps: dep_schemes,
-            }
-            .run();
+            let dep_refs: Vec<(Symbol, &Scheme)> =
+                dep_schemes.iter().map(|(n, s)| (*n, s)).collect();
+            let spec = GroupSpec {
+                opts: &self.opts,
+                program: &program,
+                def_indices: &group.def_indices,
+                deps: &dep_refs,
+                free_names: Some(&group.free_names),
+            };
+            let outcome = run_group_spec(&spec, &mut self.scratch);
             if outcome.all_ok() {
                 let cached: Vec<CachedDef> = outcome
                     .items

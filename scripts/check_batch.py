@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Schema-and-scaling gate for the batch benchmark JSON.
+
+Usage: check_batch.py <BENCH_batch.json> [--quick]
+
+Validates the report the `batch` bench emits (`--json`): the four run
+configurations and the 1/2/4/8-worker profiled sweep are present and
+well-formed, parallelism never *costs* wall time, and — when the host
+actually has the cores to show it (`host_cpus >= 4`) — the 4-worker
+run beats serial by at least 2x. Hosts with fewer cores cannot exhibit
+wall-clock speedup no matter how well the pipeline scales, so on those
+the gate degrades to "parallel dispatch is free": the sweep must stay
+flat within noise tolerance and the speedup must stay near 1.0. The
+`host_cpus` field recorded by the bench makes the applied mode
+auditable from the report alone. `--quick` additionally skips the
+speedup floors (scaled-down corpora are too small and noisy to gate),
+keeping only schema and sanity checks. Exits non-zero with a
+diagnostic on the first violation, so CI can gate on it.
+"""
+
+import json
+import sys
+
+# Required 4-worker speedup over serial when the host has >= 4 CPUs.
+SPEEDUP_FLOOR = 4.0 / 2.0
+# On any host, parallel dispatch must not cost more than ~15% wall.
+NO_COST_FLOOR = 0.85
+# Sweep points may exceed the 1-worker wall by at most this factor
+# (scheduler noise); anything above means per-job work is inflating
+# with worker count again.
+WALL_TOLERANCE = 1.15
+SWEEP_WORKERS = [1, 2, 4, 8]
+
+
+def fail(msg):
+    print(f"check_batch: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def positive_number(doc, key, what):
+    v = doc.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool) or v <= 0:
+        fail(f"{what}: {key} must be a positive number, got {v!r}")
+    return v
+
+
+def check_run(doc, name):
+    run = doc.get(name)
+    if not isinstance(run, dict):
+        fail(f"{name} must be an object, got {run!r}")
+    positive_number(run, "wall_s", name)
+    positive_number(run, "workers", name)
+    for key in ("steals", "cache_hits", "cache_misses"):
+        v = run.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{name}: {key} must be a non-negative integer, got {v!r}")
+    return run
+
+
+def check_scale_point(point, expected_workers):
+    what = f"scaling[workers={expected_workers}]"
+    if not isinstance(point, dict):
+        fail(f"{what} must be an object, got {point!r}")
+    if point.get("workers") != expected_workers:
+        fail(f"{what}: workers is {point.get('workers')!r}")
+    wall = positive_number(point, "wall_s", what)
+    for key in ("busy_pct", "idle_pct", "lock_wait_pct"):
+        v = point.get(key)
+        if not isinstance(v, (int, float)) or not 0.0 <= v <= 100.0:
+            fail(f"{what}: {key} must be a percentage, got {v!r}")
+    ratio = point.get("critical_path_ratio")
+    if not isinstance(ratio, (int, float)) or not 0.0 <= ratio <= 1.0:
+        fail(f"{what}: critical_path_ratio must be in [0, 1], got {ratio!r}")
+    per_worker = point.get("per_worker")
+    if not isinstance(per_worker, list) or len(per_worker) != expected_workers:
+        n = len(per_worker) if isinstance(per_worker, list) else per_worker
+        fail(f"{what}: per_worker must list all {expected_workers} workers, got {n!r}")
+    jobs = 0
+    for u in per_worker:
+        if not isinstance(u.get("jobs"), int) or u["jobs"] < 0:
+            fail(f"{what}: per-worker jobs must be a non-negative integer: {u}")
+        jobs += u["jobs"]
+    return wall, jobs
+
+
+def main():
+    quick = "--quick" in sys.argv[1:]
+    args = [a for a in sys.argv[1:] if a != "--quick"]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(args[0]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {args[0]}: {e}")
+
+    if doc.get("bench") != "batch":
+        fail(f"bench must be 'batch', got {doc.get('bench')!r}")
+    host_cpus = doc.get("host_cpus")
+    if not isinstance(host_cpus, int) or host_cpus < 1:
+        fail(f"host_cpus must be a positive integer, got {host_cpus!r}")
+    defs = doc.get("defs")
+    if not isinstance(defs, int) or defs <= 0:
+        fail(f"defs must be a positive integer, got {defs!r}")
+
+    serial = check_run(doc, "serial")
+    parallel = check_run(doc, "parallel")
+    cold = check_run(doc, "cold_cache")
+    warm = check_run(doc, "warm_cache")
+    if serial["workers"] != 1:
+        fail(f"serial run used {serial['workers']} workers")
+    if warm["cache_hits"] == 0:
+        fail("warm run never hit the cache")
+    if cold["cache_hits"] + cold["cache_misses"] == 0:
+        fail("cold run never touched the cache")
+
+    speedup = positive_number(doc, "parallel_speedup", "report")
+    claimed = serial["wall_s"] / max(parallel["wall_s"], 1e-9)
+    if abs(claimed - speedup) > 0.01 * max(claimed, speedup):
+        fail(f"parallel_speedup {speedup:.3f} != serial/parallel {claimed:.3f}")
+    positive_number(doc, "warm_over_cold", "report")
+
+    scaling = doc.get("scaling")
+    if not isinstance(scaling, list) or len(scaling) != len(SWEEP_WORKERS):
+        fail(f"scaling must sweep workers {SWEEP_WORKERS}, got {scaling!r}")
+    walls = []
+    for point, workers in zip(scaling, SWEEP_WORKERS):
+        wall, jobs = check_scale_point(point, workers)
+        walls.append(wall)
+        if jobs == 0:
+            fail(f"scaling[workers={workers}]: no jobs ran")
+
+    # Scaling gates. Every mode requires the sweep to be non-degrading:
+    # more workers must never cost more wall time than the 1-worker
+    # baseline (beyond noise). That is the regression this gate exists
+    # to catch — per-job work inflating with worker count.
+    for wall, workers in zip(walls[1:], SWEEP_WORKERS[1:]):
+        if wall > walls[0] * WALL_TOLERANCE:
+            fail(
+                f"sweep degrades: {workers} workers took {wall:.3f}s vs "
+                f"{walls[0]:.3f}s on 1 worker (> {WALL_TOLERANCE}x tolerance)"
+            )
+    if quick:
+        mode = "quick (schema + non-degrading sweep only)"
+    elif host_cpus >= 4:
+        if speedup < SPEEDUP_FLOOR:
+            fail(
+                f"parallel_speedup {speedup:.2f}x on a {host_cpus}-CPU host "
+                f"is below the {SPEEDUP_FLOOR}x floor"
+            )
+        sweep4 = walls[0] / max(walls[SWEEP_WORKERS.index(4)], 1e-9)
+        if sweep4 < SPEEDUP_FLOOR:
+            fail(
+                f"profiled sweep shows only {sweep4:.2f}x at 4 workers "
+                f"on a {host_cpus}-CPU host (< {SPEEDUP_FLOOR}x floor)"
+            )
+        mode = f">= {SPEEDUP_FLOOR}x at 4 workers gated ({host_cpus} CPUs)"
+    else:
+        if speedup < NO_COST_FLOOR:
+            fail(
+                f"parallel_speedup {speedup:.2f}x: parallel dispatch costs "
+                f"more than {(1 - NO_COST_FLOOR) * 100:.0f}% wall even on a "
+                f"{host_cpus}-CPU host"
+            )
+        mode = (
+            f"non-degrading gated only: {host_cpus} CPU(s) cannot show "
+            f"wall-clock speedup"
+        )
+
+    print(
+        f"check_batch: OK: {defs} defs, parallel_speedup {speedup:.2f}x, "
+        f"sweep walls {', '.join(f'{w:.2f}s' for w in walls)} [{mode}]"
+    )
+
+
+if __name__ == "__main__":
+    main()

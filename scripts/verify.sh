@@ -64,6 +64,16 @@ cargo run --release --bin rowpoly -- profile programs/ --jobs 2 --no-cache --jso
 python3 scripts/check_profile.py "$profile_dir/profile-cmd.json"
 rm -rf "$profile_dir"
 
+echo "==> batch scaling gate (committed BENCH_batch.json + quick live sweep)"
+# The committed report must clear the CPU-aware scaling floor (>= 2x at
+# 4 workers when the host has the cores; non-degrading otherwise); the
+# live smoke re-runs a quick sweep and gates schema + sweep shape.
+python3 scripts/check_batch.py BENCH_batch.json
+batch_bench=$(mktemp -d)
+cargo run --release -p rowpoly-bench --bin batch -- --quick --json > "$batch_bench/batch.json"
+python3 scripts/check_batch.py "$batch_bench/batch.json" --quick
+rm -rf "$batch_bench"
+
 echo "==> serve smoke (20-edit trace replay, checked proofs) + BENCH_serve gate"
 # The committed full-scale report must clear the >= 10x p99 floor; the
 # live smoke replays a quick 20-edit trace with every SAT verdict

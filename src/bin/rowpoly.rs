@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rowpoly check <dir|files...> [options]   batch type-check programs
-//!     --jobs N          worker threads (default: all cores)
+//!     --jobs N          worker threads; `0` or omitted auto-detects the
+//!                       host's available parallelism
 //!     --no-cache        disable the persistent inference cache
 //!     --cache-dir D     cache location (default .rowpoly-cache)
 //!     --sat-budget N    CDCL step budget per SAT check (timeout verdicts)
@@ -46,6 +47,39 @@ use rowpoly::core::{hm, remy::RemyInfer, Compaction, Options, Session};
 use rowpoly::eval::eval_program;
 use rowpoly::lang::parse_program;
 
+/// The `--help` text. Kept in sync with the module doc above.
+const HELP: &str = "\
+rowpoly check <dir|files...> [options]   batch type-check programs
+    --jobs N          worker threads; `0` or omitted auto-detects the
+                      host's available parallelism
+    --no-cache        disable the persistent inference cache
+    --cache-dir D     cache location (default .rowpoly-cache)
+    --sat-budget N    CDCL step budget per SAT check (timeout verdicts)
+    --compaction M    stale-flag projection: aggressive (default) | perdef
+    --no-fields       disable field tracking (Fig. 2 baseline)
+    --explain         append the minimal-unsat-core proof summary to errors
+    --progress        live progress line on stderr (TTY only; off with --json)
+    --profile F       write the concurrency profile to F as JSON
+                      (plus a `.trace.json` Chrome-trace twin)
+    --json            machine-readable report
+rowpoly profile <dir|files...> [options] check + print the profile report
+    accepts the same options as check, plus:
+    --trace F         write the per-worker Chrome trace to F
+    --json            print the profile as JSON instead of text
+rowpoly serve [--stdio|--json-rpc]       persistent incremental daemon
+    --stdio           Language Server Protocol on stdio (default)
+    --json-rpc        newline-delimited JSON protocol (tests, scripting)
+    --no-cache        do not read/write the persistent inference cache
+    --cache-dir D     cache location (default .rowpoly-cache)
+    --sat-budget N    CDCL step budget per SAT check
+    --no-fields       disable field tracking
+rowpoly explain <file|->                 first type error with its checked
+                                         minimal-core evidence (`-`: stdin)
+rowpoly types <file> [--flags]           print every definition's scheme
+rowpoly run   <file> [--fuel N]          type-check then evaluate `main`
+rowpoly compare <file>                   flow vs Remy vs flow-free verdicts
+";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -57,6 +91,10 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "explain" | "types" | "run" | "compare" => cmd_single_file(cmd, &args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
         other => {
             eprintln!(
                 "unknown command `{other}`; use check, profile, serve, explain, types, run or compare"
