@@ -36,6 +36,7 @@ use rowpoly_boolfun::SatClass;
 use rowpoly_lang::Symbol;
 use rowpoly_obs::contention::LockTimer;
 use rowpoly_obs::json::{self, Json};
+use rowpoly_obs::MemSite;
 use rowpoly_types::Scheme;
 
 use crate::codec;
@@ -205,6 +206,11 @@ pub const STRIPES: usize = 8;
 /// site (`lock.wait.batch.cache.s0` … `.s7`), so a profile shows not
 /// just that cache waiting went down after sharding but how evenly the
 /// fingerprints spread across stripes.
+/// Attribution site for the bytes the in-memory cache holds and clones:
+/// loading `cache.json`, hit clones, and inserted entries all land here
+/// (see `rowpoly-obs::mem`).
+static CACHE_MEM: MemSite = MemSite::new("batch.cache");
+
 static STRIPE_LOCKS: [LockTimer; STRIPES] = [
     LockTimer::new("batch.cache.s0"),
     LockTimer::new("batch.cache.s1"),
@@ -242,6 +248,7 @@ impl Sharded {
     /// Loads `dir` (tolerating every failure mode, like [`Cache::load`])
     /// and deals the entries out across the stripes.
     pub fn load(dir: &Path) -> Sharded {
+        let _mem = CACHE_MEM.scope();
         let whole = Cache::load(dir);
         let sharded = Sharded::new();
         for (key, defs) in whole.entries {
@@ -261,11 +268,13 @@ impl Sharded {
 
     /// Looks up a key in its stripe, counting the hit or miss there.
     pub fn lookup(&self, key: u64) -> Option<Vec<CachedDef>> {
+        let _mem = CACHE_MEM.scope();
         self.stripe(key).lookup(key)
     }
 
     /// Stores a fully-successful group outcome in the key's stripe.
     pub fn insert(&self, key: u64, defs: Vec<CachedDef>) {
+        let _mem = CACHE_MEM.scope();
         self.stripe(key).insert(key, defs);
     }
 

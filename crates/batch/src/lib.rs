@@ -236,6 +236,10 @@ pub struct BatchReport {
     pub stats: BatchStats,
     /// The concurrency profile, when [`BatchOptions::profile`] was set.
     pub profile: Option<ProfileReport>,
+    /// The memory-accounting block, when the counting allocator was
+    /// tracking (`ROWPOLY_MEM=1`). JSON-only: memory numbers are
+    /// scheduling-dependent and never appear in the text report.
+    pub mem: Option<Json>,
 }
 
 impl BatchReport {
@@ -390,7 +394,7 @@ impl BatchReport {
             })
             .collect();
         let s = &self.stats;
-        Json::obj(vec![
+        let mut members = vec![
             ("files", Json::Arr(files)),
             (
                 "stats",
@@ -410,7 +414,11 @@ impl BatchReport {
                     ("wall_ms", Json::Float(s.wall.as_secs_f64() * 1e3)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(mem) = &self.mem {
+            members.push(("mem", mem.clone()));
+        }
+        Json::obj(members)
     }
 }
 
@@ -538,6 +546,11 @@ struct WorkerScratch {
 pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> BatchReport {
     let wall_start = Instant::now();
     let trace_path = obs::init_from_env();
+    // Memory baseline for the whole batch: snapshot the process-wide
+    // counters and attribution sites before any work, so the report's
+    // `mem` block is a clean delta over this run.
+    let mem_baseline =
+        obs::mem::tracking().then(|| (obs::mem::snapshot(), obs::mem::site_snapshot()));
     inputs.sort_by(|a, b| a.path.cmp(&b.path));
     inputs.dedup_by(|a, b| a.path == b.path);
 
@@ -607,6 +620,14 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
             if let Some(p) = &profiler {
                 if p.first_of_wave(wave) {
                     tl.instant_with(|| format!("wave {wave}"));
+                    if obs::mem::tracking() {
+                        p.note_wave_mem(obs::WaveMem {
+                            wave,
+                            t_ns: tl.now_ns(),
+                            live_bytes: obs::mem::live_bytes(),
+                            peak_bytes: obs::mem::peak_bytes(),
+                        });
+                    }
                 }
             }
             let result = run_group(
@@ -646,6 +667,18 @@ pub fn check_sources(mut inputs: Vec<FileInput>, options: &BatchOptions) -> Batc
         options.explain,
     );
     report.profile = profile;
+    if let Some((base_snap, base_sites)) = mem_baseline {
+        let now = obs::mem::snapshot();
+        let delta = now.delta_since(&base_snap);
+        let sites = obs::mem::site_delta(&obs::mem::site_snapshot(), &base_sites);
+        report.mem = Some(obs::mem::report_json(
+            &delta,
+            &base_snap,
+            &now,
+            &sites,
+            report.stats.defs as u64,
+        ));
+    }
     flush_batch_metrics(&report.stats);
     if let Some(path) = trace_path {
         let snap = obs::snapshot();
@@ -931,6 +964,7 @@ fn assemble(
         files,
         stats,
         profile: None,
+        mem: None,
     }
 }
 

@@ -150,8 +150,14 @@ where
                     Some(p) => p.worker(w as u32),
                     None => WorkerTimeline::disabled(),
                 };
+                // Allocator delta for this worker thread, bracketing the
+                // whole drain (all zeros when accounting is off). The
+                // mark also materializes the thread's slot, so the
+                // orchestrator's slot registry sees every worker.
+                let mem_mark = rowpoly_obs::mem::thread_mark();
                 let mut state = mk_worker(w);
                 worker(w, shared, dependents, results, run, &mut state, &mut tl);
+                tl.mem = rowpoly_obs::mem::thread_delta_since(&mem_mark);
                 if let Some(p) = profiler {
                     p.submit(tl);
                 }

@@ -24,6 +24,7 @@ use std::path::Path;
 
 use rowpoly_obs::contention::LockWaitStats;
 use rowpoly_obs::json::Json;
+use rowpoly_obs::mem::MemDelta;
 use rowpoly_obs::timeline::{TimelineSnapshot, WorkerUtil};
 
 /// One scheduled job in the profile, flattened from the worker
@@ -160,13 +161,19 @@ impl ProfileReport {
         }
         for l in &self.locks {
             out.push_str(&format!(
-                "  lock.wait.{}: {} acquisitions, {} contended, total {:.3} ms, max {:.3} ms\n",
+                "  lock.wait.{}: {} acquisitions, {} contended, total {:.3} ms, max {:.3} ms",
                 l.name,
                 l.acquisitions,
                 l.contended,
                 l.wait_ns as f64 / 1e6,
                 l.max_wait_ns as f64 / 1e6,
             ));
+            if let (Some(p50), Some(p90), Some(p99)) =
+                (l.percentile(50.0), l.percentile(90.0), l.percentile(99.0))
+            {
+                out.push_str(&format!(", p50 {p50} ns, p90 {p90} ns, p99 {p99} ns"));
+            }
+            out.push('\n');
         }
 
         let c = &self.critical;
@@ -202,6 +209,39 @@ impl ProfileReport {
                 ));
             }
         }
+
+        let merged = self.snapshot.mem_merged();
+        if merged != MemDelta::default() || !self.snapshot.wave_mem.is_empty() {
+            const MIB: f64 = 1024.0 * 1024.0;
+            out.push_str("\nmemory (counting allocator)\n");
+            out.push_str(&format!(
+                "  all workers: {:.2} MiB allocated in {} allocations, net {:+.2} MiB\n",
+                merged.alloc_bytes as f64 / MIB,
+                merged.allocs,
+                merged.net_bytes() as f64 / MIB,
+            ));
+            for w in &self.snapshot.workers {
+                if w.mem == MemDelta::default() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  worker {}: {:.2} MiB allocated in {} allocations, net {:+.2} MiB\n",
+                    w.worker(),
+                    w.mem.alloc_bytes as f64 / MIB,
+                    w.mem.allocs,
+                    w.mem.net_bytes() as f64 / MIB,
+                ));
+            }
+            for wm in &self.snapshot.wave_mem {
+                out.push_str(&format!(
+                    "  wave {} (t={:.1} ms): live {:.2} MiB, peak {:.2} MiB\n",
+                    wm.wave,
+                    wm.t_ns as f64 / 1e6,
+                    wm.live_bytes as f64 / MIB,
+                    wm.peak_bytes as f64 / MIB,
+                ));
+            }
+        }
         out
     }
 
@@ -224,31 +264,13 @@ impl ProfileReport {
                 ])
             })
             .collect();
+        // Delegates to `LockWaitStats::to_json` so the JSON percentiles
+        // come from the same `percentile_from_buckets` estimator the
+        // text report prints (parity test below).
         let locks = self
             .locks
             .iter()
-            .map(|l| {
-                (
-                    format!("lock.wait.{}", l.name),
-                    Json::obj(vec![
-                        ("acquisitions", Json::Int(l.acquisitions as i64)),
-                        ("contended", Json::Int(l.contended as i64)),
-                        ("wait_ns", Json::Int(l.wait_ns as i64)),
-                        ("max_wait_ns", Json::Int(l.max_wait_ns as i64)),
-                        (
-                            "buckets",
-                            Json::Arr(
-                                l.nonzero_buckets()
-                                    .into_iter()
-                                    .map(|(lo, n)| {
-                                        Json::Arr(vec![Json::Int(lo as i64), Json::Int(n as i64)])
-                                    })
-                                    .collect(),
-                            ),
-                        ),
-                    ]),
-                )
-            })
+            .map(|l| (format!("lock.wait.{}", l.name), l.to_json()))
             .collect::<Vec<_>>();
         let jobs = self
             .jobs
@@ -273,12 +295,49 @@ impl ProfileReport {
                 ])
             })
             .collect();
+        let merged = self.snapshot.mem_merged();
+        let mem = Json::obj(vec![
+            ("merged", merged.to_json()),
+            (
+                "workers",
+                Json::Arr(
+                    self.snapshot
+                        .workers
+                        .iter()
+                        .map(|w| {
+                            Json::obj(vec![
+                                ("worker", Json::Int(w.worker() as i64)),
+                                ("delta", w.mem.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "waves",
+                Json::Arr(
+                    self.snapshot
+                        .wave_mem
+                        .iter()
+                        .map(|wm| {
+                            Json::obj(vec![
+                                ("wave", Json::Int(wm.wave as i64)),
+                                ("t_ns", Json::Int(wm.t_ns as i64)),
+                                ("live_bytes", Json::Int(wm.live_bytes)),
+                                ("peak_bytes", Json::Int(wm.peak_bytes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
         let c = &self.critical;
         Json::obj(vec![
             ("wall_ns", Json::Int(c.wall_ns as i64)),
             ("workers", Json::Arr(workers)),
             ("locks", Json::Obj(locks)),
             ("jobs", Json::Arr(jobs)),
+            ("mem", mem),
             (
                 "critical_path",
                 Json::obj(vec![
@@ -391,6 +450,49 @@ mod tests {
         assert_eq!(report.critical.path_ns, 30);
         assert_eq!(report.critical.chain, vec!["b"]);
         assert_eq!(report.critical.serial_ns, 60);
+    }
+
+    /// The text report and the JSON report must quote the *same*
+    /// percentile estimates for lock waits: both go through
+    /// `LockWaitStats::percentile` (the shared bucket estimator), so a
+    /// golden site with a known wait distribution must round-trip
+    /// identically through both renderings.
+    #[test]
+    fn lock_percentiles_agree_between_text_and_json() {
+        let mut report = ProfileReport::build(snapshot_with_jobs(&[(0, 10, "a")]), &[vec![]]);
+        report.locks = vec![LockWaitStats {
+            name: "golden",
+            acquisitions: 10,
+            contended: 4,
+            wait_ns: 1000,
+            max_wait_ns: 700,
+            // One wait in [2,4) ns, two in [256,512) ns, one at max.
+            buckets: {
+                let mut b = vec![0u64; 11];
+                b[2] = 1;
+                b[9] = 2;
+                b[10] = 1;
+                b
+            },
+        }];
+        let l = &report.locks[0];
+        let (p50, p90, p99) = (
+            l.percentile(50.0).unwrap(),
+            l.percentile(90.0).unwrap(),
+            l.percentile(99.0).unwrap(),
+        );
+
+        let text = report.render_text();
+        assert!(
+            text.contains(&format!("p50 {p50} ns, p90 {p90} ns, p99 {p99} ns")),
+            "text report must quote the shared estimator: {text}"
+        );
+
+        let doc = rowpoly_obs::json::parse(&report.to_json().render()).expect("valid JSON");
+        let lock = doc.get("locks").unwrap().get("lock.wait.golden").unwrap();
+        assert_eq!(lock.get("p50_ns").and_then(Json::as_i64), Some(p50 as i64));
+        assert_eq!(lock.get("p90_ns").and_then(Json::as_i64), Some(p90 as i64));
+        assert_eq!(lock.get("p99_ns").and_then(Json::as_i64), Some(p99 as i64));
     }
 
     #[test]

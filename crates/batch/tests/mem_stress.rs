@@ -1,0 +1,125 @@
+//! Counting-allocator stress test under the 8-worker batch pool.
+//!
+//! This binary installs the counting `#[global_allocator]` and holds
+//! exactly ONE `#[test]`, on purpose: the invariants below compare the
+//! process-wide ledger against the per-thread slots over a quiesced
+//! window, and a second concurrently-running test (libtest runs tests
+//! on its own thread pool) would allocate into that window and break
+//! the equality. Keep it single-test.
+//!
+//! Invariants exercised (ISSUE 9, satellite 4):
+//!
+//! 1. **Slot/ledger agreement** — after the pool's scoped workers have
+//!    joined, the sum of per-thread slot deltas equals the global
+//!    atomic ledger's delta, byte for byte and count for count.
+//! 2. **Worker containment** — the per-worker deltas the profiler
+//!    merged at join are non-zero and no larger than the global delta.
+//! 3. **Peak monotonicity** — the wave-boundary allocator samples are
+//!    non-decreasing in `peak_bytes` over time (a watermark can only
+//!    rise within a run).
+
+use rowpoly_batch::{check_sources, BatchOptions, FileInput};
+use rowpoly_obs::mem::{self, MemDelta};
+use rowpoly_obs::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A batch wide enough to keep 8 workers busy and deep enough (each
+/// file is a 4-deep dependency chain) to produce several waves.
+fn inputs() -> Vec<FileInput> {
+    (0..24)
+        .map(|i| FileInput {
+            path: format!("stress_{i:02}.rp"),
+            source: "\
+def base r = #x r + 1
+def mid r = base {x = #y r}
+def high r = mid {y = #z r} + base {x = 2}
+def top r = high {z = #w r} + mid {y = 3}
+"
+            .to_string(),
+        })
+        .collect()
+}
+
+#[test]
+fn pool_slots_reconcile_with_global_ledger() {
+    assert!(mem::installed(), "counting allocator must be installed");
+
+    // Take the paired baseline reads with tracking OFF: the snapshot
+    // machinery allocates (the slots Vec, lock guards), and with the
+    // ledgers frozen those allocations are invisible to both, so the
+    // pair is a single consistent instant.
+    let base_snap = mem::snapshot();
+    let base_slots = mem::slots_snapshot();
+
+    let session = mem::accounting_session();
+    let options = BatchOptions {
+        profile: true,
+        ..BatchOptions::in_memory(8)
+    };
+    let report = check_sources(inputs(), &options);
+    assert!(report.ok(), "stress batch must check:\n{}", report.render());
+    assert_eq!(report.stats.workers, 8);
+    drop(session);
+
+    // The scoped pool has joined and tracking is off again: the window
+    // is quiesced and exactly bracketed, so the two ledgers must agree
+    // byte for byte.
+    let now_snap = mem::snapshot();
+    let now_slots = mem::slots_snapshot();
+    let global = now_snap.delta_since(&base_snap);
+    let merged_slots = mem::slots_delta(&now_slots, &base_slots);
+    assert!(global.allocs > 0, "the batch must allocate");
+    assert_eq!(
+        merged_slots, global,
+        "sum of per-thread slot deltas must equal the global ledger delta"
+    );
+
+    // Invariant 2: per-worker deltas captured at join are real and
+    // bounded by the whole-process delta.
+    let profile = report.profile.as_ref().expect("profile requested");
+    let workers_mem = profile.snapshot.mem_merged();
+    assert!(
+        workers_mem.allocs > 0,
+        "workers must have recorded allocations"
+    );
+    assert!(
+        workers_mem.alloc_bytes <= global.alloc_bytes
+            && workers_mem.allocs <= global.allocs
+            && workers_mem.freed_bytes <= global.freed_bytes
+            && workers_mem.deallocs <= global.deallocs,
+        "merged worker delta {workers_mem:?} exceeds global delta {global:?}"
+    );
+    // A worker that never got a job may legitimately allocate nothing
+    // (the pool can drain 24 files before all 8 workers wake), but any
+    // worker that ran jobs must have a real delta.
+    for w in &profile.snapshot.workers {
+        if !w.jobs.is_empty() {
+            assert_ne!(
+                w.mem,
+                MemDelta::default(),
+                "worker {} ran {} jobs but captured no allocator delta",
+                w.worker(),
+                w.jobs.len()
+            );
+        }
+    }
+
+    // Invariant 3: wave-boundary peak samples are a watermark.
+    let waves = &profile.snapshot.wave_mem;
+    assert!(!waves.is_empty(), "multi-wave batch must sample waves");
+    let mut by_time = waves.clone();
+    by_time.sort_by_key(|wm| wm.t_ns);
+    for pair in by_time.windows(2) {
+        assert!(
+            pair[0].peak_bytes <= pair[1].peak_bytes,
+            "peak_bytes regressed between samples: {pair:?}"
+        );
+    }
+
+    // The batch report carried the mem block (tracking was on).
+    let mem_block = report.mem.as_ref().expect("mem block when tracking");
+    let rendered = mem_block.render();
+    assert!(rendered.contains("\"peak_bytes\""), "{rendered}");
+}

@@ -2,8 +2,15 @@
 //! the worker-scaling curve with its concurrency profile.
 //!
 //! ```text
-//! batch [--quick] [--json] [--files N] [--lines N] [--jobs N] [--seed N]
+//! batch [--quick] [--json] [--mem] [--files N] [--lines N] [--jobs N]
+//!       [--seed N]
 //! ```
+//!
+//! `--mem` (or `ROWPOLY_MEM=1`) adds one extra profiled run with the
+//! counting allocator recording: its `mem` block (total/peak bytes,
+//! bytes per definition, per-site attribution) and per-wave peak
+//! samples land in the JSON next to the timing sweep. The timed runs
+//! stay accounting-off so the published walls are unperturbed.
 //!
 //! Generates `--files` decoder-specification files of roughly `--lines`
 //! lines each (the Fig. 9 generator, one seed per file) and checks the
@@ -34,6 +41,10 @@ use std::time::{Duration, Instant};
 use rowpoly_batch::{check_sources, BatchOptions, BatchReport, FileInput};
 use rowpoly_gen::generate_with_lines;
 use rowpoly_obs::json::Json;
+use rowpoly_obs::mem;
+
+#[global_allocator]
+static ALLOC: rowpoly_obs::CountingAlloc = rowpoly_obs::CountingAlloc;
 
 /// Wall-clock runs per configuration; the minimum is reported.
 const REPEATS: usize = 3;
@@ -55,6 +66,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    mem::init_from_env();
+    let mem_on = args.iter().any(|a| a == "--mem") || mem::tracking();
     let num = |name: &str, default: usize| {
         args.iter()
             .position(|a| a == name)
@@ -164,10 +177,39 @@ fn main() {
         .collect();
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    // One extra profiled run with the counting allocator recording: the
+    // timed runs above stay accounting-off, so the published walls are
+    // unperturbed while the mem block still reflects a real sweep run.
+    let mem_run = mem_on.then(|| {
+        let _session = mem::accounting_session();
+        let mut options = BatchOptions::in_memory(jobs);
+        options.profile = true;
+        let start = Instant::now();
+        let report = check_sources(corpus.clone(), &options);
+        let wall = start.elapsed();
+        assert!(report.ok(), "memory-profiled run failed to check");
+        assert_eq!(
+            report.render(),
+            runs[0].report.render(),
+            "memory-profiled run rendered differently"
+        );
+        (wall, report)
+    });
+
     if json {
         println!(
             "{}",
-            render_json(files, lines, total_lines, seed, quick, &runs, &scaling).render()
+            render_json(
+                files,
+                lines,
+                total_lines,
+                seed,
+                quick,
+                &runs,
+                &scaling,
+                mem_run.as_ref()
+            )
+            .render()
         );
         return;
     }
@@ -216,6 +258,20 @@ fn main() {
             lock_wait,
             profile.critical.ratio(),
             profile.critical.ideal_speedup(),
+        );
+    }
+
+    if let Some((wall, report)) = &mem_run {
+        let profile = report.profile.as_ref().expect("profiled run");
+        let merged = profile.snapshot.mem_merged();
+        const MIB: f64 = 1024.0 * 1024.0;
+        println!();
+        println!(
+            "memory-profiled run ({jobs} workers, {:.2}s): {:.2} MiB allocated in {} allocations across workers, process peak {:.2} MiB",
+            wall.as_secs_f64(),
+            merged.alloc_bytes as f64 / MIB,
+            merged.allocs,
+            mem::peak_bytes() as f64 / MIB,
         );
     }
 }
@@ -290,12 +346,13 @@ fn render_json(
     quick: bool,
     runs: &[Run; 4],
     scaling: &[ScalePoint],
+    mem_run: Option<&(Duration, BatchReport)>,
 ) -> Json {
     let serial = runs[0].wall.as_secs_f64();
     let parallel = runs[1].wall.as_secs_f64();
     let cold = runs[2].wall.as_secs_f64();
     let warm = runs[3].wall.as_secs_f64();
-    Json::obj(vec![
+    let mut members = vec![
         ("bench", Json::Str("batch".to_string())),
         ("seed", Json::Int(seed as i64)),
         ("quick", Json::Bool(quick)),
@@ -306,6 +363,10 @@ fn render_json(
         (
             "host_cpus",
             Json::Int(std::thread::available_parallelism().map_or(1, |n| n.get()) as i64),
+        ),
+        (
+            "host_mem_bytes",
+            mem::host_mem_bytes().map_or(Json::Null, |v| Json::Int(v as i64)),
         ),
         ("files", Json::Int(files as i64)),
         ("lines_per_file", Json::Int(lines as i64)),
@@ -321,5 +382,35 @@ fn render_json(
             "scaling",
             Json::Arr(scaling.iter().map(scale_json).collect()),
         ),
-    ])
+    ];
+    if let Some((wall, report)) = mem_run {
+        members.push((
+            "mem",
+            report.mem.clone().expect("tracking was on for the mem run"),
+        ));
+        members.push(("mem_wall_s", Json::Float(wall.as_secs_f64())));
+        // Per-wave allocator watermarks from the profiled mem run, so
+        // the JSON shows *when* the peak was reached, not just that it
+        // was.
+        let profile = report.profile.as_ref().expect("profiled run");
+        members.push((
+            "mem_waves",
+            Json::Arr(
+                profile
+                    .snapshot
+                    .wave_mem
+                    .iter()
+                    .map(|wm| {
+                        Json::obj(vec![
+                            ("wave", Json::Int(wm.wave as i64)),
+                            ("t_ns", Json::Int(wm.t_ns as i64)),
+                            ("live_bytes", Json::Int(wm.live_bytes)),
+                            ("peak_bytes", Json::Int(wm.peak_bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(members)
 }

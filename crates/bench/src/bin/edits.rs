@@ -1,8 +1,13 @@
 //! Edit-trace replay through the serve daemon: how fast is a keystroke?
 //!
 //! ```text
-//! edits [--quick] [--json] [--seed N] [--edits N]
+//! edits [--quick] [--json] [--mem] [--seed N] [--edits N]
 //! ```
+//!
+//! `--mem` (or `ROWPOLY_MEM=1`) turns the counting allocator on for
+//! the replay: each workload reports the allocator delta over its edit
+//! trace and the hot memo's live-byte estimate against its configured
+//! bound, and the JSON gains a process-wide `mem` block.
 //!
 //! For each Figure 9 decoder workload, the benchmark opens the
 //! generated source in an in-process [`rowpoly_serve::ServeEngine`]
@@ -32,7 +37,11 @@ use rowpoly_core::{Options, Session};
 use rowpoly_gen::{fig9_workloads, generate_with_lines};
 use rowpoly_lang::LineMap;
 use rowpoly_obs::json::Json;
+use rowpoly_obs::mem::{self, MemDelta};
 use rowpoly_serve::{RangeEdit, ServeConfig, ServeEngine};
+
+#[global_allocator]
+static ALLOC: rowpoly_obs::CountingAlloc = rowpoly_obs::CountingAlloc;
 
 struct WorkloadResult {
     name: &'static str,
@@ -46,6 +55,11 @@ struct WorkloadResult {
     verdict_recomputed: u64,
     defs_recomputed: u64,
     slices: u64,
+    /// Allocator delta summed over the edit trace (accounting on only).
+    trace_mem: Option<MemDelta>,
+    /// Hot-memo live-byte estimate after the last edit, and its bound.
+    memo_live_bytes: u64,
+    memo_max_bytes: Option<u64>,
 }
 
 impl WorkloadResult {
@@ -72,6 +86,11 @@ fn main() {
     };
     let seed = opt("--seed").unwrap_or(42);
     let edits = opt("--edits").unwrap_or(if quick { 10 } else { 30 }) as usize;
+    mem::init_from_env();
+    if args.iter().any(|a| a == "--mem") {
+        mem::enable();
+    }
+    let mem_baseline = mem::tracking().then(|| (mem::snapshot(), mem::site_snapshot()));
 
     if !json {
         println!("serve: per-edit latency vs one-shot re-check (trace of {edits} literal edits)");
@@ -97,8 +116,19 @@ fn main() {
         results.push(result);
     }
 
+    let mem_block = mem_baseline.map(|(base_snap, base_sites)| {
+        let now = mem::snapshot();
+        let delta = now.delta_since(&base_snap);
+        let sites = mem::site_delta(&mem::site_snapshot(), &base_sites);
+        let defs: u64 = results.iter().map(|r| r.defs as u64).sum();
+        mem::report_json(&delta, &base_snap, &now, &sites, defs)
+    });
+
     if json {
-        println!("{}", render_json(seed, quick, edits, &results).render());
+        println!(
+            "{}",
+            render_json(seed, quick, edits, &results, mem_block).render()
+        );
     } else {
         println!();
         println!("shape check: warm p99 should beat the one-shot baseline by >= 10x");
@@ -124,6 +154,8 @@ fn replay(
 
     let mut edit_ns = Vec::with_capacity(edits);
     let (mut hits, mut recomputed, mut defs_rec, mut slices) = (0u64, 0u64, 0u64, 0u64);
+    let mut trace_mem = MemDelta::default();
+    let mut memo_live_bytes = 0u64;
     for k in 0..edits {
         let text = &engine.document(&path).expect("open").source;
         let spans = literal_spans(text);
@@ -150,6 +182,8 @@ fn replay(
         recomputed += update.stats.verdict_recomputed;
         defs_rec += update.stats.defs_recomputed;
         slices += update.stats.slices;
+        trace_mem.merge(&update.stats.mem);
+        memo_live_bytes = update.stats.memo_live_bytes;
     }
     edit_ns.sort_unstable();
 
@@ -180,6 +214,9 @@ fn replay(
         verdict_recomputed: recomputed,
         defs_recomputed: defs_rec,
         slices,
+        trace_mem: mem::tracking().then_some(trace_mem),
+        memo_live_bytes,
+        memo_max_bytes: ServeConfig::default().memo_max_bytes,
     }
 }
 
@@ -226,11 +263,17 @@ fn print_row(r: &WorkloadResult) {
     );
 }
 
-fn render_json(seed: u64, quick: bool, edits: usize, results: &[WorkloadResult]) -> Json {
+fn render_json(
+    seed: u64,
+    quick: bool,
+    edits: usize,
+    results: &[WorkloadResult],
+    mem_block: Option<Json>,
+) -> Json {
     let workloads: Vec<Json> = results
         .iter()
         .map(|r| {
-            Json::obj(vec![
+            let mut members = vec![
                 ("name", Json::Str(r.name.to_string())),
                 ("lines", Json::Int(r.lines as i64)),
                 ("defs", Json::Int(r.defs as i64)),
@@ -259,19 +302,48 @@ fn render_json(seed: u64, quick: bool, edits: usize, results: &[WorkloadResult])
                         ("defs_recomputed", Json::Int(r.defs_recomputed as i64)),
                     ]),
                 ),
-            ])
+            ];
+            if let Some(d) = &r.trace_mem {
+                members.push((
+                    "mem",
+                    Json::obj(vec![
+                        ("trace_delta", d.to_json()),
+                        ("memo_live_bytes", Json::Int(r.memo_live_bytes as i64)),
+                        (
+                            "memo_max_bytes",
+                            r.memo_max_bytes.map_or(Json::Null, |v| Json::Int(v as i64)),
+                        ),
+                    ]),
+                ));
+            }
+            Json::obj(members)
         })
         .collect();
     let min_speedup = results
         .iter()
         .map(WorkloadResult::speedup_p99)
         .fold(f64::INFINITY, f64::min);
-    Json::obj(vec![
+    let mut members = vec![
         ("bench", Json::Str("serve-edits".to_string())),
         ("seed", Json::Int(seed as i64)),
         ("quick", Json::Bool(quick)),
         ("edits_per_workload", Json::Int(edits as i64)),
+        // Host context, mirroring BENCH_batch.json (satellite of the
+        // memory-observability issue: every benchmark records the
+        // machine it ran on).
+        (
+            "host_cpus",
+            Json::Int(std::thread::available_parallelism().map_or(1, |n| n.get()) as i64),
+        ),
+        (
+            "host_mem_bytes",
+            mem::host_mem_bytes().map_or(Json::Null, |v| Json::Int(v as i64)),
+        ),
         ("workloads", Json::Arr(workloads)),
         ("min_speedup_p99", Json::Float(min_speedup)),
-    ])
+    ];
+    if let Some(mem) = mem_block {
+        members.push(("mem", mem));
+    }
+    Json::obj(members)
 }

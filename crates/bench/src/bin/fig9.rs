@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! fig9 [--quick] [--phases] [--classes] [--json] [--proof-overhead]
-//!      [--trace PATH] [--seed N]
+//!      [--mem] [--trace PATH] [--seed N]
 //! ```
 //!
 //! * `--quick`   — scale every workload down 8x (for smoke runs);
@@ -20,6 +20,12 @@
 //!   report the wall-time overhead; the acceptance bar is < 10%
 //!   checked and zero unchecked (checking is gated on one relaxed
 //!   atomic load);
+//! * `--mem` — turn the counting allocator on for the measured runs
+//!   (per-workload byte deltas, per-phase byte attribution, a
+//!   process-wide `mem` block in the JSON) and additionally measure
+//!   the accounting overhead itself: the with-fields configuration is
+//!   re-run best-of-3 with accounting off and on, and the wall-time
+//!   ratio lands in the JSON; the acceptance bar is < 5%;
 //! * `--trace PATH` — write a Chrome trace-event file of the whole run
 //!   (equivalent to setting `ROWPOLY_TRACE=PATH`);
 //! * `--seed N`  — workload generation seed (default 42).
@@ -34,6 +40,10 @@ use std::time::{Duration, Instant};
 use rowpoly_core::{Options, ProgramReport, Session, Stats, SAT_CLASSES};
 use rowpoly_gen::{fig9_workloads, generate_with_lines};
 use rowpoly_obs::json::Json;
+use rowpoly_obs::mem::{self, MemDelta};
+
+#[global_allocator]
+static ALLOC: rowpoly_obs::CountingAlloc = rowpoly_obs::CountingAlloc;
 
 struct Measurement {
     name: &'static str,
@@ -46,6 +56,13 @@ struct Measurement {
     /// Best-of-3 with-fields walls, proof checking (off, on)
     /// (`--proof-overhead` only).
     proof_walls: Option<(Duration, Duration)>,
+    /// Allocator deltas for the two measured runs (`--mem` or
+    /// `ROWPOLY_MEM=1` only).
+    mem_without: Option<MemDelta>,
+    mem_with: Option<MemDelta>,
+    /// Best-of-3 with-fields walls, accounting (off, on) (`--mem`
+    /// only) — the overhead measurement the < 5% gate reads.
+    mem_walls: Option<(Duration, Duration)>,
 }
 
 fn main() {
@@ -55,6 +72,7 @@ fn main() {
     let classes = args.iter().any(|a| a == "--classes");
     let json = args.iter().any(|a| a == "--json");
     let proof_overhead = args.iter().any(|a| a == "--proof-overhead");
+    let mem_flag = args.iter().any(|a| a == "--mem");
     let trace = args
         .iter()
         .position(|a| a == "--trace")
@@ -70,6 +88,13 @@ fn main() {
     if trace.is_some() {
         rowpoly_obs::enable();
     }
+    mem::init_from_env();
+    // `--mem` turns accounting on per measured run (scoped sessions,
+    // so the overhead pair below can still measure a genuinely-off
+    // leg); `ROWPOLY_MEM=1` turns it on for the whole process.
+    let mem_on = mem_flag || mem::tracking();
+    // Baseline for the process-wide `mem` block in the JSON report.
+    let mem_baseline = mem_on.then(|| (mem::snapshot(), mem::site_snapshot()));
 
     if !json {
         println!("Figure 9: inference times on synthetic decoder specifications");
@@ -102,8 +127,32 @@ fn main() {
                 .unwrap_or_else(|e| panic!("workload {} failed to check: {e}", w.name));
             (start.elapsed(), report)
         };
-        let (t_without, rep_without) = run(false);
-        let (t_with, rep_with) = run(true);
+        // When accounting is requested, each measured run holds its own
+        // session and captures this thread's allocator delta.
+        let run_mem = |track: bool| {
+            if mem_on {
+                let _session = mem::accounting_session();
+                let mark = mem::thread_mark();
+                let (t, rep) = run(track);
+                (t, rep, Some(mem::thread_delta_since(&mark)))
+            } else {
+                let (t, rep) = run(track);
+                (t, rep, None)
+            }
+        };
+        let (t_without, rep_without, mem_without) = run_mem(false);
+        let (t_with, rep_with, mem_with) = run_mem(true);
+        let mem_walls = mem_flag.then(|| {
+            // Accounting-overhead pair: the same with-fields run,
+            // best-of-3 with the counting hooks idle vs recording.
+            let best = |tracked: bool| {
+                let session = tracked.then(mem::accounting_session);
+                let t = (0..3).map(|_| run(true).0).min().expect("three runs");
+                drop(session);
+                t
+            };
+            (best(false), best(true))
+        });
         let proof_walls = proof_overhead.then(|| {
             // Same configuration, every verdict re-derived with a proof
             // and replayed through the checker. Best-of-3 on both sides
@@ -128,6 +177,9 @@ fn main() {
             rep_without,
             rep_with,
             proof_walls,
+            mem_without,
+            mem_with,
+            mem_walls,
         };
         if !json {
             print_row(&m, &w, phases, classes);
@@ -135,8 +187,22 @@ fn main() {
         measurements.push(m);
     }
 
+    let mem_block = mem_baseline.map(|(base_snap, base_sites)| {
+        let now = mem::snapshot();
+        let delta = now.delta_since(&base_snap);
+        let sites = mem::site_delta(&mem::site_snapshot(), &base_sites);
+        let defs: u64 = measurements
+            .iter()
+            .map(|m| (m.rep_with.defs.len() + m.rep_without.defs.len()) as u64)
+            .sum();
+        mem::report_json(&delta, &base_snap, &now, &sites, defs)
+    });
+
     if json {
-        println!("{}", render_json(seed, quick, &measurements).render());
+        println!(
+            "{}",
+            render_json(seed, quick, &measurements, mem_block).render()
+        );
     } else {
         println!();
         println!("shape checks: ratios should be ~1.5-3x; both columns grow superlinearly");
@@ -201,6 +267,24 @@ fn print_row(m: &Measurement, w: &rowpoly_gen::Workload, phases: bool, classes: 
             overhead * 100.0
         );
     }
+    if let Some(d) = &m.mem_with {
+        const MIB: f64 = 1024.0 * 1024.0;
+        println!(
+            "    memory (w. fields): {:.2} MiB allocated in {} allocations, net {:+.2} MiB",
+            d.alloc_bytes as f64 / MIB,
+            d.allocs,
+            d.net_bytes() as f64 / MIB,
+        );
+    }
+    if let Some((toff, ton)) = m.mem_walls {
+        let overhead = ton.as_secs_f64() / toff.as_secs_f64().max(1e-9) - 1.0;
+        println!(
+            "    mem accounting: {:>8.3}s tracked vs {:>8.3}s untracked ({:+.1}% wall, best of 3)",
+            ton.as_secs_f64(),
+            toff.as_secs_f64(),
+            overhead * 100.0
+        );
+    }
     if classes {
         let mut counts = std::collections::BTreeMap::new();
         for d in &m.rep_with.defs {
@@ -227,7 +311,7 @@ fn phases_json(stats: &Stats) -> Json {
     ])
 }
 
-fn run_json(wall: Duration, report: &ProgramReport) -> Json {
+fn run_json(wall: Duration, report: &ProgramReport, mem: Option<&MemDelta>) -> Json {
     let stats = &report.stats;
     let mut members = vec![
         ("wall_s", Json::Float(wall.as_secs_f64())),
@@ -257,6 +341,19 @@ fn run_json(wall: Duration, report: &ProgramReport) -> Json {
         .map(|&c| (c.name(), Json::Int(stats.sat_checks_for(c) as i64)))
         .collect();
     members.push(("sat_checks_by_class", Json::obj(by_class)));
+    if let Some(d) = mem {
+        members.push(("mem", d.to_json()));
+        members.push((
+            "phase_alloc_bytes",
+            Json::obj(
+                stats
+                    .phase_alloc_bytes()
+                    .into_iter()
+                    .map(|(n, b)| (n, Json::Int(b as i64)))
+                    .collect(),
+            ),
+        ));
+    }
     let mut def_classes = std::collections::BTreeMap::new();
     for d in &report.defs {
         *def_classes.entry(d.sat_class.name()).or_insert(0i64) += 1;
@@ -273,7 +370,12 @@ fn run_json(wall: Duration, report: &ProgramReport) -> Json {
     Json::obj(members)
 }
 
-fn render_json(seed: u64, quick: bool, measurements: &[Measurement]) -> Json {
+fn render_json(
+    seed: u64,
+    quick: bool,
+    measurements: &[Measurement],
+    mem_block: Option<Json>,
+) -> Json {
     let workloads: Vec<Json> = measurements
         .iter()
         .map(|m| {
@@ -281,8 +383,14 @@ fn render_json(seed: u64, quick: bool, measurements: &[Measurement]) -> Json {
                 ("name", Json::Str(m.name.to_string())),
                 ("paper_lines", Json::Int(m.paper_lines as i64)),
                 ("lines", Json::Int(m.lines as i64)),
-                ("without_fields", run_json(m.t_without, &m.rep_without)),
-                ("with_fields", run_json(m.t_with, &m.rep_with)),
+                (
+                    "without_fields",
+                    run_json(m.t_without, &m.rep_without, m.mem_without.as_ref()),
+                ),
+                (
+                    "with_fields",
+                    run_json(m.t_with, &m.rep_with, m.mem_with.as_ref()),
+                ),
                 (
                     "ratio",
                     Json::Float(m.t_with.as_secs_f64() / m.t_without.as_secs_f64().max(1e-9)),
@@ -301,13 +409,41 @@ fn render_json(seed: u64, quick: bool, measurements: &[Measurement]) -> Json {
                     ]),
                 ));
             }
+            if let Some((toff, ton)) = m.mem_walls {
+                members.push((
+                    "mem_overhead",
+                    Json::obj(vec![
+                        ("wall_s_untracked", Json::Float(toff.as_secs_f64())),
+                        ("wall_s_tracked", Json::Float(ton.as_secs_f64())),
+                        (
+                            "overhead",
+                            Json::Float(ton.as_secs_f64() / toff.as_secs_f64().max(1e-9) - 1.0),
+                        ),
+                    ]),
+                ));
+            }
             Json::obj(members)
         })
         .collect();
-    Json::obj(vec![
+    let mut members = vec![
         ("bench", Json::Str("fig9".to_string())),
         ("seed", Json::Int(seed as i64)),
         ("quick", Json::Bool(quick)),
+        // Host context, mirroring BENCH_batch.json: memory ceilings and
+        // wall times only make sense relative to the machine they were
+        // measured on.
+        (
+            "host_cpus",
+            Json::Int(std::thread::available_parallelism().map_or(1, |n| n.get()) as i64),
+        ),
+        (
+            "host_mem_bytes",
+            mem::host_mem_bytes().map_or(Json::Null, |v| Json::Int(v as i64)),
+        ),
         ("workloads", Json::Arr(workloads)),
-    ])
+    ];
+    if let Some(mem) = mem_block {
+        members.push(("mem", mem));
+    }
+    Json::obj(members)
 }

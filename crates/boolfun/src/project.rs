@@ -19,6 +19,12 @@ use crate::cnf::Cnf;
 use crate::db::{ClauseDb, ProjectStats};
 use crate::lit::{Flag, FlagSet, Lit};
 
+/// Attribution site for bytes allocated by the occurrence-indexed
+/// [`ClauseDb`] — slot table, occurrence lists, signatures, resolvents
+/// (see `rowpoly-obs::mem`). Covers both the plain and traced
+/// projection entry points.
+static CLAUSE_DB_MEM: obs::MemSite = obs::MemSite::new("boolfun.clause_db");
+
 /// Drives a [`ClauseDb`] through the elimination worklist, cheapest
 /// pivot first under a lazily revalidated greedy order. Shared by the
 /// plain and origin-traced projection entry points; `worklist` must be
@@ -167,6 +173,7 @@ impl Cnf {
     /// post-projection verdict in terms of pre-projection clause ids.
     pub fn project_out_traced(&mut self, dead: &[Flag]) -> (ProjectStats, Vec<Vec<u32>>) {
         debug_assert!(dead.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        let _mem = CLAUSE_DB_MEM.scope();
         let is_dead = |f: Flag| dead.binary_search(&f).is_ok();
         let mut passive: Vec<(Clause, u32)> = Vec::new();
         let mut db = ClauseDb::traced();
@@ -277,6 +284,7 @@ impl Cnf {
     /// merge when the input was already normalised — dedupes them
     /// against the passive clauses.
     fn eliminate_where(&mut self, is_dead: impl Fn(Flag) -> bool) -> ProjectStats {
+        let _mem = CLAUSE_DB_MEM.scope();
         let was_normalized = self.normalized;
         let mut passive: Vec<Clause> = Vec::new();
         let mut db = ClauseDb::empty();

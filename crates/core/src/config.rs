@@ -146,6 +146,15 @@ pub struct Stats {
     pub project: Duration,
     /// Total wall-clock time of the run the phases were carved out of.
     pub wall: Duration,
+    /// Bytes allocated while unification was the innermost open phase
+    /// (0 unless memory accounting is on; exclusive, like the durations).
+    pub unify_alloc_bytes: u64,
+    /// Bytes allocated during substitution application.
+    pub applys_alloc_bytes: u64,
+    /// Bytes allocated during SAT solving.
+    pub sat_alloc_bytes: u64,
+    /// Bytes allocated during stale-flag projection.
+    pub project_alloc_bytes: u64,
     /// Number of `mgu` calls.
     pub unify_calls: usize,
     /// Number of `applyS` calls.
@@ -210,6 +219,18 @@ impl Stats {
         ]
     }
 
+    /// The four paper phases as `(name, allocated bytes)` pairs, in the
+    /// same canonical order as [`Stats::phase_durations`]. All zeros
+    /// unless memory accounting was on for the run.
+    pub fn phase_alloc_bytes(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("unify", self.unify_alloc_bytes),
+            ("applys", self.applys_alloc_bytes),
+            ("project", self.project_alloc_bytes),
+            ("sat", self.sat_alloc_bytes),
+        ]
+    }
+
     /// Adds another stats record into this one.
     pub fn merge(&mut self, other: &Stats) {
         self.unify += other.unify;
@@ -217,6 +238,10 @@ impl Stats {
         self.sat += other.sat;
         self.project += other.project;
         self.wall += other.wall;
+        self.unify_alloc_bytes += other.unify_alloc_bytes;
+        self.applys_alloc_bytes += other.applys_alloc_bytes;
+        self.sat_alloc_bytes += other.sat_alloc_bytes;
+        self.project_alloc_bytes += other.project_alloc_bytes;
         self.unify_calls += other.unify_calls;
         self.applys_calls += other.applys_calls;
         self.sat_calls += other.sat_calls;

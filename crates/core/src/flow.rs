@@ -36,6 +36,10 @@ use rowpoly_types::{
 use crate::config::{CheckPolicy, Compaction, Options, Stats};
 use crate::error::{FlagOrigin, Provenance, TypeError, TypeErrorKind};
 
+/// Attribution site for bytes allocated while growing or projecting the
+/// β clause set during flow transport (see `rowpoly-obs::mem`).
+static BETA_MEM: obs::MemSite = obs::MemSite::new("engine.beta_clauses");
+
 /// Result alias for inference steps.
 pub type Infer<T> = Result<T, TypeError>;
 
@@ -110,6 +114,10 @@ impl FlowInfer {
         s.applys = self.clock.total(Phase::ApplyS);
         s.project = self.clock.total(Phase::Project);
         s.sat = self.clock.total(Phase::Sat);
+        s.unify_alloc_bytes = self.clock.alloc_bytes(Phase::Unify);
+        s.applys_alloc_bytes = self.clock.alloc_bytes(Phase::ApplyS);
+        s.project_alloc_bytes = self.clock.alloc_bytes(Phase::Project);
+        s.sat_alloc_bytes = self.clock.alloc_bytes(Phase::Sat);
         s
     }
 
@@ -173,6 +181,7 @@ impl FlowInfer {
         let _span = obs::span(Phase::ApplyS.name());
         self.clock.enter(Phase::ApplyS);
         if self.opts.track_fields {
+            let _mem = BETA_MEM.scope();
             let replaced = apply_subst_flow(subst, kappa, env, &mut self.beta, &mut self.flags);
             for (old, news) in &replaced.copies {
                 if let Some((span, origin)) = self.prov.get(*old).cloned() {

@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use rowpoly_obs::contention::LockTimer;
+use rowpoly_obs::MemSite;
 
 /// Shard count is `1 << SHARD_BITS`; the shard id lives in the low
 /// bits of a [`Symbol`]'s representation.
@@ -76,6 +77,11 @@ static SHARD_LOCKS: [LockTimer; SHARDS] = [
 ];
 
 static SHARD_TABLE: [Shard; SHARDS] = [const { Shard::new() }; SHARDS];
+
+/// Attribution site for the interner's (deliberately leaked) spelling
+/// storage and probe tables. Only the first-intern slow path allocates,
+/// so steady-state interning charges nothing here.
+static INTERNER_MEM: MemSite = MemSite::new("lang.interner");
 
 /// Counter behind [`Symbol::fresh`]; global so fresh symbols are
 /// distinct across shards and threads without any lock.
@@ -199,6 +205,7 @@ impl Shard {
     /// and publishes it — cell first, probe slot second, both
     /// `Release`, so readers that see the slot see the string.
     fn intern_slow(&'static self, name: &str, h: u64, site: &'static LockTimer) -> u32 {
+        let _mem = INTERNER_MEM.scope();
         let mut state = site.lock(&self.writer);
         // Dedup before leaking: under the lock a miss is authoritative
         // because every insert serializes on this mutex.

@@ -134,7 +134,37 @@ pub fn chrome_trace_timelines(snap: &TimelineSnapshot) -> String {
     }
     merged.sort_by_key(|(t_ns, tid, _)| (*t_ns, *tid));
 
+    // Allocator samples taken at wave boundaries become counter tracks
+    // ("ph": "C" on tid 0) so Perfetto charts live/peak bytes under the
+    // worker spans. Interleave them by timestamp to keep `ts` monotone.
+    let mut wave_mem = snap.wave_mem.clone();
+    wave_mem.sort_by_key(|wm| wm.t_ns);
+    let push_wave = |events: &mut Vec<Json>, wm: &crate::timeline::WaveMem| {
+        for (name, val) in [
+            ("mem.live_bytes", wm.live_bytes),
+            ("mem.peak_bytes", wm.peak_bytes),
+        ] {
+            events.push(Json::obj(vec![
+                ("name", Json::Str(name.to_string())),
+                ("cat", Json::Str("rowpoly".to_string())),
+                ("ph", Json::Str("C".to_string())),
+                ("pid", Json::Int(1)),
+                ("tid", Json::Int(0)),
+                ("ts", Json::Float(wm.t_ns as f64 / 1000.0)),
+                (
+                    "args",
+                    Json::Obj(vec![("value".to_string(), Json::Int(val))]),
+                ),
+            ]));
+        }
+    };
+    let mut wm_idx = 0;
+
     for (t_ns, tid, e) in merged {
+        while wm_idx < wave_mem.len() && wave_mem[wm_idx].t_ns <= t_ns {
+            push_wave(&mut events, &wave_mem[wm_idx]);
+            wm_idx += 1;
+        }
         let mut fields = vec![
             ("name", Json::Str(e.name.clone())),
             ("cat", Json::Str("rowpoly".to_string())),
@@ -157,6 +187,10 @@ pub fn chrome_trace_timelines(snap: &TimelineSnapshot) -> String {
             fields.push(("s", Json::Str("t".to_string())));
         }
         events.push(Json::obj(fields));
+    }
+    while wm_idx < wave_mem.len() {
+        push_wave(&mut events, &wave_mem[wm_idx]);
+        wm_idx += 1;
     }
 
     Json::obj(vec![

@@ -30,7 +30,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock, TryLockError};
 use std::time::Instant;
 
 use crate::json::Json;
-use crate::metrics::bucket_index;
+use crate::metrics::{bucket_index, percentile_from_buckets};
 
 /// Log₂ wait-time buckets: bucket 0 holds 0 ns, bucket `i ≥ 1` holds
 /// `[2^(i-1), 2^i)` ns; 40 buckets cover waits up to ~9 minutes.
@@ -211,6 +211,33 @@ impl LockWaitStats {
         }
     }
 
+    /// Estimated `p`-th percentile of the contended waits, using the
+    /// shared [`percentile_from_buckets`] estimator so lock-wait
+    /// percentiles agree with every other histogram surface. The site
+    /// tracks no exact minimum, so the lowest non-empty bucket's
+    /// lower bound stands in; the maximum is `max_wait_ns` clamped to
+    /// the highest non-empty bucket (exact whenever the longest wait
+    /// happened inside this window, which for per-run deltas it did).
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let count: u64 = self.buckets.iter().sum();
+        let min = self.buckets.iter().position(|&n| n > 0).map(|i| {
+            if i == 0 {
+                0
+            } else {
+                1u64 << (i - 1)
+            }
+        })?;
+        let hi = self.buckets.iter().rposition(|&n| n > 0).map(|i| {
+            if i == 0 {
+                0
+            } else {
+                (1u64 << i) - 1
+            }
+        })?;
+        let max = self.max_wait_ns.clamp(min, hi);
+        percentile_from_buckets(&self.buckets, count, min, max, p)
+    }
+
     /// Non-empty wait buckets as `(lower_bound_ns, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -222,12 +249,30 @@ impl LockWaitStats {
     }
 
     /// Renders the per-site stats (the `lock.wait.<name>` object).
+    /// The percentile fields use [`LockWaitStats::percentile`] — the
+    /// same estimator the text report prints, verified by a parity
+    /// test in `crates/batch/src/profile.rs`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("acquisitions", Json::Int(self.acquisitions as i64)),
             ("contended", Json::Int(self.contended as i64)),
             ("wait_ns", Json::Int(self.wait_ns as i64)),
             ("max_wait_ns", Json::Int(self.max_wait_ns as i64)),
+            (
+                "p50_ns",
+                self.percentile(50.0)
+                    .map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            (
+                "p90_ns",
+                self.percentile(90.0)
+                    .map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            (
+                "p99_ns",
+                self.percentile(99.0)
+                    .map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
             (
                 "wait_hist",
                 Json::Arr(

@@ -26,6 +26,11 @@
 //!   per-worker event buffers (no shared collector on the hot path),
 //!   instrumented-lock wait accounting, and exclusive
 //!   busy/idle/steal-search/lock-wait attribution for parallel runs.
+//! - [`mem`]: memory accounting — a counting `#[global_allocator]`
+//!   (wrapping `System`) with per-thread delta slots, live/peak
+//!   watermarks, log₂ allocation-size histograms, and statically
+//!   registered [`mem::MemSite`] attribution scopes; [`PhaseClock`]
+//!   samples it so the four paper phases get byte attribution too.
 //!
 //! When collection is disabled (the default) every instrumentation
 //! point costs one relaxed atomic load.
@@ -34,6 +39,7 @@ pub mod chrome;
 pub mod collector;
 pub mod contention;
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod phase;
 pub mod report;
@@ -46,11 +52,12 @@ pub use collector::{
     TRACE_ENV,
 };
 pub use contention::{LockTimer, LockWaitStats, ProfilingSession};
+pub use mem::{AccountingSession, CountingAlloc, MemDelta, MemSite, MemSiteStats, MemSnapshot};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use phase::{Phase, PhaseClock};
 pub use timeline::{
-    JobRecord, Profiler, TimelineEvent, TimelineEventKind, TimelineSnapshot, WorkerTimeline,
-    WorkerUtil,
+    JobRecord, Profiler, TimelineEvent, TimelineEventKind, TimelineSnapshot, WaveMem,
+    WorkerTimeline, WorkerUtil,
 };
 
 /// Number of property-test cases to run for a given default; the

@@ -47,6 +47,57 @@ pub fn bucket_index(value: u64) -> usize {
     }
 }
 
+/// Estimated `p`-th percentile (`0.0 ..= 100.0`) over log₂ buckets
+/// (bucket `0` = the value 0, bucket `i ≥ 1` = `[2^(i-1), 2^i)`) with
+/// a known sample `count` and observed `min`/`max`. This is the one
+/// estimator every surface shares — [`Histogram::percentile`], the
+/// lock-wait report, and the allocation-size report — so text and
+/// JSON renderings of the same data can never disagree: the ranked
+/// sample's bucket is found by walking counts, the position inside
+/// the bucket is interpolated linearly, and the estimate is clamped
+/// to `[min, max]` (exact at the extremes, within one bucket — a
+/// factor of two — in between).
+pub fn percentile_from_buckets(
+    buckets: &[u64],
+    count: u64,
+    min: u64,
+    max: u64,
+    p: f64,
+) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+    // The extreme ranks are tracked exactly; only interior ranks
+    // need the bucket walk.
+    if rank >= count {
+        return Some(max);
+    }
+    if rank == 1 {
+        return Some(min);
+    }
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if seen + n >= rank {
+            let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            let hi = lo.saturating_mul(2).saturating_sub(1);
+            let idx = rank - seen - 1; // 0-based position inside the bucket
+            let est = if n <= 1 || hi <= lo {
+                lo
+            } else {
+                lo + ((hi - lo) as u128 * idx as u128 / (n - 1) as u128) as u64
+            };
+            return Some(est.clamp(min, max));
+        }
+        seen += n;
+    }
+    Some(max)
+}
+
 impl Histogram {
     pub fn record(&mut self, value: u64) {
         self.buckets[bucket_index(value)] += 1;
@@ -81,44 +132,11 @@ impl Histogram {
     }
 
     /// Estimated `p`-th percentile (`0.0 ..= 100.0`) of the recorded
-    /// samples. The histogram keeps only power-of-two buckets, so the
-    /// estimate interpolates linearly inside the bucket that holds the
-    /// ranked sample and is then clamped to the observed `[min, max]` —
-    /// exact for the extremes, within one bucket (a factor of two) for
-    /// everything in between.
+    /// samples, via the shared [`percentile_from_buckets`] estimator
+    /// (linear interpolation inside the ranked sample's power-of-two
+    /// bucket, clamped to the observed `[min, max]`).
     pub fn percentile(&self, p: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        // The extreme ranks are tracked exactly; only interior ranks
-        // need the bucket walk.
-        if rank >= self.count {
-            return Some(self.max);
-        }
-        if rank == 1 {
-            return Some(self.min);
-        }
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            if seen + n >= rank {
-                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
-                let hi = lo.saturating_mul(2).saturating_sub(1);
-                let idx = rank - seen - 1; // 0-based position inside the bucket
-                let est = if n <= 1 || hi <= lo {
-                    lo
-                } else {
-                    lo + ((hi - lo) as u128 * idx as u128 / (n - 1) as u128) as u64
-                };
-                return Some(est.clamp(self.min, self.max));
-            }
-            seen += n;
-        }
-        Some(self.max)
+        percentile_from_buckets(&self.buckets, self.count, self.min, self.max, p)
     }
 
     /// Number of samples in bucket `i` (see [`bucket_index`]).

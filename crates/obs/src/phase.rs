@@ -53,9 +53,18 @@ impl Phase {
     }
 }
 
-/// Accumulates exclusive (self) time per phase. Not thread-safe by
+/// Accumulates exclusive (self) time — and, when memory accounting is
+/// on, exclusive allocated bytes — per phase. Not thread-safe by
 /// design: inference is single-threaded per engine, and keeping the
 /// clock local avoids any synchronisation on the hot path.
+///
+/// Byte attribution rides the same stack discipline as time: every
+/// transition samples [`crate::mem::thread_alloc_bytes`] (this
+/// thread's monotone allocation counter) and banks the delta to the
+/// phase that was running, so a byte allocated between the first
+/// `enter` and the last `exit` lands in exactly one bucket. While
+/// accounting is off the sample is the constant 0 and every byte
+/// bucket stays empty.
 #[derive(Clone, Debug)]
 pub struct PhaseClock {
     epoch: Instant,
@@ -63,6 +72,9 @@ pub struct PhaseClock {
     /// Timestamp at which the current top of stack resumed accruing.
     last_ns: u64,
     totals_ns: [u64; 4],
+    /// Thread allocation counter at the last transition.
+    last_alloc: u64,
+    totals_alloc: [u64; 4],
 }
 
 impl Default for PhaseClock {
@@ -78,6 +90,8 @@ impl PhaseClock {
             stack: Vec::with_capacity(4),
             last_ns: 0,
             totals_ns: [0; 4],
+            last_alloc: 0,
+            totals_alloc: [0; 4],
         }
     }
 
@@ -97,25 +111,39 @@ impl PhaseClock {
         self.exit_at(now);
     }
 
-    /// Testable core of [`PhaseClock::enter`]: timestamps are injected.
+    /// Testable core of [`PhaseClock::enter`]: timestamps are injected
+    /// (the byte sample is always live — the constant 0 unless memory
+    /// accounting is on).
     pub fn enter_at(&mut self, phase: Phase, now_ns: u64) {
+        let alloc_now = crate::mem::thread_alloc_bytes();
         if let Some(&running) = self.stack.last() {
             self.totals_ns[running.index()] += now_ns.saturating_sub(self.last_ns);
+            self.totals_alloc[running.index()] += alloc_now.saturating_sub(self.last_alloc);
         }
         self.stack.push(phase);
         self.last_ns = now_ns;
+        self.last_alloc = alloc_now;
     }
 
     /// Testable core of [`PhaseClock::exit`].
     pub fn exit_at(&mut self, now_ns: u64) {
+        let alloc_now = crate::mem::thread_alloc_bytes();
         let finished = self.stack.pop().expect("PhaseClock::exit without enter");
         self.totals_ns[finished.index()] += now_ns.saturating_sub(self.last_ns);
+        self.totals_alloc[finished.index()] += alloc_now.saturating_sub(self.last_alloc);
         self.last_ns = now_ns;
+        self.last_alloc = alloc_now;
     }
 
     /// Exclusive time accrued to `phase` so far.
     pub fn total(&self, phase: Phase) -> Duration {
         Duration::from_nanos(self.totals_ns[phase.index()])
+    }
+
+    /// Exclusive bytes allocated while `phase` was the innermost open
+    /// phase (0 unless memory accounting was on).
+    pub fn alloc_bytes(&self, phase: Phase) -> u64 {
+        self.totals_alloc[phase.index()]
     }
 
     /// Depth of currently open phases (0 when idle).

@@ -33,6 +33,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::contention::{self, LockWaitStats, ProfilingSession};
+use crate::mem::MemDelta;
 
 /// What one timeline event marks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +106,10 @@ pub struct WorkerTimeline {
     pub lock_wait_ns: u64,
     /// Jobs taken from another worker's queue.
     pub steals: u64,
+    /// This worker thread's allocator delta over the run, captured by
+    /// the scheduler just before [`Profiler::submit`] (all zeros when
+    /// memory accounting is off).
+    pub mem: MemDelta,
 }
 
 impl WorkerTimeline {
@@ -126,6 +131,7 @@ impl WorkerTimeline {
             search_ns: 0,
             lock_wait_ns: 0,
             steals: 0,
+            mem: MemDelta::default(),
         }
     }
 
@@ -309,6 +315,23 @@ impl WorkerUtil {
     }
 }
 
+/// A per-wave memory watermark sample, taken by the first worker to
+/// start a job of each wave (no barrier — see
+/// [`Profiler::first_of_wave`]). Values are the process-wide counting
+/// allocator's `live`/`peak` at that instant, so the sequence shows
+/// how the working set moves as the schedule advances wave by wave.
+#[derive(Clone, Copy, Debug)]
+pub struct WaveMem {
+    /// Wave index in the scheduled dependency graph.
+    pub wave: usize,
+    /// Nanoseconds since the profiler epoch.
+    pub t_ns: u64,
+    /// Live (allocated − freed) bytes at the sample.
+    pub live_bytes: i64,
+    /// Peak live bytes so far (monotone across samples).
+    pub peak_bytes: i64,
+}
+
 /// Everything a profiled run captured: one track per worker, the
 /// per-run lock-wait deltas, and the wall time.
 #[derive(Clone, Debug)]
@@ -320,6 +343,9 @@ pub struct TimelineSnapshot {
     pub workers: Vec<WorkerTimeline>,
     /// Lock-wait statistics accrued during the run (`lock.wait.*`).
     pub locks: Vec<LockWaitStats>,
+    /// Per-wave memory watermarks, sorted by wave (empty when memory
+    /// accounting was off for the run).
+    pub wave_mem: Vec<WaveMem>,
 }
 
 impl TimelineSnapshot {
@@ -346,6 +372,16 @@ impl TimelineSnapshot {
         jobs.sort_by_key(|j| j.job);
         jobs
     }
+
+    /// The workers' allocator deltas merged (how the run's totals are
+    /// reconstructed from per-thread slots at join).
+    pub fn mem_merged(&self) -> MemDelta {
+        let mut total = MemDelta::default();
+        for w in &self.workers {
+            total.merge(&w.mem);
+        }
+        total
+    }
 }
 
 /// Anchors one profiled run. Creating a profiler turns lock profiling
@@ -357,6 +393,8 @@ pub struct Profiler {
     /// Highest wave index any worker has started (see
     /// [`Profiler::first_of_wave`]).
     wave_seen: AtomicU64,
+    /// Per-wave memory samples (see [`Profiler::note_wave_mem`]).
+    wave_mem: Mutex<Vec<WaveMem>>,
     _session: ProfilingSession,
 }
 
@@ -371,6 +409,7 @@ impl Profiler {
             timelines: Mutex::new(Vec::new()),
             lock_baseline: contention::snapshot(),
             wave_seen: AtomicU64::new(0),
+            wave_mem: Mutex::new(Vec::new()),
             _session: session,
         }
     }
@@ -393,16 +432,27 @@ impl Profiler {
         self.wave_seen.fetch_max(w, Ordering::Relaxed) < w
     }
 
+    /// Records a per-wave memory watermark sample. Schedulers call
+    /// this (with the allocator's current `live`/`peak`) from the
+    /// worker that won [`Profiler::first_of_wave`], so each wave gets
+    /// exactly one sample.
+    pub fn note_wave_mem(&self, sample: WaveMem) {
+        self.wave_mem.lock().unwrap().push(sample);
+    }
+
     /// Ends the run: collects the submitted timelines (sorted by
     /// worker) and the per-run lock-wait deltas. The profiler can be
     /// dropped afterwards; lock profiling stays on until it is.
     pub fn finish(&self) -> TimelineSnapshot {
         let mut workers: Vec<WorkerTimeline> = std::mem::take(&mut *self.timelines.lock().unwrap());
         workers.sort_by_key(|t| t.worker);
+        let mut wave_mem = std::mem::take(&mut *self.wave_mem.lock().unwrap());
+        wave_mem.sort_by_key(|s| s.wave);
         TimelineSnapshot {
             wall_ns: self.epoch.elapsed().as_nanos() as u64,
             workers,
             locks: contention::delta(&contention::snapshot(), &self.lock_baseline),
+            wave_mem,
         }
     }
 }

@@ -60,6 +60,11 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Hot-memo entry cap (eviction threshold).
     pub memo_cap: usize,
+    /// Hot-memo byte bound over the entries' deterministic size
+    /// estimates; `None` leaves only the entry cap. Reported (with the
+    /// memo's live estimate) in the `counters` reply so clients can
+    /// assert the memo stays bounded.
+    pub memo_max_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +73,7 @@ impl Default for ServeConfig {
             opts: Options::default(),
             cache_dir: None,
             memo_cap: 4096,
+            memo_max_bytes: Some(64 << 20),
         }
     }
 }
@@ -95,6 +101,12 @@ pub struct RevisionStats {
     pub defs_recomputed: u64,
     /// Wall time of the revision.
     pub wall_ns: u64,
+    /// This thread's allocator delta over the revision (all zeros
+    /// unless memory accounting is on).
+    pub mem: rowpoly_obs::MemDelta,
+    /// Memo size estimate after the revision (see
+    /// [`crate::memo::Memo::live_bytes`]).
+    pub memo_live_bytes: u64,
 }
 
 impl RevisionStats {
@@ -128,6 +140,8 @@ impl RevisionStats {
             ("scheme_hits", Json::Int(self.scheme_hits as i64)),
             ("defs_recomputed", Json::Int(self.defs_recomputed as i64)),
             ("wall_ns", Json::Int(self.wall_ns as i64)),
+            ("mem", self.mem.to_json()),
+            ("memo_live_bytes", Json::Int(self.memo_live_bytes as i64)),
         ])
     }
 }
@@ -313,7 +327,7 @@ impl ServeEngine {
             fingerprint: config.opts.fingerprint(),
             opts: config.opts,
             files: BTreeMap::new(),
-            memo: Memo::new(config.memo_cap),
+            memo: Memo::with_bounds(config.memo_cap, config.memo_max_bytes),
             parsed: BTreeMap::new(),
             disk,
             cache_dir: config.cache_dir,
@@ -466,6 +480,28 @@ impl ServeEngine {
                     ("hits", Json::Int(self.memo.hits as i64)),
                     ("misses", Json::Int(self.memo.misses as i64)),
                     ("evicted", Json::Int(self.memo.evicted as i64)),
+                    ("live_bytes", Json::Int(self.memo.live_bytes() as i64)),
+                    (
+                        "max_bytes",
+                        self.memo
+                            .max_bytes()
+                            .map_or(Json::Null, |v| Json::Int(v as i64)),
+                    ),
+                ]),
+            ),
+            (
+                "mem",
+                Json::obj(vec![
+                    (
+                        "enabled",
+                        Json::Bool(obs::mem::tracking() && obs::mem::installed()),
+                    ),
+                    ("live_bytes", Json::Int(obs::mem::live_bytes())),
+                    ("peak_bytes", Json::Int(obs::mem::peak_bytes())),
+                    (
+                        "peak_rss_bytes",
+                        obs::mem::peak_rss_bytes().map_or(Json::Null, |v| Json::Int(v as i64)),
+                    ),
                 ]),
             ),
             (
@@ -497,6 +533,7 @@ impl ServeEngine {
     /// reusing memoized answers wherever the keys still match.
     fn revise(&mut self, path: &str, text: String, version: i64, is_edit: bool) -> FileUpdate {
         let start = Instant::now();
+        let mem_mark = obs::mem::thread_mark();
         self.revision += 1;
         let mut stats = RevisionStats::default();
 
@@ -513,6 +550,8 @@ impl ServeEngine {
             doc.version = version;
             let ok = analysis_ok(&doc.analysis);
             stats.wall_ns = start.elapsed().as_nanos() as u64;
+            stats.mem = obs::mem::thread_delta_since(&mem_mark);
+            stats.memo_live_bytes = self.memo.live_bytes();
             self.note_revision(&stats, is_edit);
             return FileUpdate {
                 path: path.to_string(),
@@ -536,6 +575,8 @@ impl ServeEngine {
             },
         );
         stats.wall_ns = start.elapsed().as_nanos() as u64;
+        stats.mem = obs::mem::thread_delta_since(&mem_mark);
+        stats.memo_live_bytes = self.memo.live_bytes();
         self.note_revision(&stats, is_edit);
         FileUpdate {
             path: path.to_string(),

@@ -10,10 +10,26 @@
 //! entry per historical revision of every definition — so entries
 //! carry the revision that last touched them and [`Memo::prune`]
 //! drops the least-recently-used half once a cap is exceeded.
+//!
+//! The memo is bounded two ways: an entry-count cap and an optional
+//! *byte* bound. Each entry carries a deterministic size estimate
+//! (struct sizes plus the canonical-JSON length of its schemes — the
+//! same rendering the cache keys already use), accumulated into
+//! [`Memo::live_bytes`], so the bound holds identically whether or not
+//! the counting allocator is enabled. Real allocator attribution runs
+//! alongside: memo mutations execute under the `serve.memo`
+//! [`MemSite`], so `rowpoly serve` memory reports show the memo's
+//! measured net bytes next to this estimate.
 
 use std::collections::HashMap;
 
 use rowpoly_batch::cache::CachedDef;
+use rowpoly_batch::codec;
+use rowpoly_obs::MemSite;
+
+/// Attribution site for the memo table's allocations (see
+/// `rowpoly-obs::mem`). Lookup and insert both run under it.
+static MEMO_MEM: MemSite = MemSite::new("serve.memo");
 
 /// One memoized verdict-query result: the closed per-definition
 /// outcomes of a fully-successful group (the serve layer, like the
@@ -24,6 +40,8 @@ use rowpoly_batch::cache::CachedDef;
 struct Entry {
     defs: Vec<CachedDef>,
     last_used: u64,
+    /// Deterministic size estimate of this entry (see [`entry_bytes`]).
+    bytes: u64,
 }
 
 /// A bounded, revision-stamped memo table.
@@ -32,6 +50,11 @@ pub struct Memo {
     entries: HashMap<u64, Entry>,
     /// Entry cap; pruning kicks in above it.
     cap: usize,
+    /// Optional byte bound over the summed entry estimates; pruning
+    /// also kicks in above it.
+    max_bytes: Option<u64>,
+    /// Sum of the live entries' size estimates.
+    live_bytes: u64,
     /// Lookups that found an entry.
     pub hits: u64,
     /// Lookups that found nothing.
@@ -40,12 +63,33 @@ pub struct Memo {
     pub evicted: u64,
 }
 
+/// Deterministic size estimate of one memo entry: fixed struct sizes
+/// plus the canonical-JSON length of each scheme — the same rendering
+/// [`rowpoly_batch::cache::Cache::key`] hashes, so the estimate tracks
+/// the scheme's real complexity without depending on allocator state.
+fn entry_bytes(defs: &[CachedDef]) -> u64 {
+    let fixed = std::mem::size_of::<Entry>() + std::mem::size_of_val(defs);
+    let schemes: usize = defs
+        .iter()
+        .map(|d| codec::scheme_to_json(&d.scheme).render().len())
+        .sum();
+    (fixed + schemes) as u64
+}
+
 impl Memo {
-    /// A memo bounded to `cap` entries.
+    /// A memo bounded to `cap` entries (no byte bound).
     pub fn new(cap: usize) -> Memo {
+        Memo::with_bounds(cap, None)
+    }
+
+    /// A memo bounded to `cap` entries and, when given, `max_bytes` of
+    /// estimated entry weight.
+    pub fn with_bounds(cap: usize, max_bytes: Option<u64>) -> Memo {
         Memo {
             entries: HashMap::new(),
             cap: cap.max(2),
+            max_bytes,
+            live_bytes: 0,
             hits: 0,
             misses: 0,
             evicted: 0,
@@ -55,6 +99,7 @@ impl Memo {
     /// Looks up `key`, stamping the entry with `revision` and counting
     /// the hit or miss.
     pub fn lookup(&mut self, key: u64, revision: u64) -> Option<&[CachedDef]> {
+        let _mem = MEMO_MEM.scope();
         match self.entries.get_mut(&key) {
             Some(entry) => {
                 self.hits += 1;
@@ -70,13 +115,20 @@ impl Memo {
 
     /// Stores a group outcome under `key`.
     pub fn insert(&mut self, key: u64, defs: Vec<CachedDef>, revision: u64) {
-        self.entries.insert(
+        let _mem = MEMO_MEM.scope();
+        let bytes = entry_bytes(&defs);
+        let old = self.entries.insert(
             key,
             Entry {
                 defs,
                 last_used: revision,
+                bytes,
             },
         );
+        self.live_bytes += bytes;
+        if let Some(old) = old {
+            self.live_bytes -= old.bytes;
+        }
         self.prune();
     }
 
@@ -90,21 +142,53 @@ impl Memo {
         self.entries.is_empty()
     }
 
-    /// Drops the least-recently-used half of the entries once the cap
-    /// is exceeded. Amortized O(1) per insert: pruning halves the
-    /// table, so it runs at most once per cap/2 inserts.
+    /// Summed size estimate of the live entries.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// The configured byte bound, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// Drops least-recently-used halves of the entries while either
+    /// bound (entry cap or byte bound) is exceeded. Amortized O(1) per
+    /// insert for the cap: pruning halves the table, so it runs at most
+    /// once per cap/2 inserts. The byte bound iterates because one
+    /// halving may not shed enough weight; every pass removes at least
+    /// one entry, so it terminates (an over-bound *single* entry is
+    /// kept — the memo never evicts below one entry).
     fn prune(&mut self) {
-        if self.entries.len() <= self.cap {
-            return;
+        loop {
+            let over_cap = self.entries.len() > self.cap;
+            let over_bytes = self.max_bytes.is_some_and(|mb| self.live_bytes > mb);
+            if !(over_cap || over_bytes) || self.entries.len() <= 1 {
+                return;
+            }
+            let mut stamps: Vec<u64> = self.entries.values().map(|e| e.last_used).collect();
+            stamps.sort_unstable();
+            let cutoff = stamps[stamps.len() / 2];
+            let before = self.entries.len();
+            // Keep entries used strictly after the median stamp, plus
+            // enough at the median to stay near half occupancy.
+            let mut freed = 0u64;
+            self.entries.retain(|_, e| {
+                let keep = e.last_used > cutoff;
+                if !keep {
+                    freed += e.bytes;
+                }
+                keep
+            });
+            self.live_bytes -= freed;
+            let dropped = before - self.entries.len();
+            self.evicted += dropped as u64;
+            if dropped == 0 {
+                // Every entry shares the newest stamp; nothing more to
+                // distinguish by recency.
+                return;
+            }
         }
-        let mut stamps: Vec<u64> = self.entries.values().map(|e| e.last_used).collect();
-        stamps.sort_unstable();
-        let cutoff = stamps[stamps.len() / 2];
-        let before = self.entries.len();
-        // Keep entries used strictly after the median stamp, plus
-        // enough at the median to stay near half occupancy.
-        self.entries.retain(|_, e| e.last_used > cutoff);
-        self.evicted += (before - self.entries.len()) as u64;
     }
 }
 

@@ -1,0 +1,73 @@
+"""Shared helpers for the bench-gate scripts.
+
+Every `check_*.py` gate follows the same pattern: load a JSON report
+(from a path or stdin), assert schema facts about it, and exit non-zero
+with a `<tool>: FAIL: <reason>` diagnostic on the first violation so CI
+and `scripts/verify.sh` can gate on it. This module holds the shared
+plumbing; the gates keep only their domain-specific assertions.
+
+Usage:
+
+    import benchlib
+    fail = benchlib.failer("check_batch")
+    doc = benchlib.load_json(path, fail)
+    run = benchlib.require_obj(doc, "serial", "report", fail)
+    benchlib.positive_number(run, "wall_s", "serial", fail)
+"""
+
+import json
+import sys
+
+
+def failer(tool):
+    """A `fail(msg)` that prints `<tool>: FAIL: <msg>` and exits 1."""
+
+    def fail(msg):
+        print(f"{tool}: FAIL: {msg}", file=sys.stderr)
+        sys.exit(1)
+
+    return fail
+
+
+def load_json(path, fail):
+    """Parses JSON from `path`, or stdin when `path` is `-`."""
+    try:
+        if path == "-":
+            return json.load(sys.stdin)
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+
+def require_obj(doc, key, what, fail):
+    """`doc[key]` as a dict, or a schema failure."""
+    v = doc.get(key)
+    if not isinstance(v, dict):
+        fail(f"{what}: {key} must be an object, got {v!r}")
+    return v
+
+
+def require_list(doc, key, what, fail, nonempty=True):
+    """`doc[key]` as a list, or a schema failure."""
+    v = doc.get(key)
+    if not isinstance(v, list) or (nonempty and not v):
+        fail(f"{what}: {key} must be a non-empty array, got {v!r}")
+    return v
+
+
+def positive_number(doc, key, what, fail):
+    """`doc[key]` as a number > 0, or a schema failure. Booleans are
+    numbers to `isinstance`; they are rejected explicitly."""
+    v = doc.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool) or v <= 0:
+        fail(f"{what}: {key} must be a positive number, got {v!r}")
+    return v
+
+
+def nonneg_int(doc, key, what, fail):
+    """`doc[key]` as an integer >= 0, or a schema failure."""
+    v = doc.get(key)
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        fail(f"{what}: {key} must be a non-negative integer, got {v!r}")
+    return v

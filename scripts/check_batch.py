@@ -18,8 +18,9 @@ keeping only schema and sanity checks. Exits non-zero with a
 diagnostic on the first violation, so CI can gate on it.
 """
 
-import json
 import sys
+
+import benchlib
 
 # Required 4-worker speedup over serial when the host has >= 4 CPUs.
 SPEEDUP_FLOOR = 4.0 / 2.0
@@ -27,21 +28,18 @@ SPEEDUP_FLOOR = 4.0 / 2.0
 NO_COST_FLOOR = 0.85
 # Sweep points may exceed the 1-worker wall by at most this factor
 # (scheduler noise); anything above means per-job work is inflating
-# with worker count again.
+# with worker count again. Quick-mode walls are ~0.1s, where
+# scheduler noise alone routinely costs 20%, so the quick gate keeps
+# only a coarse bound — the regression this catches showed > 2x.
 WALL_TOLERANCE = 1.15
+WALL_TOLERANCE_QUICK = 1.5
 SWEEP_WORKERS = [1, 2, 4, 8]
 
-
-def fail(msg):
-    print(f"check_batch: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+fail = benchlib.failer("check_batch")
 
 
 def positive_number(doc, key, what):
-    v = doc.get(key)
-    if not isinstance(v, (int, float)) or isinstance(v, bool) or v <= 0:
-        fail(f"{what}: {key} must be a positive number, got {v!r}")
-    return v
+    return benchlib.positive_number(doc, key, what, fail)
 
 
 def check_run(doc, name):
@@ -89,11 +87,7 @@ def main():
     if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    try:
-        with open(args[0]) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot read {args[0]}: {e}")
+    doc = benchlib.load_json(args[0], fail)
 
     if doc.get("bench") != "batch":
         fail(f"bench must be 'batch', got {doc.get('bench')!r}")
@@ -135,11 +129,12 @@ def main():
     # more workers must never cost more wall time than the 1-worker
     # baseline (beyond noise). That is the regression this gate exists
     # to catch — per-job work inflating with worker count.
+    tolerance = WALL_TOLERANCE_QUICK if quick else WALL_TOLERANCE
     for wall, workers in zip(walls[1:], SWEEP_WORKERS[1:]):
-        if wall > walls[0] * WALL_TOLERANCE:
+        if wall > walls[0] * tolerance:
             fail(
                 f"sweep degrades: {workers} workers took {wall:.3f}s vs "
-                f"{walls[0]:.3f}s on 1 worker (> {WALL_TOLERANCE}x tolerance)"
+                f"{walls[0]:.3f}s on 1 worker (> {tolerance}x tolerance)"
             )
     if quick:
         mode = "quick (schema + non-degrading sweep only)"

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Memory-accounting gate over the committed benchmark reports.
+
+Usage: check_mem.py <BENCH_fig9.json> [<BENCH_batch.json>] [<BENCH_serve.json>]
+
+Each report is dispatched on its `bench` field; any subset may be
+given. The reports must have been generated with `--mem` so the
+counting-allocator blocks are present. Gates:
+
+* every `mem` block follows the standard schema `rowpoly-obs::mem`
+  emits (monotone size percentiles, net = alloc - freed, per-site
+  attribution present);
+* fig9: accounting overhead — tracked vs untracked wall, aggregated
+  across workloads because the per-workload walls are tens of ms —
+  stays under 5%;
+* batch: allocation per definition and peak RSS stay under ceilings
+  set ~3x above the measured full-corpus run, catching structural
+  regressions (a leaked clone per def, an unbounded cache) while
+  ignoring noise;
+* serve: every workload's memo stays within its configured byte
+  bound — the eviction loop actually evicts.
+
+Exits non-zero with a diagnostic on the first violation, so CI can
+gate on it.
+"""
+
+import sys
+
+import benchlib
+
+# fig9: tracked/untracked wall ratio, summed over workloads.
+MEM_OVERHEAD_BUDGET = 0.05
+# batch: measured ~440 KiB and ~4900 allocations per definition on
+# the full corpus (parse + infer + render, cold cache); ~3x headroom,
+# catching structural regressions (a leaked clone per def, quadratic
+# clause churn) while ignoring noise.
+BATCH_BYTES_PER_DEF_CEILING = 1_400_000
+BATCH_ALLOCS_PER_DEF_CEILING = 15_000
+# batch: peak RSS of the whole bench process, measured ~26 MiB;
+# anything near this ceiling means a structure stopped being dropped
+# between runs.
+BATCH_PEAK_RSS_CEILING = 256 * 1024 * 1024
+
+fail = benchlib.failer("check_mem")
+
+
+def check_mem_block(mem, what, require_sites=True):
+    """Validates the standard block `rowpoly_obs::mem::report_json`
+    emits and returns it."""
+    if mem.get("enabled") is not True:
+        fail(f"{what}: mem.enabled must be true (report generated without --mem?)")
+    alloc = benchlib.positive_number(mem, "alloc_bytes", what, fail)
+    benchlib.positive_number(mem, "allocs", what, fail)
+    freed = benchlib.nonneg_int(mem, "freed_bytes", what, fail)
+    benchlib.nonneg_int(mem, "deallocs", what, fail)
+    net = mem.get("net_bytes")
+    if net != alloc - freed:
+        fail(f"{what}: net_bytes {net!r} != alloc_bytes - freed_bytes {alloc - freed}")
+    benchlib.nonneg_int(mem, "live_bytes", what, fail)
+    peak = benchlib.positive_number(mem, "peak_bytes", what, fail)
+    if peak < mem["live_bytes"]:
+        fail(f"{what}: peak_bytes {peak} below live_bytes {mem['live_bytes']}")
+    if mem.get("peak_rss_bytes") is not None:
+        benchlib.positive_number(mem, "peak_rss_bytes", what, fail)
+    pcts = [mem.get(k) for k in ("size_p50", "size_p90", "size_p99")]
+    known = [p for p in pcts if p is not None]
+    if known != sorted(known):
+        fail(f"{what}: size percentiles are not monotone: {pcts}")
+    hist = benchlib.require_list(mem, "size_hist", what, fail)
+    for bucket in hist:
+        if (
+            not isinstance(bucket, list)
+            or len(bucket) != 2
+            or not all(isinstance(v, int) and v >= 0 for v in bucket)
+        ):
+            fail(f"{what}: size_hist bucket must be [lo_bytes, count], got {bucket!r}")
+    sites = benchlib.require_obj(mem, "sites", what, fail)
+    if require_sites and not sites:
+        fail(f"{what}: no memory sites recorded — site attribution is dead")
+    for name, site in sites.items():
+        benchlib.positive_number(site, "enters", f"{what}: site {name}", fail)
+    return mem
+
+
+def check_delta(delta, what):
+    """Validates a bare MemDelta object (no watermarks/sites)."""
+    benchlib.positive_number(delta, "alloc_bytes", what, fail)
+    benchlib.positive_number(delta, "allocs", what, fail)
+    benchlib.nonneg_int(delta, "freed_bytes", what, fail)
+    benchlib.nonneg_int(delta, "deallocs", what, fail)
+    if delta.get("net_bytes") != delta["alloc_bytes"] - delta["freed_bytes"]:
+        fail(f"{what}: net_bytes inconsistent: {delta}")
+
+
+def check_fig9(doc, path):
+    check_mem_block(benchlib.require_obj(doc, "mem", path, fail), f"{path}: mem")
+    tracked = untracked = 0.0
+    for w in benchlib.require_list(doc, "workloads", path, fail):
+        name = w.get("name", "?")
+        over = benchlib.require_obj(w, "mem_overhead", f"{path}: {name}", fail)
+        untracked += benchlib.positive_number(
+            over, "wall_s_untracked", f"{path}: {name}", fail
+        )
+        tracked += benchlib.positive_number(
+            over, "wall_s_tracked", f"{path}: {name}", fail
+        )
+        for leg in ("without_fields", "with_fields"):
+            run = benchlib.require_obj(w, leg, f"{path}: {name}", fail)
+            check_delta(
+                benchlib.require_obj(run, "mem", f"{path}: {name}.{leg}", fail),
+                f"{path}: {name}.{leg}.mem",
+            )
+            phases = benchlib.require_obj(
+                run, "phase_alloc_bytes", f"{path}: {name}.{leg}", fail
+            )
+            for phase, bytes_ in phases.items():
+                if not isinstance(bytes_, int) or bytes_ < 0:
+                    fail(f"{path}: {name}.{leg}: phase {phase} bytes {bytes_!r}")
+    overhead = tracked / max(untracked, 1e-9) - 1.0
+    if overhead > MEM_OVERHEAD_BUDGET:
+        fail(
+            f"{path}: accounting overhead {overhead * 100:.1f}% exceeds "
+            f"{MEM_OVERHEAD_BUDGET * 100:.0f}% ({tracked:.3f}s tracked vs "
+            f"{untracked:.3f}s untracked)"
+        )
+    return f"fig9 overhead {overhead * 100:+.1f}%"
+
+
+def check_batch(doc, path):
+    mem = check_mem_block(benchlib.require_obj(doc, "mem", path, fail), f"{path}: mem")
+    bpd = benchlib.positive_number(mem, "bytes_per_def", f"{path}: mem", fail)
+    apd = benchlib.positive_number(mem, "allocs_per_def", f"{path}: mem", fail)
+    if bpd > BATCH_BYTES_PER_DEF_CEILING:
+        fail(
+            f"{path}: {bpd:.0f} allocated bytes per definition exceeds the "
+            f"{BATCH_BYTES_PER_DEF_CEILING} ceiling"
+        )
+    if apd > BATCH_ALLOCS_PER_DEF_CEILING:
+        fail(
+            f"{path}: {apd:.0f} allocations per definition exceeds the "
+            f"{BATCH_ALLOCS_PER_DEF_CEILING} ceiling"
+        )
+    rss = mem.get("peak_rss_bytes")
+    if rss is not None and rss > BATCH_PEAK_RSS_CEILING:
+        fail(
+            f"{path}: peak RSS {rss / 2**20:.0f} MiB exceeds the "
+            f"{BATCH_PEAK_RSS_CEILING // 2**20} MiB ceiling"
+        )
+    waves = benchlib.require_list(doc, "mem_waves", path, fail)
+    peaks = [benchlib.nonneg_int(w, "peak_bytes", f"{path}: mem_waves", fail) for w in waves]
+    if peaks != sorted(peaks):
+        fail(f"{path}: per-wave peak_bytes must be non-decreasing, got {peaks}")
+    rss_txt = "n/a" if rss is None else f"{rss / 2**20:.0f} MiB"
+    return f"batch {bpd / 1024:.1f} KiB/def, {apd:.0f} allocs/def, peak RSS {rss_txt}"
+
+
+def check_serve(doc, path):
+    check_mem_block(benchlib.require_obj(doc, "mem", path, fail), f"{path}: mem")
+    worst = 0.0
+    for w in benchlib.require_list(doc, "workloads", path, fail):
+        name = w.get("name", "?")
+        mem = benchlib.require_obj(w, "mem", f"{path}: {name}", fail)
+        check_delta(
+            benchlib.require_obj(mem, "trace_delta", f"{path}: {name}.mem", fail),
+            f"{path}: {name}.mem.trace_delta",
+        )
+        live = benchlib.nonneg_int(mem, "memo_live_bytes", f"{path}: {name}.mem", fail)
+        cap = mem.get("memo_max_bytes")
+        if cap is None:
+            fail(f"{path}: {name}: memo byte bound is unset — eviction cannot engage")
+        benchlib.positive_number(mem, "memo_max_bytes", f"{path}: {name}.mem", fail)
+        if live > cap:
+            fail(
+                f"{path}: {name}: memo holds {live} live bytes over its "
+                f"{cap}-byte bound — eviction broke"
+            )
+        worst = max(worst, live / cap)
+    return f"serve worst memo fill {worst * 100:.0f}% of bound"
+
+
+CHECKS = {"fig9": check_fig9, "batch": check_batch, "serve-edits": check_serve}
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    notes = []
+    for path in sys.argv[1:]:
+        doc = benchlib.load_json(path, fail)
+        bench = doc.get("bench")
+        check = CHECKS.get(bench)
+        if check is None:
+            fail(f"{path}: unknown bench {bench!r} (expected one of {sorted(CHECKS)})")
+        notes.append(check(doc, path))
+    print(f"check_mem: OK: {'; '.join(notes)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,13 +9,11 @@ waits, critical path) and, when given, the per-worker Chrome trace
 with a diagnostic on the first violation, so CI can gate on it.
 """
 
-import json
 import sys
 
+import benchlib
 
-def fail(msg):
-    print(f"check_profile: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+fail = benchlib.failer("check_profile")
 
 
 def check_profile(doc):
@@ -128,13 +126,11 @@ def main():
     if len(sys.argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    with open(sys.argv[1]) as f:
-        profile = json.load(f)
+    profile = benchlib.load_json(sys.argv[1], fail)
     n_workers, n_jobs = check_profile(profile)
     msg = f"profile OK ({n_workers} workers, {n_jobs} jobs"
     if len(sys.argv) > 2:
-        with open(sys.argv[2]) as f:
-            trace = json.load(f)
+        trace = benchlib.load_json(sys.argv[2], fail)
         check_trace(trace, n_workers)
         msg += f", trace OK with {len(trace['traceEvents'])} events"
     print(f"check_profile: {msg})")

@@ -19,10 +19,13 @@ regressions:
 Usage: check_projection.py <fig9-json-file>... (or - for stdin)
 """
 
-import json
 import sys
 
+import benchlib
+
 PROJECT_WALL_BUDGET = 0.45
+
+fail = benchlib.failer("check_projection")
 
 
 def ratio_of(doc):
@@ -45,9 +48,7 @@ def ratio_of(doc):
 
 
 srcs = sys.argv[1:] or ["-"]
-ratios = [
-    ratio_of(json.load(sys.stdin if src == "-" else open(src))) for src in srcs
-]
+ratios = [ratio_of(benchlib.load_json(src, fail)) for src in srcs]
 best = min(ratios)
 print(
     f"    project/wall = {best:.3f} best of {[f'{r:.3f}' for r in ratios]} "

@@ -14,8 +14,9 @@ the cutoff shape. Exits non-zero with a diagnostic on the first
 violation, so CI can gate on it.
 """
 
-import json
 import sys
+
+import benchlib
 
 SPEEDUP_FLOOR = 10.0
 # An edit recomputes the edited group and, only when the closed scheme
@@ -23,10 +24,7 @@ SPEEDUP_FLOOR = 10.0
 # never change, so anything above ~2 groups per edit means cutoff broke.
 MAX_RECOMPUTED_PER_EDIT = 2.0
 
-
-def fail(msg):
-    print(f"check_serve: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+fail = benchlib.failer("check_serve")
 
 
 def check_workload(w, edits, quick):
@@ -81,11 +79,7 @@ def main():
     quick = "--quick" in sys.argv[1:]
     if len(args) != 1:
         fail("usage: check_serve.py <BENCH_serve.json> [--quick]")
-    try:
-        with open(args[0]) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot read {args[0]}: {e}")
+    doc = benchlib.load_json(args[0], fail)
 
     if doc.get("bench") != "serve-edits":
         fail(f"bench must be 'serve-edits', got {doc.get('bench')!r}")

@@ -74,6 +74,25 @@ cargo run --release -p rowpoly-bench --bin batch -- --quick --json > "$batch_ben
 python3 scripts/check_batch.py "$batch_bench/batch.json" --quick
 rm -rf "$batch_bench"
 
+echo "==> memory accounting gate (committed BENCH reports + live smoke)"
+# The committed reports must carry well-formed counting-allocator
+# blocks and clear the budgets: fig9 accounting overhead < 5% wall,
+# batch bytes/def + peak-RSS ceilings, serve memo within its byte
+# bound. The live smoke checks the rowpoly CLI surface end to end.
+python3 scripts/check_mem.py BENCH_fig9.json BENCH_batch.json BENCH_serve.json
+mem_out=$(ROWPOLY_MEM=1 cargo run --release --bin rowpoly -- check programs/ --jobs 2 --no-cache --json) || true
+MEM_OUT="$mem_out" python3 - <<'PY'
+import json, os
+doc = json.loads(os.environ['MEM_OUT'])
+mem = doc['mem']
+assert mem['enabled'] is True, mem
+assert mem['alloc_bytes'] > 0, mem
+assert mem['peak_bytes'] >= mem['live_bytes'], mem
+assert 'lang.interner' in mem['sites'], sorted(mem['sites'])
+print(f"    live mem block OK: {mem['alloc_bytes']} bytes allocated, "
+      f"sites {sorted(mem['sites'])}")
+PY
+
 echo "==> serve smoke (20-edit trace replay, checked proofs) + BENCH_serve gate"
 # The committed full-scale report must clear the >= 10x p99 floor; the
 # live smoke replays a quick 20-edit trace with every SAT verdict

@@ -27,6 +27,7 @@
 //!     --cache-dir D     cache location (default .rowpoly-cache)
 //!     --sat-budget N    CDCL step budget per SAT check
 //!     --no-fields       disable field tracking
+//!     --memo-max-bytes N  hot-memo byte bound (estimate; default 64 MiB)
 //! rowpoly explain <file|->                 first type error with its checked
 //!                                          minimal-core evidence (`-`: stdin)
 //! rowpoly types <file> [--flags]           print every definition's scheme
@@ -46,6 +47,11 @@ use rowpoly::batch::{check_sources, BatchOptions, FileInput};
 use rowpoly::core::{hm, remy::RemyInfer, Compaction, Options, Session};
 use rowpoly::eval::eval_program;
 use rowpoly::lang::parse_program;
+
+/// The counting allocator (off until `ROWPOLY_MEM=1` or a command
+/// enables accounting; one relaxed load per allocation when off).
+#[global_allocator]
+static ALLOC: rowpoly::obs::CountingAlloc = rowpoly::obs::CountingAlloc;
 
 /// The `--help` text. Kept in sync with the module doc above.
 const HELP: &str = "\
@@ -73,6 +79,7 @@ rowpoly serve [--stdio|--json-rpc]       persistent incremental daemon
     --cache-dir D     cache location (default .rowpoly-cache)
     --sat-budget N    CDCL step budget per SAT check
     --no-fields       disable field tracking
+    --memo-max-bytes N  hot-memo byte bound (estimate; default 64 MiB)
 rowpoly explain <file|->                 first type error with its checked
                                          minimal-core evidence (`-`: stdin)
 rowpoly types <file> [--flags]           print every definition's scheme
@@ -81,6 +88,7 @@ rowpoly compare <file>                   flow vs Remy vs flow-free verdicts
 ";
 
 fn main() -> ExitCode {
+    rowpoly::obs::mem::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("usage: rowpoly <check|explain|types|run|compare> <paths...> [options]");
@@ -376,6 +384,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         },
     };
+    let memo_max_bytes: Option<u64> = match opt_value(args, "--memo-max-bytes") {
+        None => rowpoly::serve::ServeConfig::default().memo_max_bytes,
+        Some(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: --memo-max-bytes expects a number, got `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let config = rowpoly::serve::ServeConfig {
         opts: Options {
             track_fields: !args.iter().any(|a| a == "--no-fields"),
@@ -387,6 +405,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 .map(PathBuf::from)
                 .unwrap_or_else(rowpoly::batch::cache::default_dir)
         }),
+        memo_max_bytes,
         ..rowpoly::serve::ServeConfig::default()
     };
     let stdin = std::io::stdin();

@@ -265,6 +265,9 @@ fn profiled_batch_trace_has_stable_worker_tracks() {
                 );
                 instant_names.insert(e.get("name").and_then(Json::as_str).unwrap().to_string());
             }
+            // Counter samples (allocator live/peak bytes) appear when
+            // memory accounting is on during a profiled run.
+            "C" => {}
             other => panic!("unexpected phase {other}"),
         }
     }
