@@ -456,7 +456,11 @@ impl Progress {
         }
     }
 
-    /// Called by a worker after each job finishes.
+    /// Called by a worker after each job finishes. The completion
+    /// counter here is the *only* source of the displayed job count —
+    /// cache hits are reported alongside but never folded into it, so
+    /// a warm run (every job answered from cache) still counts each
+    /// job exactly once.
     fn tick(&self, cache: Option<&Sharded>) {
         use std::sync::atomic::Ordering;
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -464,7 +468,7 @@ impl Progress {
             return;
         }
         let hits = cache.map_or(0, Sharded::hits);
-        let line = format!("checking: {done}/{} jobs | {hits} cache hits", self.total);
+        let line = progress_line(done, self.total, hits);
         let mut last_len = self.line.lock().unwrap();
         // Pad with spaces when the new line is shorter (hit counts can
         // make earlier lines longer than later ones).
@@ -488,6 +492,17 @@ impl Drop for Progress {
     fn drop(&mut self) {
         self.finish();
     }
+}
+
+/// Renders the progress line. Pure so the shape is unit-testable; the
+/// displayed count is clamped to the total, so even a miscounted tick
+/// (a completion recorded outside the dispatch loop) can never show
+/// `k/N` with `k > N`.
+fn progress_line(done: usize, total: usize, hits: u64) -> String {
+    format!(
+        "checking: {}/{total} jobs | {hits} cache hits",
+        done.min(total)
+    )
 }
 
 /// A parsed file awaiting scheduling.
@@ -1109,5 +1124,24 @@ mod tests {
         assert!(matches!(defs[1].verdict, Verdict::Ok { .. }));
         assert_eq!(report.stats.timeouts, 1);
         assert!(report.render().contains("timeout"));
+    }
+
+    #[test]
+    fn progress_line_clamps_to_total() {
+        assert_eq!(
+            progress_line(3, 10, 0),
+            "checking: 3/10 jobs | 0 cache hits"
+        );
+        assert_eq!(
+            progress_line(10, 10, 10),
+            "checking: 10/10 jobs | 10 cache hits"
+        );
+        // A completion recorded outside the dispatch loop (the warm-run
+        // double-count) must not push the display past the total.
+        assert_eq!(
+            progress_line(12, 10, 10),
+            "checking: 10/10 jobs | 10 cache hits"
+        );
+        assert_eq!(progress_line(0, 0, 0), "checking: 0/0 jobs | 0 cache hits");
     }
 }

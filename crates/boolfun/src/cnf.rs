@@ -17,12 +17,51 @@ use crate::sat::{self, SatResult};
 /// The paper writes sequences of implications between the flag sequences of
 /// two types, `*t1+ ⇒ *t2+` and `*t1+ ⇔ *t2+`; these are provided as
 /// [`Cnf::imply_seq`] and [`Cnf::iff_seq`].
-#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Cnf {
     pub(crate) clauses: Vec<Clause>,
     /// Whether `clauses` is known sorted + deduplicated.
     pub(crate) normalized: bool,
+    /// Object identity for incremental-session syncing: fresh on every
+    /// construction *and clone*, so two handles never alias and a
+    /// [`crate::Session`] can tell "same formula, mutated" from "a
+    /// different formula that happens to share a prefix".
+    pub(crate) sync_id: u64,
+    /// Bumped on every mutation that is not a pure append (sorting,
+    /// dedup, projection, subsumption). While `sync_id` and this counter
+    /// both match a session's record, the synced clause prefix is
+    /// guaranteed unchanged and only the suffix needs pushing.
+    pub(crate) structural: u64,
 }
+
+fn next_sync_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Clone for Cnf {
+    fn clone(&self) -> Cnf {
+        Cnf {
+            clauses: self.clauses.clone(),
+            normalized: self.normalized,
+            sync_id: next_sync_id(),
+            structural: self.structural,
+        }
+    }
+}
+
+impl Default for Cnf {
+    fn default() -> Cnf {
+        Cnf::top()
+    }
+}
+
+impl PartialEq for Cnf {
+    fn eq(&self, other: &Cnf) -> bool {
+        self.clauses == other.clauses && self.normalized == other.normalized
+    }
+}
+
+impl Eq for Cnf {}
 
 impl Cnf {
     /// The empty conjunction `true` (the top element of the lattice `B`).
@@ -30,6 +69,8 @@ impl Cnf {
         Cnf {
             clauses: Vec::new(),
             normalized: true,
+            sync_id: next_sync_id(),
+            structural: 0,
         }
     }
 
@@ -42,6 +83,8 @@ impl Cnf {
         Cnf {
             clauses: storage,
             normalized: true,
+            sync_id: next_sync_id(),
+            structural: 0,
         }
     }
 
@@ -56,6 +99,8 @@ impl Cnf {
         Cnf {
             clauses: vec![Clause::empty()],
             normalized: true,
+            sync_id: next_sync_id(),
+            structural: 0,
         }
     }
 
@@ -168,7 +213,23 @@ impl Cnf {
             self.clauses.sort_unstable();
             self.clauses.dedup();
             self.normalized = true;
+            // Sorting may reorder the prefix a session has synced.
+            self.note_structural_change();
         }
+    }
+
+    /// Records a mutation that may have changed existing clauses (not a
+    /// pure append). Every in-place rewrite of `clauses` outside this
+    /// module must call this so incremental sessions re-diff the prefix.
+    pub(crate) fn note_structural_change(&mut self) {
+        self.structural = self.structural.wrapping_add(1);
+    }
+
+    /// Identity + mutation stamp for [`crate::Session::sync`]: while both
+    /// components match a previous observation and the clause count has
+    /// not shrunk, the previously observed prefix is unchanged.
+    pub fn sync_stamp(&self) -> (u64, u64) {
+        (self.sync_id, self.structural)
     }
 
     /// Removes clauses subsumed by another clause. Quadratic; intended for

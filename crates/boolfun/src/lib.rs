@@ -61,6 +61,7 @@ pub use lit::{Flag, FlagAlloc, FlagSet, Lit};
 pub use proof::{
     minimize_core, ClauseRef, DerivationStep, Proof, ProofChecker, ProofError, UnsatProof,
 };
+pub use sat::session::{Session, SyncOutcome};
 pub use sat::{
     check_proofs_enabled, set_check_proofs, solve, solve_budgeted, solve_budgeted_proved,
     solve_proved, BudgetStop, SatBudget, SatResult,

@@ -214,6 +214,7 @@ impl Cnf {
             let (clauses, origins) = db.into_clauses_traced();
             self.clauses = clauses;
             self.normalized = true;
+            self.note_structural_change();
             self.record_obs(&stats);
             return (stats, origins);
         }
@@ -238,6 +239,7 @@ impl Cnf {
             })
             .collect();
         self.normalized = true;
+        self.note_structural_change();
         self.record_obs(&stats);
         (stats, origins)
     }
@@ -333,6 +335,7 @@ impl Cnf {
                 // whole vector without re-sorting the untouched bulk.
                 self.clauses = merge_dedup(passive, fresh);
                 self.normalized = true;
+                self.note_structural_change();
             } else {
                 self.clauses = passive;
                 self.clauses.extend(fresh);

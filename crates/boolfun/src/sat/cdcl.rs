@@ -32,7 +32,7 @@ pub fn solve(cnf: &Cnf) -> SatResult {
 pub fn solve_budgeted(cnf: &Cnf, budget: &SatBudget) -> Result<SatResult, BudgetStop> {
     let dense = Dense::new(cnf);
     let mut solver = Solver::new(&dense);
-    let outcome = solver.run(budget);
+    let outcome = solver.run(budget, &[]);
     flush_obs(&solver, outcome.is_err());
     match outcome? {
         Some(assign) => Ok(SatResult::Sat(extract_model(cnf, &dense, &assign))),
@@ -64,7 +64,7 @@ pub(crate) fn solve_budgeted_proved(
     let dense = Dense::new(cnf);
     let mut solver = Solver::new(&dense);
     solver.proof_log = Some(Vec::new());
-    let outcome = solver.run(budget);
+    let outcome = solver.run(budget, &[]);
     flush_obs(&solver, outcome.is_err());
     match outcome? {
         Some(assign) => {
@@ -190,7 +190,7 @@ const NO_REASON: u32 = u32::MAX;
 
 /// Search statistics accumulated locally (no locks on the hot path) and
 /// flushed to the observability layer once per [`solve`] call.
-#[derive(Default)]
+#[derive(Clone, Copy, Default)]
 struct SearchStats {
     decisions: u64,
     propagations: u64,
@@ -216,6 +216,16 @@ struct Solver {
     act_inc: f64,
     unsat: bool,
     search: SearchStats,
+    /// Whether a variable may be picked by [`Solver::decide`]. All real
+    /// variables are; the selector variables of [`Incremental`] clauses
+    /// are not — they only enter the trail as assumptions or by
+    /// propagation, so a retracted clause's selector stays free.
+    decidable: Vec<bool>,
+    /// Set by [`Solver::run`] when a solve under assumptions failed
+    /// because an assumption was already false: the subset of assumption
+    /// literals (plus the failed one) whose conjunction is inconsistent
+    /// with the clause database (MiniSat's `analyzeFinal`).
+    failed_assumps: Option<Vec<DLit>>,
     /// When `Some`, every learnt clause is appended in learning order —
     /// the raw material for a RUP derivation (see
     /// [`solve_budgeted_proved`]). `None` on the default path, so proof
@@ -241,6 +251,8 @@ impl Solver {
             act_inc: 1.0,
             unsat: dense.has_empty,
             search: SearchStats::default(),
+            decidable: vec![true; nvars],
+            failed_assumps: None,
             proof_log: None,
         };
         for c in &dense.clauses {
@@ -250,6 +262,44 @@ impl Solver {
             }
         }
         s
+    }
+
+    /// A solver over zero variables and clauses, grown incrementally via
+    /// [`Solver::new_var`] by the [`Incremental`] wrapper.
+    fn empty() -> Solver {
+        Solver {
+            nvars: 0,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            act_inc: 1.0,
+            unsat: false,
+            search: SearchStats::default(),
+            decidable: Vec::new(),
+            failed_assumps: None,
+            proof_log: None,
+        }
+    }
+
+    fn new_var(&mut self, decidable: bool) -> usize {
+        let v = self.nvars;
+        self.nvars += 1;
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.assign.push(Val::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.decidable.push(decidable);
+        v
     }
 
     fn value(&self, l: DLit) -> Val {
@@ -471,6 +521,7 @@ impl Solver {
         let mut best: Option<usize> = None;
         for v in 0..self.nvars {
             if self.assign[v] == Val::Undef
+                && self.decidable[v]
                 && best.is_none_or(|b| self.activity[v] > self.activity[b])
             {
                 best = Some(v);
@@ -484,19 +535,61 @@ impl Solver {
         self.search.decisions + self.search.propagations
     }
 
-    fn run(&mut self, budget: &SatBudget) -> Result<Option<Vec<Val>>, BudgetStop> {
+    /// A jointly-inconsistent subset of the planted assumptions, given
+    /// that assumption `p` is false under the current trail (MiniSat's
+    /// `analyzeFinal`): walk the trail backwards from the top, expanding
+    /// reason clauses; decisions reached this way are assumptions (the
+    /// only decisions below the assumption levels) and join the core.
+    fn analyze_final(&mut self, p: DLit) -> Vec<DLit> {
+        let mut out = vec![p];
+        if self.trail_lim.is_empty() {
+            return out;
+        }
+        let mut seen = vec![false; self.nvars];
+        seen[p.var()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i].var();
+            if !seen[x] {
+                continue;
+            }
+            let r = self.reason[x];
+            if r == NO_REASON {
+                if self.level[x] > 0 {
+                    out.push(self.trail[i]);
+                }
+            } else {
+                for &q in &self.clauses[r as usize][1..] {
+                    if self.level[q.var()] > 0 {
+                        seen[q.var()] = true;
+                    }
+                }
+            }
+            seen[x] = false;
+        }
+        out
+    }
+
+    fn run(
+        &mut self,
+        budget: &SatBudget,
+        assumps: &[DLit],
+    ) -> Result<Option<Vec<Val>>, BudgetStop> {
+        self.failed_assumps = None;
         if self.unsat {
             return Ok(None);
         }
+        debug_assert!(self.trail_lim.is_empty(), "run starts at decision level 0");
+        let base_steps = self.steps();
         if self.propagate().is_some() {
+            self.unsat = true;
             return Ok(None);
         }
         let mut conflicts_since_restart = 0u64;
         let mut restart_count = 0u32;
         loop {
             if let Some(max) = budget.max_steps {
-                if self.steps() > max {
-                    return Err(BudgetStop::Steps(self.steps()));
+                if self.steps() - base_steps > max {
+                    return Err(BudgetStop::Steps(self.steps() - base_steps));
                 }
             }
             if budget.cancelled() {
@@ -504,6 +597,7 @@ impl Solver {
             }
             if let Some(conflict) = self.propagate() {
                 if self.trail_lim.is_empty() {
+                    self.unsat = true;
                     return Ok(None);
                 }
                 conflicts_since_restart += 1;
@@ -518,6 +612,7 @@ impl Solver {
                 if clause.len() == 1 {
                     self.cancel_until(0);
                     if !self.enqueue(asserting, NO_REASON) {
+                        self.unsat = true;
                         return Ok(None);
                     }
                 } else {
@@ -526,7 +621,27 @@ impl Solver {
                     self.watches[clause[1].negate().code()].push(ci);
                     self.clauses.push(clause);
                     if !self.enqueue(asserting, ci) {
+                        self.unsat = true;
                         return Ok(None);
+                    }
+                }
+            } else if self.trail_lim.len() < assumps.len() {
+                // Plant the next assumption as its own decision level
+                // (an already-true assumption still claims a level so
+                // `trail_lim.len()` tracks how many have been placed —
+                // restarts cancel to 0 and replant automatically).
+                let a = assumps[self.trail_lim.len()];
+                match self.value(a) {
+                    Val::True => self.trail_lim.push(self.trail.len()),
+                    Val::False => {
+                        self.failed_assumps = Some(self.analyze_final(a));
+                        self.cancel_until(0);
+                        return Ok(None);
+                    }
+                    Val::Undef => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(a, NO_REASON);
+                        debug_assert!(ok, "unassigned assumption cannot conflict");
                     }
                 }
             } else if conflicts_since_restart >= 64 * luby(restart_count) {
@@ -564,6 +679,170 @@ fn luby(i: u32) -> u64 {
         kk -= 1;
         if i + 1 >= 1u64 << kk {
             i -= (1u64 << kk) - 1;
+        }
+    }
+}
+
+/// Outcome of an [`Incremental`] solve.
+pub(crate) enum IncVerdict {
+    Sat(Model),
+    /// Unsatisfiable under the active assumptions. Carries the session
+    /// slot ids of a jointly-inconsistent subset of the active clauses
+    /// (the failed-assumption core), or every active slot when the
+    /// conflict was independent of the assumptions.
+    Unsat(Vec<u32>),
+}
+
+/// Persistent CDCL state for [`crate::sat::session::Session`].
+///
+/// Each clause `C` is added once, guarded by a fresh *selector*
+/// variable `s`: the stored clause is `C ∨ ¬s`. A solve assumes `s`
+/// true for exactly the active clauses, so retraction is free (stop
+/// assuming `s`) and the learned-clause database, VSIDS activities and
+/// saved phases all survive across solves. Selectors are never decision
+/// candidates, so a retracted clause's selector stays unassigned and
+/// its guard keeps the clause inert.
+///
+/// Because the guarded database is satisfiable outright (set every
+/// selector false), nothing is ever forced at decision level 0: failed-
+/// assumption cores from [`Solver::analyze_final`] therefore name a
+/// genuinely inconsistent subset of the active clauses, and clause
+/// insertion never sees a falsified watch.
+pub(crate) struct Incremental {
+    s: Solver,
+    var_of: HashMap<Flag, usize>,
+    /// Solver var → source flag; `None` for selector variables.
+    vflags: Vec<Option<Flag>>,
+    /// Fed clauses in feed order: (session slot id, selector var).
+    fed: Vec<(u32, usize)>,
+}
+
+impl Incremental {
+    pub(crate) fn new() -> Incremental {
+        Incremental {
+            s: Solver::empty(),
+            var_of: HashMap::new(),
+            vflags: Vec::new(),
+            fed: Vec::new(),
+        }
+    }
+
+    /// Learnt clauses currently retained in the database.
+    pub(crate) fn learnt_len(&self) -> usize {
+        self.s.clauses.len() - self.fed.len()
+    }
+
+    /// Adds a clause under a fresh selector. `slot` is the session's id
+    /// for it, echoed back in [`IncVerdict::Unsat`] cores.
+    pub(crate) fn add(&mut self, lits: &[Lit], slot: u32) {
+        self.s.cancel_until(0);
+        let sel = self.s.new_var(false);
+        self.vflags.push(None);
+        let mut c: Vec<DLit> = Vec::with_capacity(lits.len() + 1);
+        for &l in lits {
+            let var = match self.var_of.get(&l.flag()) {
+                Some(&v) => v,
+                None => {
+                    let v = self.s.new_var(true);
+                    self.vflags.push(Some(l.flag()));
+                    self.var_of.insert(l.flag(), v);
+                    v
+                }
+            };
+            c.push(DLit::new(var, l.is_neg()));
+        }
+        c.push(DLit::new(sel, true));
+        // Watch two non-false literals; ¬sel is always unassigned so at
+        // least one exists even if level 0 ever pins real variables.
+        let mut w = 0;
+        for k in 0..c.len() {
+            if self.s.value(c[k]) != Val::False {
+                c.swap(w, k);
+                w += 1;
+                if w == 2 {
+                    break;
+                }
+            }
+        }
+        let ci = self.s.clauses.len() as u32;
+        if w >= 2 {
+            self.s.watches[c[0].negate().code()].push(ci);
+            self.s.watches[c[1].negate().code()].push(ci);
+            self.s.clauses.push(c);
+        } else {
+            // All but one literal false at level 0: unit on c[0].
+            let unit = c[0];
+            self.s.clauses.push(c);
+            if !self.s.enqueue(unit, ci) {
+                self.s.unsat = true;
+            }
+        }
+        self.fed.push((slot, sel));
+    }
+
+    /// Solves the conjunction of the clauses whose slot is marked in
+    /// `active` (indexed by slot id), reusing all prior solver state.
+    pub(crate) fn solve(
+        &mut self,
+        active: &[bool],
+        budget: &SatBudget,
+    ) -> Result<IncVerdict, BudgetStop> {
+        self.s.cancel_until(0);
+        let assumps: Vec<DLit> = self
+            .fed
+            .iter()
+            .filter(|&&(slot, _)| active[slot as usize])
+            .map(|&(_, sel)| DLit::new(sel, false))
+            .collect();
+        let base = self.s.search;
+        let outcome = self.s.run(budget, &assumps);
+        self.flush_incr_obs(&base, outcome.is_err());
+        match outcome? {
+            Some(assign) => {
+                let mut model = Model::new();
+                for (v, flag) in self.vflags.iter().enumerate() {
+                    if let Some(f) = flag {
+                        model.insert(*f, assign[v] == Val::True);
+                    }
+                }
+                Ok(IncVerdict::Sat(model))
+            }
+            None => {
+                let slots = match self.s.failed_assumps.take() {
+                    Some(failed) => {
+                        let sel_slot: HashMap<usize, u32> =
+                            self.fed.iter().map(|&(slot, sel)| (sel, slot)).collect();
+                        let mut out: Vec<u32> = failed
+                            .iter()
+                            .filter_map(|l| sel_slot.get(&l.var()).copied())
+                            .collect();
+                        out.sort_unstable();
+                        out.dedup();
+                        out
+                    }
+                    None => self
+                        .fed
+                        .iter()
+                        .map(|&(slot, _)| slot)
+                        .filter(|&slot| active[slot as usize])
+                        .collect(),
+                };
+                Ok(IncVerdict::Unsat(slots))
+            }
+        }
+    }
+
+    fn flush_incr_obs(&self, base: &SearchStats, budget_stopped: bool) {
+        if rowpoly_obs::enabled() {
+            let d = &self.s.search;
+            rowpoly_obs::counter_add("sat.cdcl.solves", 1);
+            rowpoly_obs::counter_add("sat.cdcl.decisions", d.decisions - base.decisions);
+            rowpoly_obs::counter_add("sat.cdcl.propagations", d.propagations - base.propagations);
+            rowpoly_obs::counter_add("sat.cdcl.learned_clauses", d.learned - base.learned);
+            rowpoly_obs::counter_add("sat.cdcl.restarts", d.restarts - base.restarts);
+            if budget_stopped {
+                rowpoly_obs::counter_add("sat.cdcl.budget_stops", 1);
+            }
         }
     }
 }

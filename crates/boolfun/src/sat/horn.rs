@@ -244,7 +244,7 @@ fn trace_conflict(
 
 /// Walks reasons backwards from the violated clause, producing the forced
 /// literals in derivation order.
-fn conflict_chain(
+pub(crate) fn conflict_chain(
     cnf: &Cnf,
     violated: usize,
     reason: &HashMap<Flag, usize>,
@@ -272,7 +272,7 @@ fn conflict_chain(
 /// exists); the violated clause then resolves against its body units
 /// down to `⊥`. The core is exactly the reason clauses the traversal
 /// visits — the same set the conflict chain reports on.
-fn conflict_proof(
+pub(crate) fn conflict_proof(
     cnf: &Cnf,
     violated: usize,
     reason: &HashMap<Flag, usize>,

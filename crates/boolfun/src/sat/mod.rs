@@ -15,6 +15,7 @@
 
 pub mod cdcl;
 pub mod horn;
+pub mod session;
 pub mod twosat;
 
 use std::collections::BTreeMap;

@@ -1,0 +1,1080 @@
+//! Incremental solving sessions.
+//!
+//! The inference discipline issues hundreds of SAT checks per definition
+//! over β formulas that differ by a handful of clauses. A [`Session`]
+//! owns persistent solver state across those checks: clauses live in a
+//! flat u32-packed arena and are *retracted*, never removed, so each
+//! engine can keep whatever warm state survives the delta —
+//!
+//! - CDCL guards every clause with a selector variable and solves under
+//!   assumptions, keeping its learned-clause database, VSIDS activities
+//!   and saved phases across checks ([`cdcl::Incremental`]);
+//! - 2-SAT caches its SCC decomposition and repairs it on clause
+//!   insertion, falling back to a full Tarjan pass only when a new edge
+//!   can actually merge components ([`TwoEngine`]);
+//! - Horn keeps its unit-propagation watch state and derived facts warm
+//!   and only re-propagates from the new clauses ([`HornEngine`]).
+//!
+//! [`Session::sync`] diffs a [`Cnf`] against the previously synced
+//! prefix (O(1) for pure appends via [`Cnf::sync_stamp`]), so callers
+//! that rebuild their β each iteration still reuse solver state.
+//!
+//! Verdicts agree with the fresh [`crate::solve_budgeted`] path by
+//! construction — the session classifies the *active* clause set with
+//! the same rules and dispatches to the same decision procedures — and
+//! proofs from incremental solves replay under `ROWPOLY_CHECK_PROOFS=1`
+//! against the active clause set.
+
+use std::collections::HashMap;
+
+use crate::classify::SatClass;
+use crate::clause::Clause;
+use crate::cnf::Cnf;
+use crate::db::ProjectStats;
+use crate::lit::{Flag, Lit};
+use crate::proof::{ClauseRef, DerivationStep, Proof, ProofChecker, UnsatProof};
+use crate::sat::cdcl::{self, IncVerdict};
+use crate::sat::twosat::ImplicationGraph;
+use crate::sat::{check_proofs_enabled, horn, BudgetStop, Model, SatBudget, SatResult};
+
+/// What a [`Session::sync`] call did to reconcile the session with the
+/// given formula.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// Clauses newly pushed into the session.
+    pub appended: usize,
+    /// Previously synced clauses retracted because the prefix diverged.
+    pub retracted: usize,
+    /// Whether the slow path (elementwise prefix diff) ran.
+    pub reloaded: bool,
+}
+
+/// Aggregate clause-shape counts over the active set, enough to
+/// reproduce [`crate::classify`] in O(1) per query.
+#[derive(Clone, Copy, Default)]
+struct ShapeTally {
+    total: usize,
+    empty: usize,
+    over2: usize,
+    non_horn: usize,
+    non_dual: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Shape {
+    len: usize,
+    pos: usize,
+}
+
+impl ShapeTally {
+    fn apply(&mut self, s: Shape, sign: isize) {
+        let bump = |field: &mut usize, cond: bool| {
+            if cond {
+                *field = field.wrapping_add_signed(sign);
+            }
+        };
+        bump(&mut self.total, true);
+        bump(&mut self.empty, s.len == 0);
+        bump(&mut self.over2, s.len > 2);
+        bump(&mut self.non_horn, s.pos > 1);
+        bump(&mut self.non_dual, s.len - s.pos > 1);
+    }
+
+    fn class(&self) -> SatClass {
+        if self.total == 0 {
+            SatClass::Trivial
+        } else if self.empty > 0 {
+            SatClass::Unsat
+        } else if self.over2 == 0 {
+            SatClass::TwoSat
+        } else if self.non_horn == 0 {
+            SatClass::Horn
+        } else if self.non_dual == 0 {
+            SatClass::DualHorn
+        } else {
+            SatClass::General
+        }
+    }
+}
+
+/// Spacing between topological keys assigned on a rebuild, leaving room
+/// for midpoint-free O(1) insertions on either side.
+const GAP: u64 = 1 << 32;
+/// Keys start here so below-minimum placements have headroom.
+const BASE: u64 = 1 << 48;
+const UNPLACED: u64 = u64::MAX;
+
+/// Incremental 2-SAT: the persistent implication graph plus a cached
+/// SCC decomposition.
+///
+/// `comp` assigns every literal node its exact SCC id; `order[c]` is a
+/// topological key such that every edge `u → v` satisfies
+/// `comp[u] == comp[v]` or `order[comp[v]] < order[comp[u]]` (strict;
+/// all placed keys are unique). Under that invariant a new edge that
+/// also satisfies it cannot create a new SCC — a cycle through it would
+/// need a return path along which keys never increase — so insertion is
+/// O(1) and a full Tarjan rebuild is needed only when the check fails.
+/// New singleton components are keyed outside the current `[min, max]`
+/// range, which keeps placements unique without probing.
+///
+/// The model reads `f ↦ order[comp[f]] < order[comp[¬f]]`, which after
+/// a rebuild (keys monotone in comp id) coincides with the fresh
+/// solver's `comp[f] < comp[¬f]` rule. A contradiction
+/// (`comp[f] == comp[¬f]`) can only appear through a rebuild — repairs
+/// never merge components — so once found it is latched and feeding
+/// stops; adding clauses cannot un-falsify a formula.
+struct TwoEngine {
+    graph: ImplicationGraph,
+    comp: Vec<u32>,
+    order: Vec<u64>,
+    /// (min, max) of all placed keys; `None` before the first placement.
+    bounds: Option<(u64, u64)>,
+    contradiction: Option<Flag>,
+    fed_slots: Vec<u32>,
+}
+
+impl TwoEngine {
+    fn new() -> TwoEngine {
+        TwoEngine {
+            graph: ImplicationGraph::empty(),
+            comp: Vec::new(),
+            order: Vec::new(),
+            bounds: None,
+            contradiction: None,
+            fed_slots: Vec::new(),
+        }
+    }
+
+    fn place_low(&mut self) -> Option<u64> {
+        match self.bounds {
+            Some((lo, hi)) => {
+                let v = lo.checked_sub(GAP)?;
+                self.bounds = Some((v, hi));
+                Some(v)
+            }
+            None => {
+                self.bounds = Some((BASE, BASE));
+                Some(BASE)
+            }
+        }
+    }
+
+    fn place_high(&mut self) -> Option<u64> {
+        match self.bounds {
+            Some((lo, hi)) => {
+                let v = hi.checked_add(GAP)?;
+                self.bounds = Some((lo, v));
+                Some(v)
+            }
+            None => {
+                self.bounds = Some((BASE, BASE));
+                Some(BASE)
+            }
+        }
+    }
+
+    /// Repairs the SCC bookkeeping for freshly inserted edges. Returns
+    /// `false` when a full rebuild is required instead.
+    fn repair(&mut self, inserted: &[(usize, usize)]) -> bool {
+        // New nodes become fresh singleton components, keyed lazily on
+        // their first edge.
+        let nodes = 2 * self.graph.nflags;
+        while self.comp.len() < nodes {
+            self.comp.push(self.order.len() as u32);
+            self.order.push(UNPLACED);
+        }
+        for &(u, v) in inserted {
+            let (cu, cv) = (self.comp[u] as usize, self.comp[v] as usize);
+            if cu == cv {
+                continue;
+            }
+            match (self.order[cu] == UNPLACED, self.order[cv] == UNPLACED) {
+                (false, false) => {
+                    if self.order[cv] >= self.order[cu] {
+                        return false;
+                    }
+                }
+                (true, true) => {
+                    let (Some(lo), Some(hi)) = (self.place_low(), self.place_high()) else {
+                        return false;
+                    };
+                    self.order[cv] = lo;
+                    self.order[cu] = hi;
+                }
+                (false, true) => {
+                    let Some(lo) = self.place_low() else {
+                        return false;
+                    };
+                    self.order[cv] = lo;
+                }
+                (true, false) => {
+                    let Some(hi) = self.place_high() else {
+                        return false;
+                    };
+                    self.order[cu] = hi;
+                }
+            }
+        }
+        true
+    }
+
+    /// Full Tarjan pass: exact components, keys monotone in comp id,
+    /// contradiction rescan.
+    fn rebuild_sccs(&mut self) {
+        self.comp = self.graph.tarjan();
+        let ncomps = self.comp.iter().copied().max().map_or(0, |m| m as u64 + 1);
+        self.order = (0..ncomps).map(|c| BASE + c * GAP).collect();
+        self.bounds = (ncomps > 0).then(|| (BASE, BASE + (ncomps - 1) * GAP));
+        self.contradiction = None;
+        for i in 0..self.graph.nflags {
+            let f = self.graph.flags[i];
+            if self.comp[self.graph.code(Lit::pos(f))] == self.comp[self.graph.code(Lit::neg(f))] {
+                self.contradiction = Some(f);
+                break;
+            }
+        }
+    }
+}
+
+/// Incremental Horn / dual-Horn: warm Dowling–Gallier propagation.
+///
+/// Horn propagation is monotone — adding clauses only ever derives more
+/// facts — so the watch rows, truth assignment and derivation trail all
+/// stay valid across feeds. A new clause counts as pending only the
+/// body atoms not already true (and watches only those), then the queue
+/// drains from where it left off. The minimal model is the least
+/// fixpoint, which is order-independent, so it matches a fresh solve of
+/// the same clause set exactly.
+struct HornEngine {
+    flip: bool,
+    /// Per fed clause: head flag (if any) and body atoms still pending.
+    rows: Vec<(Option<Flag>, usize)>,
+    body_watch: HashMap<Flag, Vec<usize>>,
+    truth: HashMap<Flag, bool>,
+    reason: HashMap<Flag, usize>,
+    derived: Vec<Flag>,
+    queue: Vec<Flag>,
+    qi: usize,
+    conflict: Option<usize>,
+    mentioned: Vec<Flag>,
+    mentioned_set: std::collections::HashSet<Flag>,
+    fed_slots: Vec<u32>,
+}
+
+impl HornEngine {
+    fn new(flip: bool) -> HornEngine {
+        HornEngine {
+            flip,
+            rows: Vec::new(),
+            body_watch: HashMap::new(),
+            truth: HashMap::new(),
+            reason: HashMap::new(),
+            derived: Vec::new(),
+            queue: Vec::new(),
+            qi: 0,
+            conflict: None,
+            mentioned: Vec::new(),
+            mentioned_set: std::collections::HashSet::new(),
+            fed_slots: Vec::new(),
+        }
+    }
+
+    fn feed(&mut self, c: &Clause) {
+        let ci = self.rows.len();
+        let mut head: Option<Flag> = None;
+        let mut pending = 0usize;
+        for &raw in c.lits() {
+            let l = if self.flip { raw.negate() } else { raw };
+            if self.mentioned_set.insert(l.flag()) {
+                self.mentioned.push(l.flag());
+            }
+            if l.is_neg() {
+                if self.truth.get(&l.flag()) != Some(&true) {
+                    pending += 1;
+                    self.body_watch.entry(l.flag()).or_default().push(ci);
+                }
+            } else {
+                assert!(
+                    head.is_none(),
+                    "Horn session given a clause with two positive literals: {c:?}"
+                );
+                head = Some(l.flag());
+            }
+        }
+        if pending == 0 {
+            match head {
+                Some(f) => {
+                    if self.truth.insert(f, true).is_none() {
+                        self.reason.insert(f, ci);
+                        self.queue.push(f);
+                    }
+                }
+                None => self.conflict = Some(ci),
+            }
+        }
+        self.rows.push((head, pending));
+    }
+
+    fn drain(&mut self, propagations: &mut u64) {
+        self.drain_watchers(propagations);
+        // On conflict, facts enqueued but not yet drained are still true
+        // (truth and reason are set at enqueue time); the conflict trace
+        // walks them, so record them in propagation order. Watchers stay
+        // unfired — the engine is frozen once unsatisfiable.
+        if self.conflict.is_some() {
+            while self.qi < self.queue.len() {
+                self.derived.push(self.queue[self.qi]);
+                self.qi += 1;
+            }
+        }
+    }
+
+    fn drain_watchers(&mut self, propagations: &mut u64) {
+        while self.conflict.is_none() && self.qi < self.queue.len() {
+            let f = self.queue[self.qi];
+            self.qi += 1;
+            *propagations += 1;
+            self.derived.push(f);
+            // A fact fires its watchers exactly once; clauses fed later
+            // see `truth` and never watch an already-true atom.
+            let watchers = self.body_watch.remove(&f).unwrap_or_default();
+            for ci in watchers {
+                let row = &mut self.rows[ci];
+                row.1 -= 1;
+                if row.1 == 0 {
+                    match row.0 {
+                        Some(h) => {
+                            if self.truth.insert(h, true).is_none() {
+                                self.reason.insert(h, ci);
+                                self.queue.push(h);
+                            }
+                        }
+                        None => {
+                            self.conflict = Some(ci);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn model(&self) -> Model {
+        let mut model = Model::new();
+        for &f in &self.mentioned {
+            let v = self.truth.get(&f).copied().unwrap_or(false);
+            model.insert(f, v != self.flip);
+        }
+        model
+    }
+}
+
+/// Incremental CDCL: the selector-guarded solver plus a fed-slot bitmap
+/// (CDCL never rebuilds on retraction, so unlike the linear engines it
+/// tracks feeds per slot, not as a prefix).
+struct CdclEngine {
+    inc: cdcl::Incremental,
+    fed: Vec<bool>,
+}
+
+enum EngineState {
+    None,
+    Two(TwoEngine),
+    Horn(HornEngine),
+    Cdcl(CdclEngine),
+}
+
+/// Persistent solver state for one stream of related SAT checks — the
+/// checks of one definition, or of one open document in the daemon.
+///
+/// Clauses are pushed into a flat arena of u32-packed literals and
+/// retracted by slot id; [`Session::solve`] classifies the active set
+/// and dispatches to a warm engine, rebuilding it only when the class
+/// changes or a retraction invalidates fed state. [`Session::sync`]
+/// reconciles the session with an externally maintained [`Cnf`],
+/// reusing the unchanged prefix.
+pub struct Session {
+    /// Packed literal arena: [`Lit::code`]s, clause spans in `spans`.
+    lits: Vec<u32>,
+    /// slot → (start, len) into `lits`.
+    spans: Vec<(u32, u32)>,
+    active: Vec<bool>,
+    n_active: usize,
+    tally: ShapeTally,
+    engine: EngineState,
+    /// Slots mirroring the last-synced formula, in clause order.
+    sync_slots: Vec<u32>,
+    /// [`Cnf::sync_stamp`] observed at the last sync.
+    sync_key: Option<(u64, u64)>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    pub fn new() -> Session {
+        Session {
+            lits: Vec::new(),
+            spans: Vec::new(),
+            active: Vec::new(),
+            n_active: 0,
+            tally: ShapeTally::default(),
+            engine: EngineState::None,
+            sync_slots: Vec::new(),
+            sync_key: None,
+        }
+    }
+
+    /// Clears every slot and all solver state, keeping the arena
+    /// allocations. A reset session behaves like [`Session::new`];
+    /// per-worker scratch uses this to recycle capacity across
+    /// unrelated formula histories without unbounded slot growth.
+    pub fn reset(&mut self) {
+        self.lits.clear();
+        self.spans.clear();
+        self.active.clear();
+        self.n_active = 0;
+        self.tally = ShapeTally::default();
+        self.engine = EngineState::None;
+        self.sync_slots.clear();
+        self.sync_key = None;
+    }
+
+    /// Pre-sizes the arena from projection statistics: the clause count
+    /// after elimination is bounded by the surviving resolvents, and
+    /// projection output is dominated by unit/binary clauses.
+    pub fn reserve_from_stats(&mut self, stats: &ProjectStats) {
+        let clauses = stats.resolvents.saturating_sub(stats.subsumed) + stats.fastpath + 8;
+        self.spans.reserve(clauses);
+        self.active.reserve(clauses);
+        self.lits.reserve(2 * clauses);
+    }
+
+    /// Number of clauses currently active.
+    pub fn active_len(&self) -> usize {
+        self.n_active
+    }
+
+    /// Total slots ever pushed (active or retracted).
+    pub fn slot_len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The [`SatClass`] of the active clause set, in O(1). Agrees with
+    /// [`crate::classify`] on [`Session::active_cnf`].
+    pub fn class(&self) -> SatClass {
+        self.tally.class()
+    }
+
+    fn shape_at(&self, slot: u32) -> Shape {
+        let (start, len) = self.spans[slot as usize];
+        let lits = &self.lits[start as usize..(start + len) as usize];
+        let pos = lits.iter().filter(|&&c| c & 1 == 0).count();
+        Shape {
+            len: len as usize,
+            pos,
+        }
+    }
+
+    fn clause_at(&self, slot: u32) -> Clause {
+        let (start, len) = self.spans[slot as usize];
+        let lits = self.lits[start as usize..(start + len) as usize]
+            .iter()
+            .map(|&c| Lit::from_code(c as usize))
+            .collect();
+        Clause::new(lits).expect("session arena holds well-formed clauses")
+    }
+
+    /// Adds a clause; returns its slot id (stable for the session's
+    /// lifetime, usable with [`Session::retract`]).
+    pub fn push(&mut self, c: &Clause) -> u32 {
+        let slot = self.spans.len() as u32;
+        let start = self.lits.len() as u32;
+        for &l in c.lits() {
+            self.lits.push(l.code() as u32);
+        }
+        self.spans.push((start, c.len() as u32));
+        self.active.push(true);
+        self.n_active += 1;
+        self.tally.apply(self.shape_at(slot), 1);
+        slot
+    }
+
+    /// Deactivates a clause. CDCL retracts by dropping the selector
+    /// assumption (free); the linear engines notice the prefix break at
+    /// the next solve and rebuild from the active set.
+    pub fn retract(&mut self, slot: u32) {
+        if !self.active[slot as usize] {
+            return;
+        }
+        self.active[slot as usize] = false;
+        self.n_active -= 1;
+        self.tally.apply(self.shape_at(slot), -1);
+    }
+
+    fn active_slots(&self) -> Vec<u32> {
+        (0..self.spans.len() as u32)
+            .filter(|&s| self.active[s as usize])
+            .collect()
+    }
+
+    fn clause_eq(&self, slot: u32, c: &Clause) -> bool {
+        let (start, len) = self.spans[slot as usize];
+        if len as usize != c.len() {
+            return false;
+        }
+        self.lits[start as usize..(start + len) as usize]
+            .iter()
+            .zip(c.lits())
+            .all(|(&code, &l)| code as usize == l.code())
+    }
+
+    /// The active clause set as a [`Cnf`] (clauses in slot order — the
+    /// order proofs and cores index by).
+    pub fn active_cnf(&self) -> Cnf {
+        let mut cnf = Cnf::top();
+        for slot in self.active_slots() {
+            cnf.add_clause(self.clause_at(slot));
+        }
+        cnf
+    }
+
+    /// Reconciles the session with `cnf`: the unchanged prefix of
+    /// previously synced clauses is kept (O(1) when `cnf` has only been
+    /// appended to since the last sync, by [`Cnf::sync_stamp`]), the
+    /// diverged suffix is retracted, and new clauses are pushed.
+    pub fn sync(&mut self, cnf: &Cnf) -> SyncOutcome {
+        let stamp = cnf.sync_stamp();
+        let clauses = cnf.clauses();
+        let mut out = SyncOutcome::default();
+        let fast = self.sync_key == Some(stamp) && clauses.len() >= self.sync_slots.len();
+        let keep = if fast {
+            self.sync_slots.len()
+        } else {
+            out.reloaded = true;
+            let mut k = 0;
+            while k < self.sync_slots.len()
+                && k < clauses.len()
+                && self.clause_eq(self.sync_slots[k], &clauses[k])
+            {
+                k += 1;
+            }
+            for i in k..self.sync_slots.len() {
+                self.retract(self.sync_slots[i]);
+                out.retracted += 1;
+            }
+            self.sync_slots.truncate(k);
+            k
+        };
+        for c in &clauses[keep..] {
+            let slot = self.push(c);
+            self.sync_slots.push(slot);
+            out.appended += 1;
+        }
+        self.sync_key = Some(stamp);
+        if rowpoly_obs::enabled() {
+            if fast {
+                rowpoly_obs::counter_add("sat.incr.reuse_hits", 1);
+            } else {
+                rowpoly_obs::counter_add("sat.incr.sync.reloads", 1);
+            }
+            rowpoly_obs::counter_add("sat.incr.sync.appended", out.appended as u64);
+            rowpoly_obs::counter_add("sat.incr.sync.retracted", out.retracted as u64);
+        }
+        out
+    }
+
+    /// Decides satisfiability of the active clause set, reusing solver
+    /// state from previous calls. Verdict-equivalent to
+    /// `solve_budgeted(&self.active_cnf(), budget)`.
+    pub fn solve(&mut self, budget: &SatBudget) -> Result<SatResult, BudgetStop> {
+        if check_proofs_enabled() {
+            let (res, proof) = self.solve_proved(budget)?;
+            let cnf = self.active_cnf();
+            let checked = ProofChecker::check(&cnf, &proof);
+            rowpoly_obs::counter_add("proof.checked", 1);
+            if let Err(e) = checked {
+                rowpoly_obs::counter_add("proof.check_failures", 1);
+                let verdict = if res.is_sat() { "SAT" } else { "UNSAT" };
+                panic!(
+                    "ROWPOLY_CHECK_PROOFS: bogus {verdict} verdict from incremental \
+                     session ({e})\nformula: {cnf:?}"
+                );
+            }
+            return Ok(res);
+        }
+        self.solve_inner(budget, false).map(|(r, _)| r)
+    }
+
+    /// [`Session::solve`] reduced to the verdict bit.
+    pub fn check(&mut self, budget: &SatBudget) -> Result<bool, BudgetStop> {
+        self.solve(budget).map(|r| r.is_sat())
+    }
+
+    /// [`Session::solve`] with a [`Proof`] witness valid against
+    /// [`Session::active_cnf`].
+    pub fn solve_proved(&mut self, budget: &SatBudget) -> Result<(SatResult, Proof), BudgetStop> {
+        self.solve_inner(budget, true)
+            .map(|(r, p)| (r, p.expect("proof requested from solve_inner")))
+    }
+
+    fn solve_inner(
+        &mut self,
+        budget: &SatBudget,
+        want_proof: bool,
+    ) -> Result<(SatResult, Option<Proof>), BudgetStop> {
+        rowpoly_obs::counter_add("sat.incr.solves", 1);
+        let class = self.class();
+        match class {
+            SatClass::Trivial => {
+                return Ok((
+                    SatResult::Sat(Model::new()),
+                    want_proof.then(|| Proof::Sat(Model::new())),
+                ));
+            }
+            SatClass::Unsat => {
+                let slots = self.active_slots();
+                let idx = slots
+                    .iter()
+                    .position(|&s| self.spans[s as usize].1 == 0)
+                    .expect("Unsat class implies an active empty clause");
+                return Ok((
+                    SatResult::Unsat(Vec::new()),
+                    want_proof.then(|| {
+                        Proof::Unsat(UnsatProof {
+                            core: vec![idx],
+                            steps: Vec::new(),
+                        })
+                    }),
+                ));
+            }
+            _ => {}
+        }
+        let slots = self.active_slots();
+        let engine = std::mem::replace(&mut self.engine, EngineState::None);
+        match class {
+            SatClass::TwoSat => {
+                let mut e = match engine {
+                    EngineState::Two(e) if slots.starts_with(&e.fed_slots) => e,
+                    old => {
+                        self.note_engine_rebuild(&old);
+                        TwoEngine::new()
+                    }
+                };
+                let out = self.solve_two(&mut e, &slots, want_proof);
+                self.engine = EngineState::Two(e);
+                Ok(out)
+            }
+            SatClass::Horn | SatClass::DualHorn => {
+                let flip = class == SatClass::DualHorn;
+                let mut e = match engine {
+                    EngineState::Horn(e) if e.flip == flip && slots.starts_with(&e.fed_slots) => e,
+                    old => {
+                        self.note_engine_rebuild(&old);
+                        HornEngine::new(flip)
+                    }
+                };
+                let out = self.solve_horn(&mut e, &slots, want_proof);
+                self.engine = EngineState::Horn(e);
+                Ok(out)
+            }
+            SatClass::General => {
+                let mut e = match engine {
+                    EngineState::Cdcl(e) => e,
+                    old => {
+                        self.note_engine_rebuild(&old);
+                        CdclEngine {
+                            inc: cdcl::Incremental::new(),
+                            fed: Vec::new(),
+                        }
+                    }
+                };
+                let out = self.solve_cdcl(&mut e, &slots, want_proof, budget);
+                self.engine = EngineState::Cdcl(e);
+                out
+            }
+            SatClass::Trivial | SatClass::Unsat => unreachable!("handled above"),
+        }
+    }
+
+    fn note_engine_rebuild(&self, old: &EngineState) {
+        if rowpoly_obs::enabled() {
+            match old {
+                EngineState::None => {}
+                EngineState::Cdcl(e) => {
+                    rowpoly_obs::counter_add("sat.incr.rebuilds", 1);
+                    rowpoly_obs::counter_add("sat.incr.learned.dropped", e.inc.learnt_len() as u64);
+                }
+                _ => rowpoly_obs::counter_add("sat.incr.rebuilds", 1),
+            }
+        }
+    }
+
+    fn solve_two(
+        &self,
+        e: &mut TwoEngine,
+        slots: &[u32],
+        want_proof: bool,
+    ) -> (SatResult, Option<Proof>) {
+        rowpoly_obs::counter_add("sat.twosat.solves", 1);
+        if e.contradiction.is_none() && slots.len() > e.fed_slots.len() {
+            let mut inserted = Vec::new();
+            for &s in &slots[e.fed_slots.len()..] {
+                let ci = e.fed_slots.len() as u32;
+                let c = self.clause_at(s);
+                e.graph
+                    .add_clause_edges(&c, ci, &mut inserted)
+                    .expect("session dispatch excludes empty clauses");
+                e.fed_slots.push(s);
+            }
+            if e.repair(&inserted) {
+                rowpoly_obs::counter_add("sat.incr.twosat.repairs", 1);
+            } else {
+                rowpoly_obs::counter_add("sat.incr.twosat.rebuilds", 1);
+                e.rebuild_sccs();
+            }
+        }
+        match e.contradiction {
+            Some(f) => {
+                let chain = e.graph.contradiction_chain(f, &e.comp);
+                let proof = want_proof.then(|| {
+                    Proof::Unsat(e.graph.contradiction_proof(&self.active_cnf(), f, &e.comp))
+                });
+                (SatResult::Unsat(chain), proof)
+            }
+            None => {
+                let mut model = Model::new();
+                for i in 0..e.graph.nflags {
+                    let f = e.graph.flags[i];
+                    let po = e.order[e.comp[e.graph.code(Lit::pos(f))] as usize];
+                    let no = e.order[e.comp[e.graph.code(Lit::neg(f))] as usize];
+                    model.insert(f, po < no);
+                }
+                let proof = want_proof.then(|| Proof::Sat(model.clone()));
+                (SatResult::Sat(model), proof)
+            }
+        }
+    }
+
+    fn solve_horn(
+        &self,
+        e: &mut HornEngine,
+        slots: &[u32],
+        want_proof: bool,
+    ) -> (SatResult, Option<Proof>) {
+        let mut propagations = 0u64;
+        if e.conflict.is_none() {
+            for &s in &slots[e.fed_slots.len()..] {
+                let c = self.clause_at(s);
+                e.feed(&c);
+                e.fed_slots.push(s);
+                if e.conflict.is_some() {
+                    break;
+                }
+            }
+            e.drain(&mut propagations);
+        }
+        if rowpoly_obs::enabled() {
+            let (solves, props) = if e.flip {
+                ("sat.dual-horn.solves", "sat.dual-horn.propagations")
+            } else {
+                ("sat.horn.solves", "sat.horn.propagations")
+            };
+            rowpoly_obs::counter_add(solves, 1);
+            rowpoly_obs::counter_add(props, propagations);
+        }
+        match e.conflict {
+            Some(violated) => {
+                let cnf = self.active_cnf();
+                let chain = horn::conflict_chain(&cnf, violated, &e.reason, &e.derived, e.flip);
+                let proof = want_proof.then(|| {
+                    Proof::Unsat(horn::conflict_proof(
+                        &cnf, violated, &e.reason, &e.derived, e.flip,
+                    ))
+                });
+                (SatResult::Unsat(chain), proof)
+            }
+            None => {
+                let model = e.model();
+                let proof = want_proof.then(|| Proof::Sat(model.clone()));
+                (SatResult::Sat(model), proof)
+            }
+        }
+    }
+
+    fn solve_cdcl(
+        &self,
+        e: &mut CdclEngine,
+        slots: &[u32],
+        want_proof: bool,
+        budget: &SatBudget,
+    ) -> Result<(SatResult, Option<Proof>), BudgetStop> {
+        if e.fed.len() < self.spans.len() {
+            e.fed.resize(self.spans.len(), false);
+        }
+        for &s in slots {
+            if !e.fed[s as usize] {
+                let c = self.clause_at(s);
+                e.inc.add(c.lits(), s);
+                e.fed[s as usize] = true;
+            }
+        }
+        let verdict = e.inc.solve(&self.active, budget)?;
+        if rowpoly_obs::enabled() {
+            rowpoly_obs::counter_add("sat.incr.learned.kept", e.inc.learnt_len() as u64);
+        }
+        match verdict {
+            IncVerdict::Sat(model) => {
+                let proof = want_proof.then(|| Proof::Sat(model.clone()));
+                Ok((SatResult::Sat(model), proof))
+            }
+            IncVerdict::Unsat(core_slots) => {
+                let proof = want_proof.then(|| self.cdcl_unsat_proof(slots, &core_slots));
+                Ok((SatResult::Unsat(Vec::new()), proof))
+            }
+        }
+    }
+
+    /// A checkable refutation from a failed-assumption core. The core —
+    /// the slots named by the failed assumptions — is jointly unsat (the
+    /// guarded clause database is satisfiable outright, so the final
+    /// conflict can only rest on the assumptions analyzed). When the
+    /// core is unit-refutable a single `Rup ⊥` step suffices; otherwise
+    /// the core subformula is re-solved fresh with proof emission and
+    /// the resulting derivation is remapped onto the active indices.
+    fn cdcl_unsat_proof(&self, slots: &[u32], core_slots: &[u32]) -> Proof {
+        let cnf = self.active_cnf();
+        let rank: HashMap<u32, usize> = slots.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut core_active: Vec<usize> = core_slots.iter().map(|s| rank[s]).collect();
+        core_active.sort_unstable();
+        let candidate = Proof::Unsat(UnsatProof {
+            core: core_active.clone(),
+            steps: vec![DerivationStep::Rup {
+                clause: Clause::empty(),
+            }],
+        });
+        if ProofChecker::check(&cnf, &candidate).is_ok() {
+            return candidate;
+        }
+        rowpoly_obs::counter_add("sat.incr.proof.fallbacks", 1);
+        let mut sub = Cnf::top();
+        for &i in &core_active {
+            sub.add_clause(cnf.clauses()[i].clone());
+        }
+        let (res, proof) = crate::sat::solve_budgeted_proved(&sub, &SatBudget::unlimited())
+            .expect("unlimited budget cannot stop");
+        assert!(
+            !res.is_sat(),
+            "incremental failed-assumption core re-solved as SAT: session verdict unsound"
+        );
+        let Proof::Unsat(p) = proof else {
+            unreachable!("unsat verdict carries an unsat proof")
+        };
+        let remap = |r: ClauseRef| match r {
+            ClauseRef::Input(j) => ClauseRef::Input(core_active[j]),
+            derived => derived,
+        };
+        Proof::Unsat(UnsatProof {
+            core: p.core.iter().map(|&j| core_active[j]).collect(),
+            steps: p
+                .steps
+                .into_iter()
+                .map(|st| match st {
+                    DerivationStep::Resolve {
+                        left,
+                        right,
+                        pivot,
+                        resolvent,
+                    } => DerivationStep::Resolve {
+                        left: remap(left),
+                        right: remap(right),
+                        pivot,
+                        resolvent,
+                    },
+                    rup => rup,
+                })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{check_model, solve_budgeted};
+
+    fn p(i: u32) -> Lit {
+        Lit::pos(Flag(i))
+    }
+    fn n(i: u32) -> Lit {
+        Lit::neg(Flag(i))
+    }
+    fn clause(lits: Vec<Lit>) -> Clause {
+        Clause::new(lits).expect("test clause")
+    }
+
+    fn agree(session: &mut Session) {
+        let budget = SatBudget::unlimited();
+        let fresh = solve_budgeted(&session.active_cnf(), &budget).expect("fresh");
+        let incr = session.solve(&budget).expect("incremental");
+        assert_eq!(fresh.is_sat(), incr.is_sat(), "verdict diverged");
+        if let SatResult::Sat(m) = &incr {
+            assert!(check_model(&session.active_cnf(), m), "model invalid");
+        }
+    }
+
+    #[test]
+    fn class_tracks_pushes_and_retracts() {
+        let mut s = Session::new();
+        assert_eq!(s.class(), SatClass::Trivial);
+        let a = s.push(&clause(vec![p(0), n(1)]));
+        assert_eq!(s.class(), SatClass::TwoSat);
+        let b = s.push(&clause(vec![p(0), p(1), p(2)]));
+        assert_eq!(s.class(), SatClass::DualHorn);
+        let c = s.push(&clause(vec![n(0), n(1), n(2)]));
+        assert_eq!(s.class(), SatClass::General);
+        s.retract(b);
+        assert_eq!(s.class(), SatClass::Horn);
+        s.retract(c);
+        assert_eq!(s.class(), SatClass::TwoSat);
+        s.retract(a);
+        assert_eq!(s.class(), SatClass::Trivial);
+    }
+
+    #[test]
+    fn twosat_incremental_matches_fresh_across_adds() {
+        let mut s = Session::new();
+        s.push(&clause(vec![n(0), p(1)]));
+        agree(&mut s);
+        s.push(&clause(vec![n(1), p(2)]));
+        agree(&mut s);
+        s.push(&clause(vec![p(0)]));
+        agree(&mut s);
+        // Close the contradiction cycle: f2 → ¬f0.
+        s.push(&clause(vec![n(2), n(0)]));
+        agree(&mut s);
+        assert!(!s.check(&SatBudget::unlimited()).unwrap());
+        // Retraction reopens it.
+        s.retract(3);
+        agree(&mut s);
+        assert!(s.check(&SatBudget::unlimited()).unwrap());
+    }
+
+    #[test]
+    fn horn_keeps_propagation_warm() {
+        let mut s = Session::new();
+        s.push(&clause(vec![p(0)]));
+        s.push(&clause(vec![n(0), n(1), p(2)]));
+        agree(&mut s);
+        s.push(&clause(vec![p(1)]));
+        agree(&mut s);
+        s.push(&clause(vec![n(2)]));
+        agree(&mut s);
+        assert!(!s.check(&SatBudget::unlimited()).unwrap());
+    }
+
+    #[test]
+    fn cdcl_retraction_via_assumptions() {
+        let mut s = Session::new();
+        // Pigeonhole 3→2 plus a side general clause; unsat.
+        let v = |pigeon: u32, hole: u32| Flag(pigeon * 2 + hole);
+        for pigeon in 0..3 {
+            s.push(&clause(vec![
+                Lit::pos(v(pigeon, 0)),
+                Lit::pos(v(pigeon, 1)),
+            ]));
+        }
+        let mut pair_slots = Vec::new();
+        for hole in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    pair_slots
+                        .push(s.push(&clause(vec![Lit::neg(v(p1, hole)), Lit::neg(v(p2, hole))])));
+                }
+            }
+        }
+        // Keep the instance in the general class throughout.
+        s.push(&clause(vec![p(10), p(11), p(12)]));
+        s.push(&clause(vec![n(10), n(11), n(12)]));
+        agree(&mut s);
+        assert!(!s.check(&SatBudget::unlimited()).unwrap());
+        // Retract one at-most-one constraint: now satisfiable.
+        s.retract(pair_slots[0]);
+        agree(&mut s);
+        // And make it unsat again with a fresh clause.
+        let f = s.push(&clause(vec![Lit::neg(v(0, 0)), Lit::neg(v(1, 0))]));
+        agree(&mut s);
+        s.retract(f);
+        agree(&mut s);
+    }
+
+    #[test]
+    fn cdcl_unsat_core_names_active_slots_and_proof_replays() {
+        let mut s = Session::new();
+        s.push(&clause(vec![p(0), p(1), p(2)]));
+        s.push(&clause(vec![n(0), n(1), n(2)]));
+        s.push(&clause(vec![p(0), n(1)]));
+        s.push(&clause(vec![p(1), n(2)]));
+        s.push(&clause(vec![p(2), n(0)]));
+        s.push(&clause(vec![n(0), p(1)]));
+        s.push(&clause(vec![n(1), p(2)]));
+        assert_eq!(s.class(), SatClass::General);
+        // Force unsat: all-equal via the implications plus the two
+        // covering clauses is still sat; pin both polarities down.
+        s.push(&clause(vec![p(0), p(1)]));
+        s.push(&clause(vec![n(2), n(0)]));
+        let budget = SatBudget::unlimited();
+        let (res, proof) = s.solve_proved(&budget).expect("solve");
+        if !res.is_sat() {
+            ProofChecker::check(&s.active_cnf(), &proof).expect("proof replays");
+        }
+        agree(&mut s);
+    }
+
+    #[test]
+    fn sync_appends_and_reloads() {
+        let mut s = Session::new();
+        let mut cnf = Cnf::top();
+        cnf.add_lits(vec![p(0), n(1)]);
+        cnf.add_lits(vec![p(1)]);
+        let o1 = s.sync(&cnf);
+        assert_eq!((o1.appended, o1.retracted), (2, 0));
+        assert!(o1.reloaded, "first sync has no recorded stamp");
+        agree(&mut s);
+        // Pure append: fast path.
+        cnf.add_lits(vec![n(0), p(2)]);
+        let o2 = s.sync(&cnf);
+        assert_eq!((o2.appended, o2.retracted, o2.reloaded), (1, 0, false));
+        agree(&mut s);
+        // Structural change (normalize sorts): slow path, prefix rediff.
+        cnf.normalize();
+        let o3 = s.sync(&cnf);
+        assert!(o3.reloaded);
+        agree(&mut s);
+        assert_eq!(s.active_len(), cnf.len());
+        // A clone gets a fresh identity: divergent edits cannot alias.
+        let mut clone = cnf.clone();
+        clone.add_lits(vec![n(2)]);
+        let o4 = s.sync(&clone);
+        assert!(o4.reloaded);
+        assert_eq!(o4.appended, 1);
+        agree(&mut s);
+    }
+
+    #[test]
+    fn empty_clause_roundtrip() {
+        let mut s = Session::new();
+        s.push(&clause(vec![p(0)]));
+        let e = s.push(&Clause::empty());
+        assert_eq!(s.class(), SatClass::Unsat);
+        let (res, proof) = s.solve_proved(&SatBudget::unlimited()).expect("solve");
+        assert!(!res.is_sat());
+        ProofChecker::check(&s.active_cnf(), &proof).expect("empty-clause core replays");
+        s.retract(e);
+        agree(&mut s);
+        assert!(s.check(&SatBudget::unlimited()).unwrap());
+    }
+}

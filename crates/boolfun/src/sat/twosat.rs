@@ -69,15 +69,15 @@ pub(crate) fn solve_proved(cnf: &Cnf) -> (SatResult, Proof) {
     }
 }
 
-enum Verdict {
+pub(crate) enum Verdict {
     Contradiction(Flag),
     Model(Model),
 }
 
-struct ImplicationGraph {
-    nflags: usize,
+pub(crate) struct ImplicationGraph {
+    pub(crate) nflags: usize,
     /// Dense index → sparse flag.
-    flags: Vec<Flag>,
+    pub(crate) flags: Vec<Flag>,
     /// Sparse flag → dense index.
     dense: std::collections::HashMap<Flag, usize>,
     /// Adjacency: edges[dense lit code] = successors (sparse literal,
@@ -90,13 +90,75 @@ struct ImplicationGraph {
 
 impl ImplicationGraph {
     /// Dense code of a (sparse) literal.
-    fn code(&self, l: Lit) -> usize {
+    pub(crate) fn code(&self, l: Lit) -> usize {
         self.dense[&l.flag()] << 1 | l.is_neg() as usize
+    }
+
+    /// A graph over no flags, grown clause by clause via
+    /// [`ImplicationGraph::add_clause_edges`].
+    pub(crate) fn empty() -> ImplicationGraph {
+        ImplicationGraph {
+            nflags: 0,
+            flags: Vec::new(),
+            dense: std::collections::HashMap::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Dense index of `f`, allocating a node pair on first mention.
+    pub(crate) fn ensure_flag(&mut self, f: Flag) -> usize {
+        if let Some(&i) = self.dense.get(&f) {
+            return i;
+        }
+        let i = self.nflags;
+        self.nflags += 1;
+        self.flags.push(f);
+        self.dense.insert(f, i);
+        self.edges.push(Vec::new());
+        self.edges.push(Vec::new());
+        i
+    }
+
+    /// Inserts the implication edges for one clause (allocating nodes
+    /// for unseen flags) and reports them as dense `(from, to)` node
+    /// pairs so an incremental caller can repair its SCC bookkeeping.
+    /// `Err(())` flags an empty clause — an immediate contradiction the
+    /// graph cannot encode.
+    #[allow(clippy::result_unit_err)]
+    pub(crate) fn add_clause_edges(
+        &mut self,
+        c: &Clause,
+        ci: u32,
+        inserted: &mut Vec<(usize, usize)>,
+    ) -> Result<(), ()> {
+        match c.lits() {
+            [] => Err(()),
+            &[l] => {
+                // Unit clause l: edge ¬l → l.
+                self.ensure_flag(l.flag());
+                let from = self.code(l.negate());
+                self.edges[from].push((l, ci));
+                inserted.push((from, self.code(l)));
+                Ok(())
+            }
+            &[a, b] => {
+                self.ensure_flag(a.flag());
+                self.ensure_flag(b.flag());
+                let from_a = self.code(a.negate());
+                self.edges[from_a].push((b, ci));
+                inserted.push((from_a, self.code(b)));
+                let from_b = self.code(b.negate());
+                self.edges[from_b].push((a, ci));
+                inserted.push((from_b, self.code(a)));
+                Ok(())
+            }
+            _ => panic!("2-SAT solver given a clause with >2 literals: {c:?}"),
+        }
     }
 
     /// Builds the implication graph; returns `Err` with the clause index
     /// for an immediate contradiction (empty clause).
-    fn build(cnf: &Cnf) -> Result<ImplicationGraph, usize> {
+    pub(crate) fn build(cnf: &Cnf) -> Result<ImplicationGraph, usize> {
         let flags: Vec<Flag> = cnf.flags().into_iter().collect();
         let dense: std::collections::HashMap<Flag, usize> =
             flags.iter().enumerate().map(|(i, &f)| (f, i)).collect();
@@ -107,21 +169,10 @@ impl ImplicationGraph {
             dense,
             edges: vec![Vec::new(); 2 * nflags],
         };
+        let mut inserted = Vec::new();
         for (ci, c) in cnf.clauses().iter().enumerate() {
-            match c.lits() {
-                [] => return Err(ci),
-                &[l] => {
-                    // Unit clause l: edge ¬l → l.
-                    let from = g.code(l.negate());
-                    g.edges[from].push((l, ci as u32));
-                }
-                &[a, b] => {
-                    let from_a = g.code(a.negate());
-                    g.edges[from_a].push((b, ci as u32));
-                    let from_b = g.code(b.negate());
-                    g.edges[from_b].push((a, ci as u32));
-                }
-                _ => panic!("2-SAT solver given a clause with >2 literals: {c:?}"),
+            if g.add_clause_edges(c, ci as u32, &mut inserted).is_err() {
+                return Err(ci);
             }
         }
         Ok(g)
@@ -131,7 +182,7 @@ impl ImplicationGraph {
     /// flag if some literal shares a component with its negation, else
     /// the model `l ↦ comp[l] < comp[¬l]` (components are numbered in
     /// completion order, sinks first).
-    fn verdict(&self, comp: &[u32]) -> Verdict {
+    pub(crate) fn verdict(&self, comp: &[u32]) -> Verdict {
         for flag_idx in 0..self.nflags {
             let f = self.flags[flag_idx];
             let (pc, nc) = (comp[self.code(Lit::pos(f))], comp[self.code(Lit::neg(f))]);
@@ -152,7 +203,7 @@ impl ImplicationGraph {
 
     /// Iterative Tarjan SCC; returns component ids in completion order
     /// (component 0 completes first, i.e. is a sink).
-    fn tarjan(&self) -> Vec<u32> {
+    pub(crate) fn tarjan(&self) -> Vec<u32> {
         const UNVISITED: u32 = u32::MAX;
         let n = self.edges.len();
         let mut index = vec![UNVISITED; n];
@@ -212,7 +263,7 @@ impl ImplicationGraph {
 
     /// For a flag whose literals share a component, extracts the cyclic
     /// implication chain `f → … → ¬f → … → f` as a literal sequence.
-    fn contradiction_chain(&self, f: Flag, comp: &[u32]) -> Vec<Lit> {
+    pub(crate) fn contradiction_chain(&self, f: Flag, comp: &[u32]) -> Vec<Lit> {
         let pos = Lit::pos(f);
         let neg = Lit::neg(f);
         let there = self
@@ -234,7 +285,7 @@ impl ImplicationGraph {
     /// the unit `{¬f}`, the reverse path into `{f}`, and one final
     /// resolution yields `⊥`. The core is exactly the edge clauses on
     /// the two paths.
-    fn contradiction_proof(&self, cnf: &Cnf, f: Flag, comp: &[u32]) -> UnsatProof {
+    pub(crate) fn contradiction_proof(&self, cnf: &Cnf, f: Flag, comp: &[u32]) -> UnsatProof {
         let pos = Lit::pos(f);
         let neg = Lit::neg(f);
         let (there_nodes, there_clauses) = self

@@ -75,6 +75,13 @@ pub struct FlowInfer {
     /// can simplify formulas back down, so this is sampled before each
     /// projection and each SAT check).
     pub worst_class: rowpoly_boolfun::SatClass,
+    /// Incremental SAT session: solver state (CDCL learned clauses and
+    /// activity, the 2-SAT SCC order, Horn watch lists) persists across
+    /// the [`Self::check_sat`] calls of a definition group, reconciled
+    /// with β by [`rowpoly_boolfun::Session::sync`]. Callers may swap in
+    /// a session that outlives the engine (per-worker scratch, serve's
+    /// per-document sessions).
+    pub sat_session: rowpoly_boolfun::Session,
 }
 
 impl FlowInfer {
@@ -91,6 +98,7 @@ impl FlowInfer {
             held: Vec::new(),
             pending_dead: FlagSet::new(),
             worst_class: rowpoly_boolfun::SatClass::Trivial,
+            sat_session: rowpoly_boolfun::Session::new(),
         }
     }
 
@@ -212,6 +220,7 @@ impl FlowInfer {
                 dead.dedup();
                 let outcome = self.beta.project_out_sorted(&dead);
                 self.counts.note_projection(&outcome);
+                self.sat_session.reserve_from_stats(&outcome);
                 self.clock.exit();
             }
             self.pending_dead.extend(replaced.env);
@@ -387,6 +396,7 @@ impl FlowInfer {
         if !dead.is_empty() {
             let outcome = self.beta.project_out_sorted(&dead);
             self.counts.note_projection(&outcome);
+            self.sat_session.reserve_from_stats(&outcome);
             // Projected flags leave the pool: this fork's β no longer
             // mentions them, so re-filtering them at every subsequent
             // rule is pure overhead. [`Self::with_forked_beta`] restores
@@ -452,6 +462,7 @@ impl FlowInfer {
             .beta
             .project_unless(|f| global.contains(&f) || locals.contains(&f));
         self.counts.note_projection(&outcome);
+        self.sat_session.reserve_from_stats(&outcome);
         self.pending_dead.clear();
         self.clock.exit();
     }
@@ -469,16 +480,17 @@ impl FlowInfer {
             max_steps: self.opts.sat_budget,
             cancel: self.opts.cancel.clone(),
         };
-        let result = if budget.is_limited() {
-            self.beta.solve_budgeted(&budget)
-        } else {
-            Ok(self.beta.solve())
-        };
+        // The session reconciles with β (O(1) when β has only grown
+        // since the last check) and answers from warm solver state.
+        // Only the verdict bit is used on the hot path, so the
+        // diagnostics below stay independent of solve history.
+        self.sat_session.sync(&self.beta);
+        let verdict = self.sat_session.check(&budget);
         self.clock.exit();
         self.counts.sat_calls += 1;
         self.counts.note_sat_class(class);
-        let result = match result {
-            Ok(r) => r,
+        let sat = match verdict {
+            Ok(sat) => sat,
             Err(stop) => {
                 if obs::enabled() {
                     obs::counter_add("sat.budget_stops", 1);
@@ -490,6 +502,15 @@ impl FlowInfer {
                     span,
                 ));
             }
+        };
+        // Unsatisfiable: re-derive the conflict chain with a fresh
+        // solve (the error path is cold, and already re-solves with
+        // proof emission below), so the explanation does not depend on
+        // what the incremental session happened to learn first.
+        let result = if sat {
+            SatResult::Sat(rowpoly_boolfun::sat::Model::new())
+        } else {
+            self.beta.solve()
         };
         match result {
             SatResult::Sat(_) => Ok(()),

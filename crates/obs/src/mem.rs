@@ -190,6 +190,20 @@ impl ThreadSlot {
             self.pending_net.store(net, Ordering::Relaxed);
         }
     }
+
+    /// Forces any batched pending net into the global gauge and the
+    /// peak watermark. Called on attribution-scope exit: a scope whose
+    /// allocations never crossed [`LIVE_FLUSH_BYTES`] would otherwise
+    /// leave the peak blind to its bytes — if they are freed after the
+    /// scope (and before the next exact read), the section's residency
+    /// never appears in [`peak_bytes`].
+    fn flush_pending(&self) {
+        let net = self.pending_net.swap(0, Ordering::Relaxed);
+        if net != 0 {
+            let live = LIVE.fetch_add(net, Ordering::Relaxed) + net;
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Catch-all slot for allocations on threads whose TLS is already
@@ -720,6 +734,15 @@ impl Drop for MemScope {
                 site.charge(&delta_between(&stack.last, &now));
             }
             stack.last = thread_mark();
+        });
+        // Fold this thread's un-flushed live bytes into the gauge so
+        // the peak watermark covers the scope's residency even when it
+        // stayed under the batching threshold.
+        let _ = SLOT.try_with(|s| {
+            let p = s.get();
+            if !p.is_null() {
+                unsafe { &*p }.flush_pending();
+            }
         });
     }
 }

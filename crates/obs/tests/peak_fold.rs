@@ -1,0 +1,46 @@
+//! Regression: the peak watermark must cover a section's bytes even
+//! when they never crossed the live-gauge batching threshold.
+//!
+//! Allocations are folded into the global gauge in batches of
+//! [`mem::LIVE_FLUSH_BYTES`]; a [`MemSite`] scope that allocates just
+//! under that and exits used to leave the bytes in the thread's
+//! pending net — if the section's memory was freed before the next
+//! exact read, the peak never saw it. Scope exit now forces a fold.
+//!
+//! This binary runs a single test so the global gauge only moves on
+//! this test's behalf (the shared-process variants in `tests/mem.rs`
+//! must phrase everything over thread-local deltas instead).
+
+use std::hint::black_box;
+
+use rowpoly_obs::mem::{self, CountingAlloc, MemSite};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+static SECTION: MemSite = MemSite::new("test.peak.section");
+
+#[test]
+fn scope_exit_folds_unflushed_bytes_into_peak() {
+    let _session = mem::accounting_session();
+    assert!(mem::installed());
+    // Exact read: folds the true live gauge into the peak baseline.
+    let live_before = mem::live_bytes();
+    // Just under the batching threshold, so the allocation alone never
+    // triggers a flush.
+    let size = (mem::LIVE_FLUSH_BYTES as usize) - 1024;
+    let held;
+    {
+        let _guard = SECTION.scope();
+        held = black_box(vec![0u8; size]);
+    }
+    // Freed after the scope and before any exact read — only the fold
+    // at scope exit can have pushed the section's residency into the
+    // watermark.
+    drop(black_box(held));
+    let peak = mem::peak_bytes();
+    assert!(
+        peak >= live_before + size as i64 - 4096,
+        "peak {peak} missed a {size}-byte section over baseline {live_before}"
+    );
+}

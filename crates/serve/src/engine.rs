@@ -315,6 +315,12 @@ pub struct ServeEngine {
     /// Recycled inference allocations (the daemon is single-threaded,
     /// so one scratch serves every verdict recomputation).
     scratch: EngineScratch,
+    /// Per-document incremental SAT sessions, swapped into the scratch
+    /// around each revision so learned clauses, SCC orders, and watch
+    /// state survive across the edits of one document. Dropped with the
+    /// document on close; a stale session reconciles against the new β
+    /// by prefix sync, so eviction is a performance decision only.
+    sessions: BTreeMap<String, rowpoly_boolfun::Session>,
     /// Recycled buffer for pretty-printed group content.
     content: String,
 }
@@ -335,6 +341,7 @@ impl ServeEngine {
             totals: Totals::default(),
             edit_us: Histogram::default(),
             scratch: EngineScratch::default(),
+            sessions: BTreeMap::new(),
             content: String::new(),
         }
     }
@@ -388,6 +395,7 @@ impl ServeEngine {
     /// Closes a document, dropping its state (memoized queries stay
     /// warm for a re-open). Returns whether it was open.
     pub fn close(&mut self, path: &str) -> bool {
+        self.sessions.remove(path);
         self.files.remove(path).is_some()
     }
 
@@ -561,7 +569,13 @@ impl ServeEngine {
             };
         }
 
+        // Swap this document's SAT session into the scratch for the
+        // revision: recomputed groups reconcile their β against the
+        // session's clause history instead of solving from scratch.
+        self.scratch.sat = self.sessions.remove(path).unwrap_or_default();
         let analysis = self.analyze(&text, &mut stats);
+        self.sessions
+            .insert(path.to_string(), std::mem::take(&mut self.scratch.sat));
         let line_map = LineMap::new(&text);
         let ok = analysis_ok(&analysis);
         self.files.insert(

@@ -39,6 +39,58 @@ use rowpoly_obs::json::{self, Json};
 use crate::engine::{DefStatus, RangeEdit, ServeConfig, ServeEngine};
 use crate::{diagnostics, range_json, Analysis, FileUpdate};
 
+/// A JSON-RPC error: standard `code` plus human-readable `message`.
+/// Codes follow the JSON-RPC 2.0 assignments: `-32700` parse error,
+/// `-32601` method not found, `-32602` invalid params (including
+/// operations on documents that are not open), `-32603` internal.
+#[derive(Debug)]
+pub struct RpcError {
+    /// JSON-RPC 2.0 error code.
+    pub code: i64,
+    /// Human-readable description, surfaced verbatim to the client.
+    pub message: String,
+}
+
+impl RpcError {
+    fn parse_error(message: String) -> RpcError {
+        RpcError {
+            code: -32700,
+            message,
+        }
+    }
+
+    fn method_not_found(message: String) -> RpcError {
+        RpcError {
+            code: -32601,
+            message,
+        }
+    }
+
+    fn internal(message: String) -> RpcError {
+        RpcError {
+            code: -32603,
+            message,
+        }
+    }
+}
+
+/// Engine-surfaced strings are parameter problems (missing fields,
+/// documents that are not open, malformed ranges): invalid params.
+impl From<String> for RpcError {
+    fn from(message: String) -> RpcError {
+        RpcError {
+            code: -32602,
+            message,
+        }
+    }
+}
+
+impl From<&str> for RpcError {
+    fn from(message: &str) -> RpcError {
+        RpcError::from(message.to_string())
+    }
+}
+
 /// Runs the protocol loop until `shutdown` or end of input. On
 /// shutdown the disk cache (when configured) is persisted.
 pub fn serve<R: BufRead, W: Write>(
@@ -53,7 +105,11 @@ pub fn serve<R: BufRead, W: Write>(
             continue;
         }
         let (id, outcome, shutdown) = match json::parse(&line) {
-            Err(e) => (Json::Null, Err(format!("unparseable request: {e}")), false),
+            Err(e) => (
+                Json::Null,
+                Err(RpcError::parse_error(format!("unparseable request: {e}"))),
+                false,
+            ),
             Ok(req) => {
                 let id = req.get("id").cloned().unwrap_or(Json::Null);
                 let method = req.get("method").and_then(Json::as_str).unwrap_or("");
@@ -63,7 +119,13 @@ pub fn serve<R: BufRead, W: Write>(
         };
         let body = match outcome {
             Ok(result) => ("result", result),
-            Err(message) => ("error", Json::obj(vec![("message", Json::Str(message))])),
+            Err(e) => (
+                "error",
+                Json::obj(vec![
+                    ("code", Json::Int(e.code)),
+                    ("message", Json::Str(e.message)),
+                ]),
+            ),
         };
         let response = Json::obj(vec![("id", id), body]);
         writeln!(output, "{}", response.render())?;
@@ -76,7 +138,7 @@ pub fn serve<R: BufRead, W: Write>(
     Ok(())
 }
 
-fn dispatch(engine: &mut ServeEngine, method: &str, req: &Json) -> Result<Json, String> {
+fn dispatch(engine: &mut ServeEngine, method: &str, req: &Json) -> Result<Json, RpcError> {
     let params = req.get("params").cloned().unwrap_or(Json::Null);
     match method {
         "open" => {
@@ -98,7 +160,7 @@ fn dispatch(engine: &mut ServeEngine, method: &str, req: &Json) -> Result<Json, 
                     .collect::<Result<Vec<_>, _>>()?;
                 engine.change_ranges(&path, &edits, version)?
             } else {
-                return Err("edit needs `text` or `changes`".to_string());
+                return Err("edit needs `text` or `changes`".into());
             };
             Ok(update_json(engine, &update))
         }
@@ -109,7 +171,7 @@ fn dispatch(engine: &mut ServeEngine, method: &str, req: &Json) -> Result<Json, 
         "diagnostics" => {
             let path = str_param(&params, "path")?;
             if engine.document(&path).is_none() {
-                return Err(format!("document not open: {path}"));
+                return Err(format!("document not open: {path}").into());
             }
             Ok(Json::obj(vec![(
                 "diagnostics",
@@ -141,11 +203,13 @@ fn dispatch(engine: &mut ServeEngine, method: &str, req: &Json) -> Result<Json, 
         }
         "counters" => Ok(engine.counters()),
         "save" => {
-            engine.persist()?;
+            engine.persist().map_err(RpcError::internal)?;
             Ok(Json::obj(vec![("ok", Json::Bool(true))]))
         }
         "shutdown" => Ok(Json::obj(vec![("ok", Json::Bool(true))])),
-        other => Err(format!("unknown method: {other:?}")),
+        other => Err(RpcError::method_not_found(format!(
+            "unknown method: {other:?}"
+        ))),
     }
 }
 
@@ -341,5 +405,41 @@ mod tests {
         for r in &responses {
             assert!(r.get("error").is_some(), "expected error: {r}");
         }
+    }
+
+    /// Editing a document that was never opened (or was closed) is an
+    /// invalid-params error (`-32602`), not a crash; the other failure
+    /// shapes carry their standard JSON-RPC codes too.
+    #[test]
+    fn error_codes_follow_jsonrpc_assignments() {
+        let code = |r: &Json| {
+            r.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_i64)
+                .expect("error carries a code")
+        };
+        let responses = run(&[
+            r#"{"id":1,"method":"edit","params":{"path":"never.rp","text":"def a = 1"}}"#,
+            r#"{"id":2,"method":"open","params":{"path":"a.rp","text":"def a = 1","version":1}}"#,
+            r#"{"id":3,"method":"close","params":{"path":"a.rp"}}"#,
+            r#"{"id":4,"method":"edit","params":{"path":"a.rp","version":2,"text":"def a = 2"}}"#,
+            r#"{"id":5,"method":"frobnicate"}"#,
+            r#"{not json"#,
+        ]);
+        assert_eq!(code(&responses[0]), -32602, "{}", responses[0]);
+        let msg = responses[0]
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .expect("message");
+        assert!(msg.contains("not open"), "{msg}");
+        assert!(responses[1].get("result").is_some());
+        assert_eq!(
+            responses[2].get("result").and_then(|r| r.get("closed")),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(code(&responses[3]), -32602, "{}", responses[3]);
+        assert_eq!(code(&responses[4]), -32601, "{}", responses[4]);
+        assert_eq!(code(&responses[5]), -32700, "{}", responses[5]);
     }
 }

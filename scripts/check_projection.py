@@ -16,7 +16,18 @@ regressions:
   elimination must take the binary-implication fast path, and the
   fast-path/fallback split must account for every elimination.
 
-Usage: check_projection.py <fig9-json-file>... (or - for stdin)
+It also gates the `project` bench report (`BENCH_project.json`, or a
+live `project --json` run): the report must carry the
+incremental-vs-fresh `incremental` section, its per-edit verdict/class
+streams must have matched, and the incremental session must re-check a
+single-clause edit at least `INCREMENTAL_SPEEDUP_FLOOR` times faster
+than a from-scratch solve (quick runs gate at no-slower-than-fresh
+instead — their per-edit walls are microseconds and noisy).
+
+Documents are told apart by their `bench` field, so one invocation can
+mix fig9 and project reports.
+
+Usage: check_projection.py <json-file>... (or - for stdin)
 """
 
 import sys
@@ -24,6 +35,7 @@ import sys
 import benchlib
 
 PROJECT_WALL_BUDGET = 0.45
+INCREMENTAL_SPEEDUP_FLOOR = 1.5
 
 fail = benchlib.failer("check_projection")
 
@@ -47,15 +59,45 @@ def ratio_of(doc):
     return total_project / total_wall
 
 
-srcs = sys.argv[1:] or ["-"]
-ratios = [ratio_of(benchlib.load_json(src, fail)) for src in srcs]
-best = min(ratios)
-print(
-    f"    project/wall = {best:.3f} best of {[f'{r:.3f}' for r in ratios]} "
-    f"(budget {PROJECT_WALL_BUDGET})"
-)
-if best > PROJECT_WALL_BUDGET:
-    sys.exit(
-        f"projection regression: project/wall ratio {best:.3f} "
-        f"exceeds {PROJECT_WALL_BUDGET} in all {len(ratios)} run(s)"
+def check_project_bench(doc, src):
+    inc = doc.get("incremental")
+    if inc is None:
+        fail(f"{src}: project report is missing the `incremental` section")
+    if inc.get("name") != "edit_replay":
+        fail(f"{src}: incremental section is not the edit-replay workload: {inc}")
+    if inc.get("verdicts_match") is not True:
+        fail(f"{src}: incremental and fresh verdict streams diverged")
+    if inc["edits"] <= 0 or inc["base_clauses"] <= 0:
+        fail(f"{src}: degenerate edit-replay workload: {inc}")
+    floor = 1.0 if doc.get("quick") else INCREMENTAL_SPEEDUP_FLOOR
+    speedup = inc["incremental_speedup"]
+    print(
+        f"    edit_replay: {inc['edits']} edits over {inc['base_clauses']} "
+        f"base clauses, incremental {speedup:.2f}x fresh (floor {floor})"
     )
+    if speedup < floor:
+        fail(
+            f"{src}: incremental re-check is only {speedup:.2f}x fresh "
+            f"on the edit-replay workload (floor {floor})"
+        )
+
+
+srcs = sys.argv[1:] or ["-"]
+ratios = []
+for src in srcs:
+    doc = benchlib.load_json(src, fail)
+    if doc.get("bench") == "project":
+        check_project_bench(doc, src)
+    else:
+        ratios.append(ratio_of(doc))
+if ratios:
+    best = min(ratios)
+    print(
+        f"    project/wall = {best:.3f} best of {[f'{r:.3f}' for r in ratios]} "
+        f"(budget {PROJECT_WALL_BUDGET})"
+    )
+    if best > PROJECT_WALL_BUDGET:
+        sys.exit(
+            f"projection regression: project/wall ratio {best:.3f} "
+            f"exceeds {PROJECT_WALL_BUDGET} in all {len(ratios)} run(s)"
+        )
